@@ -1,0 +1,77 @@
+#pragma once
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench accepts:
+//   --scale <f>   fraction of the paper's dataset sizes (default 0.1)
+//   --seed <s>    dataset seed (default 42)
+//   --full        shorthand for --scale 1.0
+// Scaled runs also scale the KV pool by the same fraction so the
+// data-to-cache ratio (the regime that makes reordering matter) is
+// preserved; see ExecConfig::scale_kv_pool.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "data/benchmark_suite.hpp"
+#include "data/generators.hpp"
+#include "query/executor.hpp"
+#include "query/metrics.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+
+namespace llmq::bench {
+
+struct BenchOptions {
+  double scale = 0.1;
+  std::uint64_t seed = 42;
+
+  std::size_t rows_for(const std::string& dataset_key) const {
+    const auto full = data::paper_rows(dataset_key);
+    const auto n = static_cast<std::size_t>(static_cast<double>(full) * scale);
+    return std::max<std::size_t>(50, std::min(n, full));
+  }
+
+  double kv_fraction(const std::string& dataset_key) const {
+    return static_cast<double>(rows_for(dataset_key)) /
+           static_cast<double>(data::paper_rows(dataset_key));
+  }
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      opt.scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      opt.scale = 1.0;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--scale f] [--seed s] [--full]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+inline data::Dataset load(const std::string& key, const BenchOptions& opt) {
+  data::GenOptions g;
+  g.n_rows = opt.rows_for(key);
+  g.seed = opt.seed;
+  return data::generate_dataset(key, g);
+}
+
+inline void print_header(const char* title, const BenchOptions& opt) {
+  std::printf("=== %s ===\n", title);
+  std::printf("(synthetic reproduction; scale=%.3g of paper dataset sizes, "
+              "seed=%llu — compare shapes/ratios, not absolute values)\n\n",
+              opt.scale, static_cast<unsigned long long>(opt.seed));
+}
+
+/// Format simulated seconds for table cells.
+inline std::string secs(double s) { return util::fmt(s, 1); }
+inline std::string pct(double f) { return util::fmt(100.0 * f, 1) + "%"; }
+
+}  // namespace llmq::bench

@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark): hot paths of the library —
+// tokenizer throughput, PHC evaluation, radix-tree matching, GGR and the
+// fixed-order baselines, and prompt encoding.
+
+#include <benchmark/benchmark.h>
+
+#include "core/baselines.hpp"
+#include "core/ggr.hpp"
+#include "core/phc.hpp"
+#include "cache/prefix_cache.hpp"
+#include "data/generators.hpp"
+#include "query/prompt.hpp"
+#include "util/wordbank.hpp"
+
+using namespace llmq;
+
+namespace {
+
+const data::Dataset& movies_1k() {
+  static const data::Dataset d = [] {
+    data::GenOptions g;
+    g.n_rows = 1000;
+    g.seed = 42;
+    return data::generate_movies(g);
+  }();
+  return d;
+}
+
+std::string prose(std::size_t tokens) {
+  util::Rng rng(7);
+  return util::default_wordbank().text_of_tokens(rng, tokens);
+}
+
+void BM_TokenizerEncode(benchmark::State& state) {
+  const std::string text = prose(static_cast<std::size_t>(state.range(0)));
+  const auto& tok = tokenizer::global_tokenizer();
+  for (auto _ : state) benchmark::DoNotOptimize(tok.encode(text));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_TokenizerEncode)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_TokenizerCount(benchmark::State& state) {
+  const std::string text = prose(512);
+  const auto& tok = tokenizer::global_tokenizer();
+  for (auto _ : state) benchmark::DoNotOptimize(tok.count(text));
+}
+BENCHMARK(BM_TokenizerCount);
+
+void BM_PhcEvaluate(benchmark::State& state) {
+  const auto& d = movies_1k();
+  const auto ordering = core::stats_fixed_ordering(d.table);
+  const core::CellLengths lengths(d.table, core::LengthMeasure::Tokens);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::phc_with_lengths(d.table, lengths, ordering));
+}
+BENCHMARK(BM_PhcEvaluate);
+
+void BM_GgrSolve(benchmark::State& state) {
+  data::GenOptions g;
+  g.n_rows = static_cast<std::size_t>(state.range(0));
+  g.seed = 42;
+  const auto d = data::generate_movies(g);
+  core::GgrOptions go;
+  go.max_row_depth = 4;
+  go.max_col_depth = 2;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::ggr(d.table, d.fds, go));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GgrSolve)->Arg(200)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_StatsFixedOrdering(benchmark::State& state) {
+  const auto& d = movies_1k();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::stats_fixed_ordering(d.table));
+}
+BENCHMARK(BM_StatsFixedOrdering)->Unit(benchmark::kMillisecond);
+
+void BM_RadixInsertMatch(benchmark::State& state) {
+  // Stream of prompts sharing a 128-token prefix with unique 32-token
+  // tails — the cache's hot pattern.
+  std::vector<tokenizer::TokenSeq> prompts;
+  util::Rng rng(3);
+  tokenizer::TokenSeq prefix(128);
+  for (auto& t : prefix) t = static_cast<tokenizer::TokenId>(rng.next_u64());
+  for (int i = 0; i < 256; ++i) {
+    auto p = prefix;
+    for (int k = 0; k < 32; ++k)
+      p.push_back(static_cast<tokenizer::TokenId>(rng.next_u64()));
+    prompts.push_back(std::move(p));
+  }
+  for (auto _ : state) {
+    cache::PrefixCache pc(cache::CacheConfig{16, 0, true});
+    for (const auto& p : prompts) {
+      auto lease = pc.lookup(p);
+      pc.admit(p, lease);
+      pc.release(lease);
+    }
+    benchmark::DoNotOptimize(pc.stats().hit_tokens);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_RadixInsertMatch)->Unit(benchmark::kMillisecond);
+
+void BM_PromptEncode(benchmark::State& state) {
+  const auto& d = movies_1k();
+  const query::PromptEncoder enc(
+      query::PromptTemplate{"You are a data analyst.", "Filter the rows."});
+  std::vector<std::size_t> fields(d.table.num_cols());
+  for (std::size_t c = 0; c < fields.size(); ++c) fields[c] = c;
+  std::size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(d.table, row, fields));
+    row = (row + 1) % d.table.num_rows();
+  }
+}
+BENCHMARK(BM_PromptEncode);
+
+void BM_MineFds(benchmark::State& state) {
+  data::GenOptions g;
+  g.n_rows = 500;
+  g.seed = 42;
+  const auto d = data::generate_beer(g);
+  for (auto _ : state) benchmark::DoNotOptimize(table::mine_fds(d.table));
+}
+BENCHMARK(BM_MineFds)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Table 6 (Appendix D.1) — OPHR (exact) vs GGR on small dataset samples.
+// The paper tests the first {10,25,50,100,200} rows with a 2-hour cap and
+// reports the largest completed run; we use a per-size time budget
+// (default 10 s) and report the largest sample OPHR finished. PDMX is
+// reduced to its first 10 columns, as in the paper.
+// Paper: GGR within ~2% of OPHR's hit rate, orders of magnitude faster.
+
+#include "bench_common.hpp"
+#include "core/ggr.hpp"
+#include "core/ophr.hpp"
+#include "core/phc.hpp"
+
+using namespace llmq;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header("Table 6 — OPHR vs GGR on small samples", opt);
+  const double budget_s = opt.scale >= 1.0 ? 60.0 : 10.0;
+
+  util::TablePrinter tp({"sample", "OPHR hit%", "GGR hit%", "diff",
+                         "OPHR time (s)", "GGR time (s)"});
+  for (const auto& key : data::dataset_keys()) {
+    data::GenOptions g;
+    g.seed = opt.seed;
+    g.n_rows = 400;
+    auto d = data::generate_dataset(key, g);
+    if (key == "pdmx") {
+      std::vector<std::size_t> first10;
+      for (std::size_t c = 0; c < 10; ++c) first10.push_back(c);
+      d.table = d.table.project(first10);
+    }
+
+    std::optional<core::OphrResult> best;
+    std::size_t best_rows = 0;
+    for (std::size_t rows : {10u, 25u, 50u, 100u, 200u}) {
+      const auto sample = d.table.head(rows);
+      core::OphrOptions oo;
+      oo.time_budget_seconds = budget_s;
+      auto res = core::ophr(sample, oo);
+      if (!res) break;  // larger samples will also time out
+      best = std::move(res);
+      best_rows = rows;
+    }
+    if (!best) {
+      tp.add_row({d.name + "-10", "timeout", "-", "-", "-", "-"});
+      continue;
+    }
+
+    const auto sample = d.table.head(best_rows);
+    core::GgrOptions go;  // unlimited depth: quality comparison
+    go.max_row_depth = -1;
+    go.max_col_depth = -1;
+    const auto ggr = core::ggr(sample, d.fds, go);
+
+    const auto ophr_b = core::phc_breakdown(sample, best->ordering);
+    const auto ggr_b = core::phc_breakdown(sample, ggr.ordering);
+    tp.add_row({d.name + "-" + std::to_string(best_rows),
+                bench::pct(ophr_b.hit_fraction()),
+                bench::pct(ggr_b.hit_fraction()),
+                util::fmt(100 * (ggr_b.hit_fraction() - ophr_b.hit_fraction()),
+                          1),
+                util::fmt(best->solve_seconds, 2),
+                util::fmt(ggr.solve_seconds, 4)});
+  }
+  tp.print();
+  std::printf("\npaper reference: GGR within 0-2%% of OPHR; OPHR runtimes up "
+              "to 2556 s vs GGR <=0.25 s\n");
+  return 0;
+}

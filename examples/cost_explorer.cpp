@@ -1,0 +1,96 @@
+// Cost explorer: estimate proprietary-API spend for an LLM query over a
+// CSV table, under original vs GGR ordering, for OpenAI and Anthropic
+// pricing (paper §6.3).
+//
+// Usage:
+//   ./build/examples/cost_explorer [table.csv] [avg_output_tokens]
+//
+// Without arguments a demo table is generated. With a CSV path, the file's
+// rows are priced as one-LLM-call-per-row requests.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/baselines.hpp"
+#include "core/ggr.hpp"
+#include "pricing/cost_report.hpp"
+#include "query/prompt.hpp"
+#include "table/csv.hpp"
+#include "table/fd.hpp"
+#include "util/wordbank.hpp"
+
+using namespace llmq;
+
+namespace {
+
+table::Table demo_table() {
+  util::Rng rng(7);
+  const auto& bank = util::default_wordbank();
+  std::vector<std::string> policies;
+  for (int i = 0; i < 6; ++i) policies.push_back(bank.text_of_tokens(rng, 400));
+  table::Table t(table::Schema::of_names({"claim_id", "claim_text", "policy"}));
+  for (int i = 0; i < 400; ++i)
+    t.append_row({"C" + std::to_string(88000 + i), bank.text_of_tokens(rng, 60),
+                  policies[rng.next_below(policies.size())]});
+  return t;
+}
+
+std::vector<pricing::PricedRequest> to_stream(const table::Table& t,
+                                              const core::Ordering& o,
+                                              std::uint64_t out_tokens) {
+  const query::PromptEncoder enc(query::PromptTemplate{
+      "You are a data analyst. Use the provided JSON data to answer the "
+      "user query based on the specified fields.",
+      "Does the policy cover the claim? Answer Yes or No with a one line "
+      "justification."});
+  std::vector<pricing::PricedRequest> s;
+  s.reserve(o.num_rows());
+  for (std::size_t pos = 0; pos < o.num_rows(); ++pos) {
+    pricing::PricedRequest r;
+    r.prompt = enc.encode(t, o.row_at(pos), o.fields_at(pos));
+    r.output_tokens = out_tokens;
+    s.push_back(std::move(r));
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  table::Table t = argc > 1 ? table::read_csv_file(argv[1]) : demo_table();
+  const auto out_tokens = static_cast<std::uint64_t>(
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20);
+  std::printf("table: %zu rows x %zu fields; %llu output tokens/request\n\n",
+              t.num_rows(), t.num_cols(),
+              static_cast<unsigned long long>(out_tokens));
+
+  const auto fds = table::mine_fds(t, 0.02);
+  core::GgrOptions opts;
+  const auto plan = core::ggr(t, fds, opts);
+  const auto original = core::original_ordering(t);
+
+  std::printf("%-22s %-10s %12s %10s %10s\n", "provider/model", "ordering",
+              "cost ($)", "PHR", "savings");
+  for (const auto& [sheet, breakpoint] :
+       {std::pair<pricing::PriceSheet, bool>{pricing::openai_gpt4o_mini(),
+                                             false},
+        {pricing::anthropic_claude35_sonnet(), true}}) {
+    const auto price = [&](const core::Ordering& o) {
+      const auto stream = to_stream(t, o, out_tokens);
+      return breakpoint ? pricing::price_stream_breakpoint(sheet, stream)
+                        : pricing::price_stream_auto(sheet, stream);
+    };
+    const auto orig = price(original);
+    const auto ggr = price(plan.ordering);
+    const std::string name = sheet.provider + " " + sheet.model;
+    std::printf("%-22s %-10s %12.4f %9.1f%% %10s\n", name.c_str(), "original",
+                orig.cost_usd, 100 * orig.prompt_hit_rate, "-");
+    std::printf("%-22s %-10s %12.4f %9.1f%% %9.1f%%\n", name.c_str(), "GGR",
+                ggr.cost_usd, 100 * ggr.prompt_hit_rate,
+                100 * (1.0 - ggr.cost_usd / orig.cost_usd));
+  }
+  std::printf("\n(both providers enforce a 1024-token minimum cacheable "
+              "prefix; short\nprompts therefore price identically under "
+              "either ordering)\n");
+  return 0;
+}

@@ -1,0 +1,2 @@
+// BlockPool is header-only; this translation unit anchors the target.
+#include "cache/block_pool.hpp"

@@ -1,0 +1,48 @@
+#pragma once
+// KV-cache block accounting.
+//
+// Serving engines (vLLM's PagedAttention) manage GPU memory for attention
+// key/value state in fixed-size token blocks. The pool tracks how many
+// blocks exist, how many are free, and enforces capacity — the scarcity
+// that makes prefix *sharing* valuable: shared blocks are charged once,
+// freeing memory for larger decode batches (the mechanism behind the
+// paper's Table 7 observation).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace llmq::cache {
+
+class BlockPool {
+ public:
+  /// `capacity` = total blocks backed by GPU memory; 0 means unlimited
+  /// (useful for pure hit-rate studies).
+  explicit BlockPool(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  bool unlimited() const { return capacity_ == 0; }
+  std::size_t used() const { return used_; }
+  std::size_t free() const {
+    return unlimited() ? SIZE_MAX : capacity_ - used_;
+  }
+
+  bool can_allocate(std::size_t n) const { return unlimited() || used_ + n <= capacity_; }
+
+  void allocate(std::size_t n) {
+    if (!can_allocate(n))
+      throw std::runtime_error("BlockPool: out of blocks");
+    used_ += n;
+  }
+
+  void release(std::size_t n) {
+    if (n > used_) throw std::logic_error("BlockPool: double free");
+    used_ -= n;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace llmq::cache

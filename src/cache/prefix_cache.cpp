@@ -1,0 +1,76 @@
+#include "cache/prefix_cache.hpp"
+
+#include <algorithm>
+
+namespace llmq::cache {
+
+PrefixCache::PrefixCache(CacheConfig config)
+    : config_(config),
+      tree_(config.block_size),
+      pool_(config.capacity_blocks) {}
+
+CacheLease PrefixCache::lookup(std::span<const TokenId> prompt) {
+  ++clock_;
+  CacheLease lease;
+  ++stats_.lookups;
+  stats_.lookup_tokens += prompt.size();
+  if (!config_.enabled) return lease;
+  RadixTree::Match m = tree_.match(prompt);
+  tree_.touch(m.path, clock_);
+  tree_.pin(m.path);
+  lease.path = std::move(m.path);
+  lease.cached_tokens = m.matched_tokens;
+  stats_.hit_tokens += m.matched_tokens;
+  return lease;
+}
+
+std::size_t PrefixCache::admit(std::span<const TokenId> prompt,
+                               CacheLease& lease) {
+  if (!config_.enabled) return 0;
+  ++clock_;
+  const std::size_t full_blocks = prompt.size() / config_.block_size;
+  const std::size_t have = lease.path.size();
+  std::size_t need = full_blocks > have ? full_blocks - have : 0;
+
+  // Make room: evict LRU unpinned leaves; accept a shorter insert if the
+  // pool cannot satisfy the full request (everything pinned).
+  if (!pool_.unlimited() && need > pool_.free()) {
+    const std::size_t shortfall = need - pool_.free();
+    const std::size_t evicted = tree_.evict_lru(shortfall);
+    stats_.evicted_blocks += evicted;
+    pool_.release(evicted);
+    need = std::min(need, pool_.free());
+  }
+
+  tree_.unpin(lease.path);
+  RadixTree::InsertResult ins = tree_.insert(prompt, clock_, need);
+  pool_.allocate(ins.new_blocks);
+  stats_.inserted_blocks += ins.new_blocks;
+  tree_.pin(ins.path);
+  lease.cached_tokens = ins.path.size() * config_.block_size;
+  lease.path = std::move(ins.path);
+  return ins.new_blocks;
+}
+
+std::size_t PrefixCache::evict(std::size_t n) {
+  const std::size_t evicted = tree_.evict_lru(n);
+  pool_.release(evicted);
+  stats_.evicted_blocks += evicted;
+  return evicted;
+}
+
+void PrefixCache::release(CacheLease& lease) {
+  if (!config_.enabled) return;
+  tree_.unpin(lease.path);
+  lease.path.clear();
+  lease.cached_tokens = 0;
+}
+
+std::size_t PrefixCache::blocks_needed(std::size_t n_tokens,
+                                       std::size_t cached_tokens) const {
+  const std::size_t full = n_tokens / config_.block_size;
+  const std::size_t have = cached_tokens / config_.block_size;
+  return full > have ? full - have : 0;
+}
+
+}  // namespace llmq::cache

@@ -1,0 +1,82 @@
+#pragma once
+// Prompt prefix KV cache (paper §2 "Prompt KV cache").
+//
+// Combines the radix tree with block-pool capacity and LRU eviction, and
+// keeps the hit accounting the evaluation reports as PHR. The serving
+// engine calls lookup() when a request is admitted (pinning the matched
+// prefix), admit() after prefill (inserting newly computed blocks), and
+// release() when the request completes.
+
+#include <cstdint>
+#include <span>
+
+#include "cache/block_pool.hpp"
+#include "cache/radix_tree.hpp"
+
+namespace llmq::cache {
+
+struct CacheConfig {
+  std::size_t block_size = 16;      // tokens per KV block (vLLM default)
+  std::size_t capacity_blocks = 0;  // 0 = unlimited
+  bool enabled = true;              // false = the paper's "No Cache" arm
+};
+
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hit_tokens = 0;     // tokens served from cache
+  std::uint64_t lookup_tokens = 0;  // prompt tokens across lookups
+  std::uint64_t inserted_blocks = 0;
+  std::uint64_t evicted_blocks = 0;
+  double hit_rate() const {
+    return lookup_tokens ? static_cast<double>(hit_tokens) /
+                               static_cast<double>(lookup_tokens)
+                         : 0.0;
+  }
+};
+
+/// Handle for an in-flight request's pinned prefix path.
+struct CacheLease {
+  std::vector<NodeId> path;
+  std::size_t cached_tokens = 0;
+};
+
+class PrefixCache {
+ public:
+  explicit PrefixCache(CacheConfig config);
+
+  const CacheConfig& config() const { return config_; }
+  const CacheStats& stats() const { return stats_; }
+  std::size_t resident_blocks() const { return tree_.num_blocks(); }
+
+  /// Longest cached block-aligned prefix of `prompt`; pins the matched
+  /// path and counts the hit. Advances the logical clock.
+  CacheLease lookup(std::span<const TokenId> prompt);
+
+  /// After prefill: insert the prompt's full blocks, evicting LRU blocks
+  /// as needed. Under memory pressure only the longest admissible prefix
+  /// is kept (prefix-closed property preserved). Re-pins the lease to
+  /// cover the full inserted path. Returns blocks newly inserted.
+  std::size_t admit(std::span<const TokenId> prompt, CacheLease& lease);
+
+  /// Request finished: unpin its path.
+  void release(CacheLease& lease);
+
+  /// Evict up to `n` unpinned blocks (LRU leaves first). Used by the
+  /// serving engine, which owns the global KV budget across cached and
+  /// per-request private blocks. Returns blocks actually evicted.
+  std::size_t evict(std::size_t n);
+
+  /// Blocks that a prompt of `n_tokens` would newly occupy beyond
+  /// `cached_tokens` (full blocks only).
+  std::size_t blocks_needed(std::size_t n_tokens,
+                            std::size_t cached_tokens) const;
+
+ private:
+  CacheConfig config_;
+  RadixTree tree_;
+  BlockPool pool_;
+  CacheStats stats_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace llmq::cache

@@ -1,0 +1,140 @@
+#include "cache/radix_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace llmq::cache {
+
+RadixTree::RadixTree(std::size_t block_size) : block_size_(block_size) {
+  if (block_size == 0)
+    throw std::invalid_argument("RadixTree: block_size must be positive");
+  nodes_.push_back(Node{});  // root
+  nodes_[0].alive = true;
+}
+
+NodeId RadixTree::find_child(NodeId node, std::span<const TokenId> block) const {
+  for (NodeId c : nodes_[node].children) {
+    const auto& b = nodes_[c].block;
+    if (std::equal(b.begin(), b.end(), block.begin(), block.end())) return c;
+  }
+  return kNoNode;
+}
+
+NodeId RadixTree::add_child(NodeId node, std::span<const TokenId> block,
+                            std::uint64_t now) {
+  NodeId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{});
+  }
+  Node& n = nodes_[id];
+  n.block.assign(block.begin(), block.end());
+  n.parent = node;
+  n.children.clear();
+  n.last_access = now;
+  n.ref_count = 0;
+  n.alive = true;
+  nodes_[node].children.push_back(id);
+  ++num_blocks_;
+  return id;
+}
+
+void RadixTree::remove_node(NodeId id) {
+  Node& n = nodes_[id];
+  auto& siblings = nodes_[n.parent].children;
+  siblings.erase(std::find(siblings.begin(), siblings.end(), id));
+  n.alive = false;
+  n.block.clear();
+  free_list_.push_back(id);
+  --num_blocks_;
+}
+
+RadixTree::Match RadixTree::match(std::span<const TokenId> tokens) const {
+  Match out;
+  NodeId cur = 0;
+  std::size_t offset = 0;
+  while (offset + block_size_ <= tokens.size()) {
+    const NodeId child =
+        find_child(cur, tokens.subspan(offset, block_size_));
+    if (child == kNoNode) break;
+    out.path.push_back(child);
+    out.matched_tokens += block_size_;
+    offset += block_size_;
+    cur = child;
+  }
+  return out;
+}
+
+RadixTree::InsertResult RadixTree::insert(std::span<const TokenId> tokens,
+                                          std::uint64_t now,
+                                          std::size_t max_new_blocks) {
+  InsertResult out;
+  NodeId cur = 0;
+  std::size_t offset = 0;
+  while (offset + block_size_ <= tokens.size()) {
+    const auto block = tokens.subspan(offset, block_size_);
+    NodeId child = find_child(cur, block);
+    if (child == kNoNode) {
+      if (out.new_blocks >= max_new_blocks) break;
+      child = add_child(cur, block, now);
+      ++out.new_blocks;
+    } else {
+      nodes_[child].last_access = now;
+    }
+    out.path.push_back(child);
+    offset += block_size_;
+    cur = child;
+  }
+  return out;
+}
+
+void RadixTree::touch(const std::vector<NodeId>& path, std::uint64_t now) {
+  for (NodeId id : path) nodes_[id].last_access = now;
+}
+
+void RadixTree::pin(const std::vector<NodeId>& path) {
+  for (NodeId id : path) ++nodes_[id].ref_count;
+}
+
+void RadixTree::unpin(const std::vector<NodeId>& path) {
+  for (NodeId id : path) {
+    if (nodes_[id].ref_count == 0)
+      throw std::logic_error("RadixTree: unpin of unpinned node");
+    --nodes_[id].ref_count;
+  }
+}
+
+std::size_t RadixTree::evict_lru(std::size_t want) {
+  std::size_t evicted = 0;
+  while (evicted < want) {
+    // Scan for the LRU unpinned leaf. O(nodes) per eviction; eviction is
+    // rare relative to matching in our workloads, and correctness
+    // (prefix-closed tree) is what matters for the simulator.
+    NodeId victim = kNoNode;
+    std::uint64_t oldest = UINT64_MAX;
+    for (NodeId id = 1; id < nodes_.size(); ++id) {
+      const Node& n = nodes_[id];
+      if (!n.alive || n.ref_count > 0 || !n.children.empty()) continue;
+      if (n.last_access < oldest) {
+        oldest = n.last_access;
+        victim = id;
+      }
+    }
+    if (victim == kNoNode) break;
+    remove_node(victim);
+    ++evicted;
+  }
+  return evicted;
+}
+
+std::size_t RadixTree::pinned_blocks() const {
+  std::size_t n = 0;
+  for (NodeId id = 1; id < nodes_.size(); ++id)
+    if (nodes_[id].alive && nodes_[id].ref_count > 0) ++n;
+  return n;
+}
+
+}  // namespace llmq::cache

@@ -1,0 +1,88 @@
+#pragma once
+// Block-granular radix tree over token sequences.
+//
+// The same data structure family as SGLang's RadixAttention and vLLM's
+// automatic prefix caching: prompts are chunked into fixed-size token
+// blocks; each tree node holds one block; a request's cached prefix is the
+// deepest path whose blocks exactly match the request's leading blocks.
+// Reference counts pin paths of in-flight requests; unpinned nodes are
+// LRU-evictable (leaves first, so the tree stays prefix-closed).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tokenizer/tokenizer.hpp"
+
+namespace llmq::cache {
+
+using tokenizer::TokenId;
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+class RadixTree {
+ public:
+  explicit RadixTree(std::size_t block_size);
+
+  std::size_t block_size() const { return block_size_; }
+  /// Number of resident blocks (== nodes, excluding the root).
+  std::size_t num_blocks() const { return num_blocks_; }
+
+  struct Match {
+    std::size_t matched_tokens = 0;   // always a multiple of block_size
+    std::vector<NodeId> path;         // matched nodes, root-child first
+  };
+
+  /// Longest cached block-aligned prefix of `tokens`. Does not touch
+  /// recency; callers that consume the match should follow with touch().
+  Match match(std::span<const TokenId> tokens) const;
+
+  struct InsertResult {
+    std::vector<NodeId> path;      // full path covering the inserted prefix
+    std::size_t new_blocks = 0;    // nodes created by this insert
+  };
+
+  /// Ensure a path for all *full* blocks of `tokens` exists, creating at
+  /// most `max_new_blocks` new nodes (pass SIZE_MAX for no limit — the
+  /// cap lets the cache admit partial prefixes under memory pressure).
+  /// Updates last_access of every touched node to `now`.
+  InsertResult insert(std::span<const TokenId> tokens, std::uint64_t now,
+                      std::size_t max_new_blocks = SIZE_MAX);
+
+  /// Bump recency of a path (cache read).
+  void touch(const std::vector<NodeId>& path, std::uint64_t now);
+
+  /// Pin / unpin every node on a path (in-flight request holds its prefix).
+  void pin(const std::vector<NodeId>& path);
+  void unpin(const std::vector<NodeId>& path);
+
+  /// Evict up to `want` least-recently-used, unpinned leaves. Returns the
+  /// number actually evicted (may be fewer if everything is pinned or has
+  /// children).
+  std::size_t evict_lru(std::size_t want);
+
+  /// Total pinned nodes (diagnostics / tests).
+  std::size_t pinned_blocks() const;
+
+ private:
+  struct Node {
+    std::vector<TokenId> block;          // block_size tokens (root: empty)
+    NodeId parent = kNoNode;
+    std::vector<NodeId> children;
+    std::uint64_t last_access = 0;
+    std::uint32_t ref_count = 0;
+    bool alive = false;
+  };
+
+  NodeId find_child(NodeId node, std::span<const TokenId> block) const;
+  NodeId add_child(NodeId node, std::span<const TokenId> block,
+                   std::uint64_t now);
+  void remove_node(NodeId id);
+
+  std::size_t block_size_;
+  std::vector<Node> nodes_;      // index 0 is the root
+  std::vector<NodeId> free_list_;
+  std::size_t num_blocks_ = 0;
+};
+
+}  // namespace llmq::cache

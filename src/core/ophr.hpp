@@ -1,0 +1,39 @@
+#pragma once
+// Optimal Prefix Hit Recursion (paper §4.1).
+//
+// Exact solver: considers, at every step, every (field, distinct value)
+// group; splits the table into (rows without the value, all fields) and
+// (rows with the value, remaining fields); and takes the best total. The
+// complexity is exponential in table size — the paper notes a 10-row table
+// can take minutes — so the solver carries a wall-clock budget and reports
+// failure instead of running unbounded (mirroring the paper's 2-hour cap
+// in Appendix D.1). Sub-problems are memoized on (row set, field set),
+// which makes the small instances used for validation tractable.
+
+#include <optional>
+
+#include "core/ordering.hpp"
+#include "core/phc.hpp"
+#include "table/table.hpp"
+
+namespace llmq::core {
+
+struct OphrOptions {
+  LengthMeasure measure = LengthMeasure::Tokens;
+  /// Give up after this much wall-clock time (seconds); <=0 means no limit.
+  double time_budget_seconds = 0.0;
+};
+
+struct OphrResult {
+  double phc = 0.0;    // the solver's computed optimum S
+  Ordering ordering;   // a schedule achieving at least S
+  std::size_t nodes_explored = 0;
+  std::size_t memo_hits = 0;
+  double solve_seconds = 0.0;
+};
+
+/// Returns nullopt iff the time budget expired.
+std::optional<OphrResult> ophr(const table::Table& t,
+                               const OphrOptions& options = {});
+
+}  // namespace llmq::core

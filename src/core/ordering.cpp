@@ -1,0 +1,53 @@
+#include "core/ordering.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace llmq::core {
+
+Ordering::Ordering(std::vector<std::size_t> row_order,
+                   std::vector<std::vector<std::size_t>> field_orders)
+    : row_order_(std::move(row_order)), field_orders_(std::move(field_orders)) {
+  if (row_order_.size() != field_orders_.size())
+    throw std::invalid_argument(
+        "Ordering: row_order and field_orders size mismatch");
+}
+
+Ordering Ordering::identity(std::size_t n_rows, std::size_t n_fields) {
+  std::vector<std::size_t> rows(n_rows);
+  std::iota(rows.begin(), rows.end(), 0);
+  std::vector<std::size_t> fields(n_fields);
+  std::iota(fields.begin(), fields.end(), 0);
+  return Ordering(std::move(rows),
+                  std::vector<std::vector<std::size_t>>(n_rows, fields));
+}
+
+Ordering Ordering::fixed_fields(std::vector<std::size_t> row_order,
+                                const std::vector<std::size_t>& field_order) {
+  const std::size_t n = row_order.size();
+  return Ordering(std::move(row_order),
+                  std::vector<std::vector<std::size_t>>(n, field_order));
+}
+
+namespace {
+bool is_permutation_of_iota(const std::vector<std::size_t>& v,
+                            std::size_t n) {
+  if (v.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (std::size_t x : v) {
+    if (x >= n || seen[x]) return false;
+    seen[x] = true;
+  }
+  return true;
+}
+}  // namespace
+
+bool Ordering::validate(std::size_t n_rows, std::size_t n_fields) const {
+  if (!is_permutation_of_iota(row_order_, n_rows)) return false;
+  if (field_orders_.size() != n_rows) return false;
+  for (const auto& fo : field_orders_)
+    if (!is_permutation_of_iota(fo, n_fields)) return false;
+  return true;
+}
+
+}  // namespace llmq::core

@@ -1,0 +1,63 @@
+#pragma once
+// Request orderings (paper §3.1).
+//
+// A "request schedule" for a table with n rows and m fields is (a) a
+// permutation of the rows and (b) an independent permutation of the fields
+// *per row* — the paper's key departure from fixed field orderings. The
+// Ordering class is the value type every planner (OPHR, GGR, baselines)
+// produces and every consumer (PHC metric, prompt builder, serving engine)
+// accepts.
+
+#include <cstddef>
+#include <vector>
+
+#include "table/table.hpp"
+
+namespace llmq::core {
+
+class Ordering {
+ public:
+  Ordering() = default;
+  Ordering(std::vector<std::size_t> row_order,
+           std::vector<std::vector<std::size_t>> field_orders);
+
+  /// Identity ordering: original row order, schema field order in each row.
+  static Ordering identity(std::size_t n_rows, std::size_t n_fields);
+
+  /// Same field permutation applied to every row (fixed field ordering).
+  static Ordering fixed_fields(std::vector<std::size_t> row_order,
+                               const std::vector<std::size_t>& field_order);
+
+  std::size_t num_rows() const { return row_order_.size(); }
+
+  /// Original-table index of the row emitted at output position `pos`.
+  std::size_t row_at(std::size_t pos) const { return row_order_[pos]; }
+
+  /// Field order (original column indices) for output position `pos`.
+  const std::vector<std::size_t>& fields_at(std::size_t pos) const {
+    return field_orders_[pos];
+  }
+
+  const std::vector<std::size_t>& row_order() const { return row_order_; }
+  const std::vector<std::vector<std::size_t>>& field_orders() const {
+    return field_orders_;
+  }
+
+  /// True iff row_order is a permutation of [0, n) and every per-row field
+  /// order is a permutation of [0, m). An Ordering that fails this check
+  /// would silently drop or duplicate data — validate() is cheap and the
+  /// planners' tests always call it.
+  bool validate(std::size_t n_rows, std::size_t n_fields) const;
+
+  /// Cell of `t` at output position (pos, f) under this ordering.
+  const std::string& cell(const table::Table& t, std::size_t pos,
+                          std::size_t f) const {
+    return t.cell(row_order_[pos], field_orders_[pos][f]);
+  }
+
+ private:
+  std::vector<std::size_t> row_order_;
+  std::vector<std::vector<std::size_t>> field_orders_;
+};
+
+}  // namespace llmq::core

@@ -1,0 +1,50 @@
+#pragma once
+// Planner facade.
+//
+// Benchmarks, examples, and the query executor select a reordering policy
+// by name; this facade dispatches to the concrete planner and returns the
+// ordering together with solver metadata. It is the single switch point
+// for the paper's method axis {No Cache, Cache (Original), Cache (GGR)}
+// plus the extra baselines used in ablations.
+
+#include <optional>
+#include <string>
+
+#include "core/ggr.hpp"
+#include "core/ophr.hpp"
+#include "core/ordering.hpp"
+#include "table/fd.hpp"
+#include "table/table.hpp"
+
+namespace llmq::core {
+
+enum class Policy {
+  Original,      // data order, schema field order (paper's "Original")
+  SortedFixed,   // lexicographic row sort, original field order (ablation)
+  StatsFixed,    // stats-ranked fixed field order + row sort (ablation)
+  Ggr,           // the paper's contribution
+  Ophr,          // exact solver (small tables only)
+};
+
+std::string to_string(Policy p);
+std::optional<Policy> policy_from_string(const std::string& name);
+
+struct PlanRequest {
+  Policy policy = Policy::Ggr;
+  GgrOptions ggr;    // honored when policy == Ggr
+  OphrOptions ophr;  // honored when policy == Ophr
+};
+
+struct Plan {
+  Ordering ordering;
+  double solver_seconds = 0.0;
+  double planner_phc = 0.0;  // PHC as reported by the planner (0 baselines)
+  bool timed_out = false;    // OPHR only
+};
+
+/// Plan a request schedule for `t` under `req`. For OPHR, a timeout yields
+/// `timed_out=true` with the Original ordering as a safe fallback.
+Plan plan_ordering(const table::Table& t, const table::FdSet& fds,
+                   const PlanRequest& req);
+
+}  // namespace llmq::core

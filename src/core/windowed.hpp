@@ -1,0 +1,35 @@
+#pragma once
+// Windowed (streaming) request reordering — an extension beyond the paper.
+//
+// The paper assumes the whole table is available up front ("oracular
+// knowledge of all requests"). Analytics engines often stream: only a
+// bounded buffer of rows can be held and reordered before requests must
+// be issued. Windowed GGR partitions the incoming row order into
+// consecutive windows of `window_rows`, runs GGR independently inside
+// each window (full per-row field reordering), and concatenates the
+// per-window schedules. window_rows = n recovers plain GGR;
+// window_rows = 1 degenerates to the original ordering with stats-ranked
+// fields. The ablation bench sweeps the window size to show how much
+// buffering the paper's gains actually require.
+
+#include "core/ggr.hpp"
+
+namespace llmq::core {
+
+struct WindowedOptions {
+  std::size_t window_rows = 1024;  // buffer size; 0 = whole table
+  GgrOptions ggr;
+};
+
+struct WindowedResult {
+  double phc = 0.0;       // exact PHC of the emitted full ordering
+  Ordering ordering;
+  std::size_t windows = 0;
+  double solve_seconds = 0.0;
+  GgrCounters counters;   // aggregated over windows
+};
+
+WindowedResult windowed_ggr(const table::Table& t, const table::FdSet& fds,
+                            const WindowedOptions& options = {});
+
+}  // namespace llmq::core

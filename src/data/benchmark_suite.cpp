@@ -1,0 +1,317 @@
+#include "data/benchmark_suite.hpp"
+
+#include <stdexcept>
+
+namespace llmq::data {
+
+std::string to_string(QueryType t) {
+  switch (t) {
+    case QueryType::Filter: return "filter";
+    case QueryType::Projection: return "projection";
+    case QueryType::MultiLlm: return "multi-llm";
+    case QueryType::Aggregation: return "aggregation";
+    case QueryType::Rag: return "rag";
+  }
+  return "?";
+}
+
+namespace {
+
+// Paper Appendix C system prompt (shared by every query).
+const char* kSystemPrompt =
+    "You are a data analyst. Use the provided JSON data to answer the user "
+    "query based on the specified fields. Respond with only the answer, no "
+    "extra formatting.";
+
+std::vector<QuerySpec> build_suite() {
+  std::vector<QuerySpec> qs;
+
+  auto add = [&](QuerySpec q) { qs.push_back(std::move(q)); };
+
+  // ---------- T1: LLM filter (5 queries) ----------
+  {
+    QuerySpec q;
+    q.id = "movies-filter";
+    q.dataset = "movies";
+    q.type = QueryType::Filter;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "Given the following fields, answer in one word, 'Yes' or 'No', "
+        "whether the movie would be suitable for kids. Answer with ONLY "
+        "'Yes' or 'No'.";
+    q.stage1.avg_output_tokens = 2;
+    q.stage1.answers = {"Yes", "No"};
+    q.position_sensitivity = 0.12;
+    add(q);
+  }
+  {
+    QuerySpec q;
+    q.id = "products-filter";
+    q.dataset = "products";
+    q.type = QueryType::Filter;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "Given the following fields determine if the review speaks "
+        "positively ('POSITIVE'), negatively ('NEGATIVE'), or netural "
+        "('NEUTRAL') about the product. Answer only 'POSITIVE', 'NEGATIVE', "
+        "or 'NEUTRAL', nothing else.";
+    q.stage1.avg_output_tokens = 3;
+    q.stage1.answers = {"POSITIVE", "NEGATIVE", "NEUTRAL"};
+    q.position_sensitivity = 0.1;
+    add(q);
+  }
+  {
+    QuerySpec q;
+    q.id = "bird-filter";
+    q.dataset = "bird";
+    q.type = QueryType::Filter;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "Given the following fields related to posts in an online codebase "
+        "community, answer whether the post is related to statistics. "
+        "Answer with only 'YES' or 'NO'.";
+    q.stage1.avg_output_tokens = 2;
+    q.stage1.answers = {"YES", "NO"};
+    q.position_sensitivity = 0.08;
+    add(q);
+  }
+  {
+    QuerySpec q;
+    q.id = "pdmx-filter";
+    q.dataset = "pdmx";
+    q.type = QueryType::Filter;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "Based on following fields, answer 'YES' or 'NO' if any of the song "
+        "information references a specific individual. Answer only 'YES' or "
+        "'NO', nothing else.";
+    q.stage1.avg_output_tokens = 2;
+    q.stage1.answers = {"YES", "NO"};
+    q.position_sensitivity = 0.02;
+    add(q);
+  }
+  {
+    QuerySpec q;
+    q.id = "beer-filter";
+    q.dataset = "beer";
+    q.type = QueryType::Filter;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "Based on the beer descriptions, does this beer have European "
+        "origin? Answer 'YES' if it does or 'NO' if it doesn't.";
+    q.stage1.avg_output_tokens = 2;
+    q.stage1.answers = {"YES", "NO"};
+    q.position_sensitivity = 0.08;
+    add(q);
+  }
+
+  // ---------- T2: LLM projection (5 queries) ----------
+  {
+    QuerySpec q;
+    q.id = "movies-projection";
+    q.dataset = "movies";
+    q.type = QueryType::Projection;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "Given information including movie descriptions and critic reviews, "
+        "summarize the good qualities in this movie that led to a favorable "
+        "rating.";
+    q.stage1.fields = {"reviewcontent", "movieinfo"};
+    q.stage1.avg_output_tokens = 29;
+    add(q);
+  }
+  {
+    QuerySpec q;
+    q.id = "products-projection";
+    q.dataset = "products";
+    q.type = QueryType::Projection;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "Given the following fields related to amazon products, summarize "
+        "the product, then answer whether the product description is "
+        "consistent with the quality expressed in the review.";
+    q.stage1.avg_output_tokens = 107;
+    add(q);
+  }
+  {
+    QuerySpec q;
+    q.id = "bird-projection";
+    q.dataset = "bird";
+    q.type = QueryType::Projection;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "Given the following fields related to posts in an online codebase "
+        "community, summarize how the comment Text related to the post "
+        "body.";
+    q.stage1.avg_output_tokens = 43;
+    add(q);
+  }
+  {
+    QuerySpec q;
+    q.id = "pdmx-projection";
+    q.dataset = "pdmx";
+    q.type = QueryType::Projection;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "Given the following fields, provide an overview on the music type, "
+        "and analyze the given scores. Give exactly 50 words of summary.";
+    q.stage1.avg_output_tokens = 72;
+    add(q);
+  }
+  {
+    QuerySpec q;
+    q.id = "beer-projection";
+    q.dataset = "beer";
+    q.type = QueryType::Projection;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "Given the following fields, provide an high-level overview on the "
+        "beer and review in a 20 words paragraph.";
+    q.stage1.avg_output_tokens = 38;
+    add(q);
+  }
+
+  // ---------- T3: Multi-LLM invocation (2 queries) ----------
+  {
+    QuerySpec q;
+    q.id = "movies-multi";
+    q.dataset = "movies";
+    q.type = QueryType::MultiLlm;
+    q.system_prompt = kSystemPrompt;
+    // Stage 1: sentiment filter over the (distinct) review text only.
+    q.stage1.user_prompt =
+        "Given the following review, answer whether the sentiment "
+        "associated is 'POSITIVE' or 'NEGATIVE'. Answer in all caps with "
+        "ONLY 'POSITIVE' or 'NEGATIVE':";
+    q.stage1.fields = {"reviewcontent"};
+    q.stage1.avg_output_tokens = 2;
+    q.stage1.answers = {"POSITIVE", "NEGATIVE"};
+    q.stage1.truth_key = "sentiment";
+    StageSpec s2;
+    s2.user_prompt =
+        "Given the information about a movie, summarize the good qualities "
+        "that led to a favorable rating.";
+    s2.fields = {"reviewtype", "reviewcontent", "movieinfo", "genres"};
+    s2.avg_output_tokens = 29;
+    q.stage2 = s2;
+    add(q);
+  }
+  {
+    QuerySpec q;
+    q.id = "products-multi";
+    q.dataset = "products";
+    q.type = QueryType::MultiLlm;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "Given the following review, answer whether the sentiment "
+        "associated is 'POSITIVE' or 'NEGATIVE'. Answer in all caps with "
+        "ONLY 'POSITIVE' or 'NEGATIVE':";
+    q.stage1.fields = {"text"};
+    q.stage1.avg_output_tokens = 2;
+    q.stage1.answers = {"POSITIVE", "NEGATIVE"};
+    q.stage1.truth_key = "sentiment";
+    StageSpec s2;
+    s2.user_prompt =
+        "Given the following fields related to amazon products, summarize "
+        "the product, then answer whether the product description is "
+        "consistent with the quality expressed in the review.";
+    s2.avg_output_tokens = 107;
+    q.stage2 = s2;
+    add(q);
+  }
+
+  // ---------- T4: LLM aggregation (2 queries) ----------
+  {
+    QuerySpec q;
+    q.id = "movies-aggregation";
+    q.dataset = "movies";
+    q.type = QueryType::Aggregation;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "Given the following fields of a movie description and a user "
+        "review, assign a sentiment score for the review out of 5. Answer "
+        "with ONLY a single integer between 1 (bad) and 5 (good).";
+    q.stage1.fields = {"reviewcontent", "movieinfo"};
+    q.stage1.avg_output_tokens = 2;
+    q.stage1.answers = {"1", "2", "3", "4", "5"};
+    q.stage1.truth_key = "score";
+    add(q);
+  }
+  {
+    QuerySpec q;
+    q.id = "products-aggregation";
+    q.dataset = "products";
+    q.type = QueryType::Aggregation;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "Given the following fields of a product description and a user "
+        "review, assign a sentiment score for the review out of 5. Answer "
+        "with ONLY a single integer between 1 (bad) and 5 (good).";
+    q.stage1.fields = {"text", "description"};
+    q.stage1.avg_output_tokens = 2;
+    q.stage1.answers = {"1", "2", "3", "4", "5"};
+    q.stage1.truth_key = "score";
+    add(q);
+  }
+
+  // ---------- T5: RAG (2 queries) ----------
+  {
+    QuerySpec q;
+    q.id = "fever-rag";
+    q.dataset = "fever";
+    q.type = QueryType::Rag;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "You are given 4 pieces of evidence as {evidence1}, {evidence2}, "
+        "{evidence3}, and {evidence4}. You are also given a claim as "
+        "{claim}. Answer SUPPORTS if the pieces of evidence support the "
+        "given {claim}, REFUTES if the evidence refutes the given {claim}, "
+        "or NOT ENOUGH INFO if there is not enough information to answer. "
+        "Your answer should just be SUPPORTS, REFUTES, or NOT ENOUGH INFO "
+        "and nothing else.";
+    q.stage1.avg_output_tokens = 3;
+    q.stage1.answers = {"SUPPORTS", "REFUTES", "NOT ENOUGH INFO"};
+    // Paper §6.4: Llama3-8B accuracy on FEVER moves +14.2% when the claim
+    // field lands at the end of the prompt — the strongest positional
+    // effect in the study. 0.15 sensitivity x 1.0 susceptibility gives the
+    // 8B profile a ~15-point first-to-last swing.
+    q.position_sensitivity = 0.15;
+    add(q);
+  }
+  {
+    QuerySpec q;
+    q.id = "squad-rag";
+    q.dataset = "squad";
+    q.type = QueryType::Rag;
+    q.system_prompt = kSystemPrompt;
+    q.stage1.user_prompt =
+        "Given a question and supporting contexts, answer the provided "
+        "question.";
+    q.stage1.avg_output_tokens = 11;
+    add(q);
+  }
+
+  return qs;
+}
+
+}  // namespace
+
+const std::vector<QuerySpec>& benchmark_queries() {
+  static const std::vector<QuerySpec> suite = build_suite();
+  return suite;
+}
+
+std::vector<QuerySpec> queries_of_type(QueryType t) {
+  std::vector<QuerySpec> out;
+  for (const auto& q : benchmark_queries())
+    if (q.type == t) out.push_back(q);
+  return out;
+}
+
+const QuerySpec& query_by_id(const std::string& id) {
+  for (const auto& q : benchmark_queries())
+    if (q.id == id) return q;
+  throw std::invalid_argument("unknown benchmark query id: " + id);
+}
+
+}  // namespace llmq::data

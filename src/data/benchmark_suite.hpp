@@ -1,0 +1,59 @@
+#pragma once
+// The paper's 16-query benchmark suite (§6.1.2, Appendix A/C).
+//
+// Five query types over seven datasets:
+//   T1 LLM filter       x5  (Movies, Products, BIRD, PDMX, Beer)
+//   T2 LLM projection   x5  (Movies, Products, BIRD, PDMX, Beer)
+//   T3 Multi-LLM        x2  (Movies, Products)
+//   T4 LLM aggregation  x2  (Movies, Products)
+//   T5 RAG              x2  (FEVER, SQuAD)
+// Prompts are the paper's Appendix C texts; average output lengths are
+// Table 1's per-type values.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/generators.hpp"
+
+namespace llmq::data {
+
+enum class QueryType { Filter, Projection, MultiLlm, Aggregation, Rag };
+
+std::string to_string(QueryType t);
+
+struct StageSpec {
+  std::string user_prompt;
+  /// Fields passed to the LLM operator; empty = all table fields ({T.*}).
+  std::vector<std::string> fields;
+  double avg_output_tokens = 2.0;
+  /// Constrained-output answers, when the stage is categorical.
+  std::vector<std::string> answers;
+  /// Which Dataset truth channel grades this stage ("filter", "sentiment",
+  /// or "score").
+  std::string truth_key = "filter";
+};
+
+struct QuerySpec {
+  std::string id;        // e.g. "movies-filter"
+  std::string dataset;   // dataset key for generate_dataset()
+  QueryType type = QueryType::Filter;
+  std::string system_prompt;
+  StageSpec stage1;
+  /// Second LLM invocation (multi-LLM queries only).
+  std::optional<StageSpec> stage2;
+  /// How strongly this task's accuracy depends on the position of the
+  /// dataset's key field (paper §6.4: high for FEVER, mild elsewhere).
+  double position_sensitivity = 0.1;
+};
+
+/// All 16 benchmark queries in presentation order.
+const std::vector<QuerySpec>& benchmark_queries();
+
+/// Queries of one type (e.g. all five filter queries for Fig 3a).
+std::vector<QuerySpec> queries_of_type(QueryType t);
+
+/// Lookup by id; throws std::invalid_argument if absent.
+const QuerySpec& query_by_id(const std::string& id);
+
+}  // namespace llmq::data

@@ -1,0 +1,66 @@
+#pragma once
+// Internal helpers shared by the dataset generators (not installed API).
+
+#include <string>
+#include <vector>
+
+#include "data/generators.hpp"
+#include "util/rng.hpp"
+#include "util/wordbank.hpp"
+#include "util/zipf.hpp"
+
+namespace llmq::data::detail {
+
+inline std::size_t rows_or_default(const GenOptions& opt,
+                                   const std::string& key) {
+  return opt.n_rows ? opt.n_rows : paper_rows(key);
+}
+
+inline util::Rng dataset_rng(const GenOptions& opt, const std::string& key) {
+  return util::Rng(util::hash_combine(
+      util::hash64(opt.seed), util::hash64(key.data(), key.size())));
+}
+
+/// Deterministic label from content: hashes `content` with `salt` and
+/// picks choices[h % weights_total] area according to integer weights.
+/// Example: pick({"Yes","No"}, {1,2}) labels ~1/3 Yes.
+inline std::string pick_label(std::string_view content, std::uint64_t salt,
+                              const std::vector<std::string>& choices,
+                              const std::vector<std::size_t>& weights) {
+  std::size_t total = 0;
+  for (auto w : weights) total += w;
+  const std::uint64_t h = util::hash_combine(
+      util::hash64(content.data(), content.size()), salt);
+  std::uint64_t slot = h % total;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (slot < weights[i]) return choices[i];
+    slot -= weights[i];
+  }
+  return choices.back();
+}
+
+/// A pool of reusable values (metadata-style): `count` values, each text of
+/// ~`tokens` tokens, sampled by Zipf(skew) — models skewed references to
+/// popular items.
+class ValuePool {
+ public:
+  ValuePool(util::Rng rng, std::size_t count, std::size_t tokens,
+            double zipf_skew, const util::WordBank& bank = util::default_wordbank())
+      : zipf_(count, zipf_skew) {
+    values_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      values_.push_back(bank.text_of_tokens(rng, tokens));
+  }
+
+  const std::string& sample(util::Rng& rng) const {
+    return values_[zipf_.sample(rng)];
+  }
+  const std::string& at(std::size_t i) const { return values_[i % values_.size()]; }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<std::string> values_;
+  util::Zipf zipf_;
+};
+
+}  // namespace llmq::data::detail

@@ -1,0 +1,43 @@
+#include "data/generators.hpp"
+
+#include <stdexcept>
+
+namespace llmq::data {
+
+const std::vector<std::string>& Dataset::truth_for(
+    const std::string& key) const {
+  if (key == "filter") return truth;
+  if (key == "sentiment") return sentiment_truth;
+  if (key == "score") return score_truth;
+  throw std::invalid_argument("unknown truth key: " + key);
+}
+
+Dataset generate_dataset(const std::string& key, const GenOptions& opt) {
+  if (key == "movies") return generate_movies(opt);
+  if (key == "products") return generate_products(opt);
+  if (key == "bird") return generate_bird(opt);
+  if (key == "pdmx") return generate_pdmx(opt);
+  if (key == "beer") return generate_beer(opt);
+  if (key == "squad") return generate_squad(opt);
+  if (key == "fever") return generate_fever(opt);
+  throw std::invalid_argument("unknown dataset key: " + key);
+}
+
+const std::vector<std::string>& dataset_keys() {
+  static const std::vector<std::string> keys{
+      "movies", "products", "bird", "pdmx", "beer", "squad", "fever"};
+  return keys;
+}
+
+std::size_t paper_rows(const std::string& key) {
+  if (key == "movies") return 15000;
+  if (key == "products") return 14890;
+  if (key == "bird") return 14920;
+  if (key == "pdmx") return 10000;
+  if (key == "beer") return 28479;
+  if (key == "squad") return 22665;
+  if (key == "fever") return 19929;
+  throw std::invalid_argument("unknown dataset key: " + key);
+}
+
+}  // namespace llmq::data

@@ -1,0 +1,74 @@
+#pragma once
+// Benchmark dataset generators.
+//
+// The paper evaluates on seven public datasets (Table 1, Appendix B). We
+// regenerate each synthetically with matching *structure*: row/field
+// counts, average token lengths, functional dependencies, value
+// cardinalities, and — critically — the repetition patterns the paper
+// describes (reviews joined with metadata tables duplicating product/movie
+// fields; RateBeer dumps grouped by beer; RAG tables whose questions share
+// retrieved contexts). GGR's behaviour depends only on this structure, not
+// on the concrete text (DESIGN.md §1).
+//
+// Every generator is a pure function of (n_rows, seed).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/fd.hpp"
+#include "table/table.hpp"
+
+namespace llmq::data {
+
+struct GenOptions {
+  /// Number of rows; 0 = the paper's full size for that dataset.
+  std::size_t n_rows = 0;
+  std::uint64_t seed = 42;
+};
+
+/// A generated benchmark dataset: the LLM-input table plus everything the
+/// benchmark queries need (FDs for GGR, ground-truth labels for accuracy).
+struct Dataset {
+  std::string name;
+  table::Table table;
+  table::FdSet fds;
+
+  /// Ground-truth label per row for the dataset's filter/RAG task.
+  std::vector<std::string> truth;
+  /// Sentiment label per row ("POSITIVE"/"NEGATIVE") — the multi-LLM
+  /// queries' stage-1 task (Movies/Products only).
+  std::vector<std::string> sentiment_truth;
+  /// Numeric sentiment score per row ("1".."5") — the aggregation queries'
+  /// task (Movies/Products only).
+  std::vector<std::string> score_truth;
+  /// The task's admissible answers (first entries used as wrong choices).
+  std::vector<std::string> label_choices;
+
+  /// Truth channel by key: "filter" (default), "sentiment", or "score".
+  /// Throws std::invalid_argument for unknown keys.
+  const std::vector<std::string>& truth_for(const std::string& key) const;
+  /// Field whose content determines the answer (position-sensitivity
+  /// experiments key off where this field lands in the prompt).
+  std::string key_field;
+};
+
+Dataset generate_movies(const GenOptions& opt = {});   // Rotten Tomatoes
+Dataset generate_products(const GenOptions& opt = {}); // Amazon Reviews
+Dataset generate_bird(const GenOptions& opt = {});     // BIRD Posts⋈Comments
+Dataset generate_pdmx(const GenOptions& opt = {});     // Public Domain MusicXML
+Dataset generate_beer(const GenOptions& opt = {});     // RateBeer
+Dataset generate_squad(const GenOptions& opt = {});    // SQuAD RAG table
+Dataset generate_fever(const GenOptions& opt = {});    // FEVER RAG table
+
+/// Dispatch by dataset key ("movies", "products", "bird", "pdmx", "beer",
+/// "squad", "fever"). Throws std::invalid_argument for unknown keys.
+Dataset generate_dataset(const std::string& key, const GenOptions& opt = {});
+
+/// All seven dataset keys in the paper's presentation order.
+const std::vector<std::string>& dataset_keys();
+
+/// The paper's full row count for a dataset key (Table 1).
+std::size_t paper_rows(const std::string& key);
+
+}  // namespace llmq::data

@@ -1,0 +1,61 @@
+#pragma once
+// Analytical inference cost model.
+//
+// Prefill is compute-bound: processing t new tokens costs ~2*P FLOPs per
+// token in the linear layers plus attention FLOPs that grow with context
+// (the quadratic term the PHC objective's squared lengths approximate).
+// Cached prefix tokens skip both — that is the entire mechanism the paper
+// exploits. Decode is bandwidth-bound: every step reads the weights once
+// for the whole batch plus each sequence's KV cache, so prefix sharing
+// also shrinks decode-time memory traffic and admits larger batches.
+
+#include <cstddef>
+#include <vector>
+
+#include "llm/gpu_spec.hpp"
+#include "llm/model_spec.hpp"
+
+namespace llmq::llm {
+
+class CostModel {
+ public:
+  CostModel(ModelSpec model, GpuSpec gpu)
+      : model_(std::move(model)), gpu_(std::move(gpu)) {}
+
+  const ModelSpec& model() const { return model_; }
+  const GpuSpec& gpu() const { return gpu_; }
+
+  /// FLOPs to prefill `new_tokens` given that the sequence already has
+  /// `cached_tokens` of context in the KV cache (total length afterwards =
+  /// cached_tokens + new_tokens).
+  double prefill_flops(std::size_t new_tokens,
+                       std::size_t cached_tokens) const;
+
+  /// Seconds to prefill (compute-bound).
+  double prefill_seconds(std::size_t new_tokens,
+                         std::size_t cached_tokens) const;
+
+  /// Seconds for one decode step of a batch whose sequences have the given
+  /// context lengths (prompt + generated so far). max(bandwidth, compute).
+  double decode_step_seconds(const std::vector<std::size_t>& context_lens) const;
+
+  /// KV bytes for n tokens.
+  double kv_bytes(std::size_t n_tokens) const {
+    return model_.kv_bytes_per_token() * static_cast<double>(n_tokens);
+  }
+
+  /// KV-pool capacity in tokens after the weights are resident. Zero when
+  /// the model does not fit.
+  std::size_t kv_pool_tokens() const;
+
+  /// Blocks of `block_size` tokens the pool holds.
+  std::size_t kv_pool_blocks(std::size_t block_size) const {
+    return kv_pool_tokens() / block_size;
+  }
+
+ private:
+  ModelSpec model_;
+  GpuSpec gpu_;
+};
+
+}  // namespace llmq::llm

@@ -1,0 +1,25 @@
+#include "llm/gpu_spec.hpp"
+
+namespace llmq::llm {
+
+GpuSpec l4() {
+  GpuSpec g;
+  g.name = "NVIDIA L4";
+  g.peak_flops = 121e12;
+  g.mem_bandwidth = 300e9;
+  g.memory_bytes = 24e9;
+  g.tensor_parallel = 1;
+  return g;
+}
+
+GpuSpec l4_x8() {
+  GpuSpec g = l4();
+  g.name = "8x NVIDIA L4 (TP=8)";
+  g.tensor_parallel = 8;
+  // Tensor-parallel all-reduce overhead lowers achieved utilization.
+  g.mfu = 0.4;
+  g.bandwidth_util = 0.6;
+  return g;
+}
+
+}  // namespace llmq::llm

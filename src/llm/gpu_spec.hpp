@@ -1,0 +1,41 @@
+#pragma once
+// GPU hardware parameters.
+//
+// The paper evaluates on NVIDIA L4 (1x for 8B/1B, 8x tensor-parallel for
+// 70B). We model a GPU as peak dense fp16 FLOPs, HBM bandwidth, and
+// memory, with an MFU-style efficiency factor; tensor parallelism scales
+// all three (communication overhead folded into the efficiency factor).
+
+#include <cstddef>
+#include <string>
+
+namespace llmq::llm {
+
+struct GpuSpec {
+  std::string name;
+  double peak_flops = 0.0;       // dense fp16 FLOP/s, per GPU
+  double mem_bandwidth = 0.0;    // bytes/s, per GPU
+  double memory_bytes = 0.0;     // per GPU
+  std::size_t tensor_parallel = 1;
+  double mfu = 0.5;              // achieved fraction of peak compute
+  double bandwidth_util = 0.7;   // achieved fraction of peak bandwidth
+  double memory_util = 0.9;      // fraction of memory usable for weights+KV
+
+  double total_flops() const {
+    return peak_flops * mfu * static_cast<double>(tensor_parallel);
+  }
+  double total_bandwidth() const {
+    return mem_bandwidth * bandwidth_util *
+           static_cast<double>(tensor_parallel);
+  }
+  double total_memory() const {
+    return memory_bytes * memory_util * static_cast<double>(tensor_parallel);
+  }
+};
+
+/// NVIDIA L4: 121 TFLOPs dense fp16, 300 GB/s, 24 GB.
+GpuSpec l4();
+/// 8x L4 with tensor parallelism (GCP g2-standard-48, paper Fig 5 setup).
+GpuSpec l4_x8();
+
+}  // namespace llmq::llm

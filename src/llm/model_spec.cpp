@@ -1,0 +1,41 @@
+#include "llm/model_spec.hpp"
+
+namespace llmq::llm {
+
+ModelSpec llama3_1b() {
+  ModelSpec m;
+  m.name = "Llama-3.2-1B-Instruct";
+  m.params = 1.24e9;
+  m.n_layers = 16;
+  m.hidden_dim = 2048;
+  m.n_heads = 32;
+  m.n_kv_heads = 8;
+  m.head_dim = 64;
+  return m;
+}
+
+ModelSpec llama3_8b() {
+  ModelSpec m;
+  m.name = "Meta-Llama-3-8B-Instruct";
+  m.params = 8.03e9;
+  m.n_layers = 32;
+  m.hidden_dim = 4096;
+  m.n_heads = 32;
+  m.n_kv_heads = 8;
+  m.head_dim = 128;
+  return m;
+}
+
+ModelSpec llama3_70b() {
+  ModelSpec m;
+  m.name = "Meta-Llama-3-70B-Instruct";
+  m.params = 70.6e9;
+  m.n_layers = 80;
+  m.hidden_dim = 8192;
+  m.n_heads = 64;
+  m.n_kv_heads = 8;
+  m.head_dim = 128;
+  return m;
+}
+
+}  // namespace llmq::llm

@@ -1,0 +1,41 @@
+#pragma once
+// Transformer model shapes.
+//
+// The serving simulator is parameterized by real Llama-3 architecture
+// numbers: parameter count drives weight-read bandwidth and FLOPs, the
+// (layers x kv-heads x head-dim) product drives KV-cache bytes per token —
+// the quantity that makes prefix sharing save memory.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace llmq::llm {
+
+struct ModelSpec {
+  std::string name;
+  double params = 0.0;            // total parameters
+  std::size_t n_layers = 0;
+  std::size_t hidden_dim = 0;
+  std::size_t n_heads = 0;
+  std::size_t n_kv_heads = 0;     // grouped-query attention
+  std::size_t head_dim = 0;
+  std::size_t dtype_bytes = 2;    // fp16/bf16 weights and KV
+
+  /// KV-cache bytes per token: K and V, per layer, per kv-head.
+  double kv_bytes_per_token() const {
+    return 2.0 * static_cast<double>(n_layers * n_kv_heads * head_dim *
+                                     dtype_bytes);
+  }
+
+  double weight_bytes() const { return params * static_cast<double>(dtype_bytes); }
+};
+
+/// Llama-3.2-1B-Instruct (paper Appendix D.2).
+ModelSpec llama3_1b();
+/// Meta-Llama-3-8B-Instruct (paper §6.1.3, main evaluation model).
+ModelSpec llama3_8b();
+/// Meta-Llama-3-70B-Instruct (paper Fig 5).
+ModelSpec llama3_70b();
+
+}  // namespace llmq::llm

@@ -1,0 +1,2 @@
+// Request types are header-only; this translation unit anchors the target.
+#include "llm/request.hpp"

@@ -1,0 +1,31 @@
+#pragma once
+// Inference requests and per-request results.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "tokenizer/tokenizer.hpp"
+
+namespace llmq::llm {
+
+struct Request {
+  std::uint64_t id = 0;
+  tokenizer::TokenSeq prompt;
+  std::size_t output_tokens = 1;  // decode length (known for simulation)
+  /// Opaque tag the caller can use to map results back to table rows.
+  std::uint64_t row_tag = 0;
+};
+
+struct RequestResult {
+  std::uint64_t id = 0;
+  std::uint64_t row_tag = 0;
+  std::size_t prompt_tokens = 0;
+  std::size_t cached_tokens = 0;    // prompt tokens served from KV cache
+  std::size_t computed_tokens = 0;  // prompt tokens actually prefilled
+  std::size_t output_tokens = 0;
+  double admit_time = 0.0;          // simulated seconds
+  double finish_time = 0.0;
+};
+
+}  // namespace llmq::llm

@@ -1,0 +1,74 @@
+#include "pricing/api_simulator.hpp"
+
+#include "util/rng.hpp"
+
+namespace llmq::pricing {
+
+AutoCacheApi::AutoCacheApi(PriceSheet sheet)
+    : sheet_(std::move(sheet)), tree_(sheet_.cache_increment_tokens) {}
+
+ApiRequestCharge AutoCacheApi::submit(
+    std::span<const tokenizer::TokenId> prompt, std::uint64_t output_tokens) {
+  ++clock_;
+  ApiRequestCharge out;
+  const auto match = tree_.match(prompt);
+  std::size_t cached = match.matched_tokens;
+  // Below the provider minimum nothing is billed as cached.
+  if (cached < sheet_.min_prefix_tokens) cached = 0;
+  tree_.touch(match.path, clock_);
+  tree_.insert(prompt, clock_);
+
+  out.usage.cached_input = cached;
+  out.usage.uncached_input = prompt.size() - cached;
+  out.usage.output = output_tokens;
+  out.cached_tokens = cached;
+
+  total_ += out.usage;
+  prompt_tokens_ += prompt.size();
+  hit_tokens_ += cached;
+  return out;
+}
+
+double AutoCacheApi::prompt_hit_rate() const {
+  return prompt_tokens_ ? static_cast<double>(hit_tokens_) /
+                              static_cast<double>(prompt_tokens_)
+                        : 0.0;
+}
+
+BreakpointCacheApi::BreakpointCacheApi(PriceSheet sheet)
+    : sheet_(std::move(sheet)) {}
+
+ApiRequestCharge BreakpointCacheApi::submit(
+    std::span<const tokenizer::TokenId> prompt, std::uint64_t output_tokens) {
+  ApiRequestCharge out;
+  const std::size_t bp = sheet_.min_prefix_tokens;
+  if (prompt.size() < bp) {
+    // Too short to cache at all: plain input pricing.
+    out.usage.uncached_input = prompt.size();
+  } else {
+    const std::uint64_t key =
+        util::hash64(prompt.data(), bp * sizeof(tokenizer::TokenId));
+    if (written_prefixes_.count(key)) {
+      out.usage.cached_input = bp;
+      out.usage.uncached_input = prompt.size() - bp;
+      hit_tokens_ += bp;
+    } else {
+      written_prefixes_.insert(key);
+      out.usage.cache_write = bp;
+      out.usage.uncached_input = prompt.size() - bp;
+    }
+  }
+  out.usage.output = output_tokens;
+  out.cached_tokens = out.usage.cached_input;
+  total_ += out.usage;
+  prompt_tokens_ += prompt.size();
+  return out;
+}
+
+double BreakpointCacheApi::prompt_hit_rate() const {
+  return prompt_tokens_ ? static_cast<double>(hit_tokens_) /
+                              static_cast<double>(prompt_tokens_)
+                        : 0.0;
+}
+
+}  // namespace llmq::pricing

@@ -1,0 +1,76 @@
+#pragma once
+// Proprietary-API cache simulators (paper §6.3, Table 3).
+//
+// Two cache disciplines are modeled:
+//  * OpenAI-style automatic caching: the provider transparently caches
+//    prompt prefixes in 128-token increments; a request is only charged
+//    the cached rate when its matched prefix reaches the 1024-token
+//    minimum.
+//  * Anthropic-style explicit caching: the client marks a breakpoint; per
+//    the paper's conservative setup we mark exactly the first 1024 tokens
+//    of each request. A request whose first-1024-token prefix was written
+//    before reads it at 10% price; otherwise it writes it at 125% price.
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/radix_tree.hpp"
+#include "pricing/price_sheet.hpp"
+#include "tokenizer/tokenizer.hpp"
+
+namespace llmq::pricing {
+
+struct ApiRequestCharge {
+  TokenUsage usage;        // token-level charge classes for this request
+  std::uint64_t cached_tokens = 0;  // convenience: == usage.cached_input
+};
+
+/// Automatic prefix caching (OpenAI).
+class AutoCacheApi {
+ public:
+  explicit AutoCacheApi(PriceSheet sheet);
+
+  /// Submit one request; returns its charge classes and updates the cache.
+  ApiRequestCharge submit(std::span<const tokenizer::TokenId> prompt,
+                          std::uint64_t output_tokens);
+
+  const PriceSheet& sheet() const { return sheet_; }
+  const TokenUsage& total_usage() const { return total_; }
+  double total_cost() const { return cost_usd(sheet_, total_); }
+  double prompt_hit_rate() const;
+
+ private:
+  PriceSheet sheet_;
+  cache::RadixTree tree_;
+  TokenUsage total_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t prompt_tokens_ = 0;
+  std::uint64_t hit_tokens_ = 0;
+};
+
+/// Explicit breakpoint caching (Anthropic beta prompt caching), with the
+/// paper's conservative policy: cache exactly the first
+/// `sheet.min_prefix_tokens` tokens of every request.
+class BreakpointCacheApi {
+ public:
+  explicit BreakpointCacheApi(PriceSheet sheet);
+
+  ApiRequestCharge submit(std::span<const tokenizer::TokenId> prompt,
+                          std::uint64_t output_tokens);
+
+  const PriceSheet& sheet() const { return sheet_; }
+  const TokenUsage& total_usage() const { return total_; }
+  double total_cost() const { return cost_usd(sheet_, total_); }
+  double prompt_hit_rate() const;
+
+ private:
+  PriceSheet sheet_;
+  std::unordered_set<std::uint64_t> written_prefixes_;
+  TokenUsage total_;
+  std::uint64_t prompt_tokens_ = 0;
+  std::uint64_t hit_tokens_ = 0;
+};
+
+}  // namespace llmq::pricing

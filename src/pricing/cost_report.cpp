@@ -1,0 +1,38 @@
+#include "pricing/cost_report.hpp"
+
+namespace llmq::pricing {
+
+StreamCostReport price_stream_auto(const PriceSheet& sheet,
+                                   const std::vector<PricedRequest>& stream) {
+  AutoCacheApi api(sheet);
+  for (const auto& r : stream) api.submit(r.prompt, r.output_tokens);
+  StreamCostReport out;
+  out.cost_usd = api.total_cost();
+  out.prompt_hit_rate = api.prompt_hit_rate();
+  out.usage = api.total_usage();
+  return out;
+}
+
+StreamCostReport price_stream_breakpoint(
+    const PriceSheet& sheet, const std::vector<PricedRequest>& stream) {
+  BreakpointCacheApi api(sheet);
+  for (const auto& r : stream) api.submit(r.prompt, r.output_tokens);
+  StreamCostReport out;
+  out.cost_usd = api.total_cost();
+  out.prompt_hit_rate = api.prompt_hit_rate();
+  out.usage = api.total_usage();
+  return out;
+}
+
+StreamCostReport price_stream_uncached(
+    const PriceSheet& sheet, const std::vector<PricedRequest>& stream) {
+  StreamCostReport out;
+  for (const auto& r : stream) {
+    out.usage.uncached_input += r.prompt.size();
+    out.usage.output += r.output_tokens;
+  }
+  out.cost_usd = cost_usd(sheet, out.usage);
+  return out;
+}
+
+}  // namespace llmq::pricing

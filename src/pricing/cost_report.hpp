@@ -1,0 +1,37 @@
+#pragma once
+// Cost reporting over request streams.
+//
+// Glue for the Table 3 / Table 4 benches: run an ordered request stream
+// through a provider cache simulator and summarize dollars and hit rates.
+
+#include <vector>
+
+#include "pricing/api_simulator.hpp"
+#include "tokenizer/tokenizer.hpp"
+
+namespace llmq::pricing {
+
+struct StreamCostReport {
+  double cost_usd = 0.0;
+  double prompt_hit_rate = 0.0;
+  TokenUsage usage;
+};
+
+struct PricedRequest {
+  tokenizer::TokenSeq prompt;
+  std::uint64_t output_tokens = 0;
+};
+
+/// Price a request stream under OpenAI-style automatic caching.
+StreamCostReport price_stream_auto(const PriceSheet& sheet,
+                                   const std::vector<PricedRequest>& stream);
+
+/// Price a request stream under Anthropic-style breakpoint caching.
+StreamCostReport price_stream_breakpoint(
+    const PriceSheet& sheet, const std::vector<PricedRequest>& stream);
+
+/// Price a stream with caching ignored entirely (the no-cache reference).
+StreamCostReport price_stream_uncached(const PriceSheet& sheet,
+                                       const std::vector<PricedRequest>& stream);
+
+}  // namespace llmq::pricing

@@ -1,0 +1,62 @@
+#include "pricing/price_sheet.hpp"
+
+namespace llmq::pricing {
+
+PriceSheet openai_gpt4o_mini() {
+  PriceSheet p;
+  p.provider = "OpenAI";
+  p.model = "GPT-4o-mini";
+  p.input_per_mtok = 0.15;
+  p.cached_read_per_mtok = 0.075;
+  p.cache_write_per_mtok = 0.15;  // no write premium
+  p.output_per_mtok = 0.60;
+  p.min_prefix_tokens = 1024;
+  p.cache_increment_tokens = 128;
+  p.explicit_cache_control = false;
+  return p;
+}
+
+PriceSheet anthropic_claude35_sonnet() {
+  PriceSheet p;
+  p.provider = "Anthropic";
+  p.model = "Claude 3.5 Sonnet";
+  p.input_per_mtok = 3.0;
+  p.cached_read_per_mtok = 0.30;
+  p.cache_write_per_mtok = 3.75;
+  p.output_per_mtok = 15.0;
+  p.min_prefix_tokens = 1024;
+  p.cache_increment_tokens = 1;  // breakpoints are user-placed
+  p.explicit_cache_control = true;
+  return p;
+}
+
+TokenUsage& TokenUsage::operator+=(const TokenUsage& o) {
+  uncached_input += o.uncached_input;
+  cached_input += o.cached_input;
+  cache_write += o.cache_write;
+  output += o.output;
+  return *this;
+}
+
+double cost_usd(const PriceSheet& sheet, const TokenUsage& usage) {
+  const double mtok = 1e6;
+  // cache_write tokens are part of uncached_input accounting-wise but
+  // charged at the write rate; uncached_input excludes them by contract.
+  return static_cast<double>(usage.uncached_input) / mtok * sheet.input_per_mtok +
+         static_cast<double>(usage.cached_input) / mtok * sheet.cached_read_per_mtok +
+         static_cast<double>(usage.cache_write) / mtok * sheet.cache_write_per_mtok +
+         static_cast<double>(usage.output) / mtok * sheet.output_per_mtok;
+}
+
+double input_cost_fraction(const PriceSheet& sheet, double phr) {
+  const double cached_ratio = sheet.cached_read_per_mtok / sheet.input_per_mtok;
+  return (1.0 - phr) + phr * cached_ratio;
+}
+
+double estimated_savings(const PriceSheet& sheet, double phr_original,
+                         double phr_ggr) {
+  return 1.0 - input_cost_fraction(sheet, phr_ggr) /
+                   input_cost_fraction(sheet, phr_original);
+}
+
+}  // namespace llmq::pricing

@@ -1,0 +1,58 @@
+#pragma once
+// Provider pricing models (paper §6.3).
+//
+// OpenAI: automatic prefix caching, cached input tokens at 50% of the base
+// input price, 1024-token minimum cacheable prefix, 128-token increments.
+// Anthropic: manual cache breakpoints; cache writes cost 25% *more* than
+// base input, cache reads cost 10% of base; same 1024-token minimum.
+// Prices are per million tokens, matching the paper's footnotes 2-3.
+
+#include <cstdint>
+#include <string>
+
+namespace llmq::pricing {
+
+struct PriceSheet {
+  std::string provider;
+  std::string model;
+  double input_per_mtok = 0.0;        // uncached input
+  double cached_read_per_mtok = 0.0;  // cached input
+  double cache_write_per_mtok = 0.0;  // written-to-cache input (Anthropic)
+  double output_per_mtok = 0.0;
+  std::size_t min_prefix_tokens = 1024;
+  std::size_t cache_increment_tokens = 128;
+  /// True when the user must mark cache breakpoints explicitly (Anthropic
+  /// beta prompt caching); false for automatic prefix detection (OpenAI).
+  bool explicit_cache_control = false;
+};
+
+/// GPT-4o-mini: $0.15/M input, $0.075/M cached, $0.60/M output.
+PriceSheet openai_gpt4o_mini();
+/// Claude 3.5 Sonnet: $3/M input, $3.75/M cache write, $0.30/M cache read,
+/// $15/M output.
+PriceSheet anthropic_claude35_sonnet();
+
+struct TokenUsage {
+  std::uint64_t uncached_input = 0;
+  std::uint64_t cached_input = 0;
+  std::uint64_t cache_write = 0;  // subset of input written at premium
+  std::uint64_t output = 0;
+
+  TokenUsage& operator+=(const TokenUsage& o);
+};
+
+/// Dollar cost of `usage` under `sheet`. Cache-write tokens are charged at
+/// the write rate (when the sheet has one) *instead of* the base rate.
+double cost_usd(const PriceSheet& sheet, const TokenUsage& usage);
+
+/// Input-only cost ratio of a workload with prefix hit rate `phr` relative
+/// to the same workload fully uncached (Table 4's estimation model:
+/// assumes automatic caching at arbitrary lengths, ignores write premiums).
+double input_cost_fraction(const PriceSheet& sheet, double phr);
+
+/// Estimated savings of GGR over the original ordering given both hit
+/// rates (Table 4): 1 - cost(phr_ggr) / cost(phr_original).
+double estimated_savings(const PriceSheet& sheet, double phr_original,
+                         double phr_ggr);
+
+}  // namespace llmq::pricing

@@ -1,0 +1,154 @@
+#include "query/executor.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/phc.hpp"
+#include "query/llm_operator.hpp"
+#include "table/value.hpp"
+
+namespace llmq::query {
+
+namespace {
+
+/// Project `t` to the stage's field expressions ({T.*} when empty) and
+/// carry the truth labels along.
+table::Table stage_table(const table::Table& t,
+                         const std::vector<std::string>& fields) {
+  if (fields.empty()) return t;
+  return t.project(fields);
+}
+
+}  // namespace
+
+StageRun run_stage(const table::Table& t, const table::FdSet& fds,
+                   const data::QuerySpec& spec, const data::StageSpec& stage,
+                   const std::vector<std::string>& truth,
+                   const std::string& key_field, const ExecConfig& config,
+                   cache::PrefixCache* session_cache) {
+  StageRun out;
+  const table::Table st = stage_table(t, stage.fields);
+
+  // 1. Plan the request ordering over exactly the fields the operator
+  //    touches (§3.1: the optimizer may permute fields within the LLM's
+  //    field-expression list).
+  const core::Plan plan = core::plan_ordering(st, fds, config.planner);
+  out.metrics.solver_seconds = plan.solver_seconds;
+  out.metrics.rows = st.num_rows();
+
+  // 2. Materialize requests + task answers.
+  LlmOperatorSpec op;
+  op.tmpl.system_prompt = spec.system_prompt;
+  op.tmpl.user_prompt = stage.user_prompt;
+  op.avg_output_tokens = stage.avg_output_tokens;
+  op.answers = stage.answers;
+  op.key_field = key_field;
+  op.position_sensitivity = spec.position_sensitivity;
+  const llm::TaskModel task_model(config.model_profile);
+  OperatorOutput ops = build_requests(st, plan.ordering, op, task_model, truth);
+
+  // 3. Serve.
+  llm::CostModel cost(config.model, config.gpu);
+  llm::EngineConfig ec = config.engine;
+  ec.cache_enabled = config.cache_enabled;
+  llm::ServingEngine engine(cost, ec);
+  llm::BatchRunResult run = session_cache
+                                ? engine.run(ops.requests, *session_cache)
+                                : engine.run(ops.requests);
+
+  out.metrics.engine = run.metrics;
+  out.metrics.token_phr = run.metrics.prompt_cache_hit_rate();
+  out.answers = std::move(ops.answers);
+  return out;
+}
+
+QueryRunResult run_query(const data::Dataset& dataset,
+                         const data::QuerySpec& spec,
+                         const ExecConfig& config) {
+  QueryRunResult result;
+  result.query_id = spec.id;
+
+  // ---- Stage 1 (every query type has one). ----
+  // Multi-LLM queries talk to one long-lived server: both invocations
+  // share the prompt cache (its state persists across the stages).
+  std::optional<cache::PrefixCache> session;
+  if (spec.type == data::QueryType::MultiLlm) {
+    llm::EngineConfig ec = config.engine;
+    ec.cache_enabled = config.cache_enabled;
+    session.emplace(llm::ServingEngine(
+                        llm::CostModel(config.model, config.gpu), ec)
+                        .make_session_cache());
+  }
+  StageRun s1 = run_stage(dataset.table, dataset.fds, spec, spec.stage1,
+                          dataset.truth_for(spec.stage1.truth_key),
+                          dataset.key_field, config,
+                          session ? &*session : nullptr);
+  result.total_seconds += s1.metrics.engine.total_seconds;
+  result.solver_seconds += s1.metrics.solver_seconds;
+  result.stages.push_back(s1.metrics);
+  result.answers = s1.answers;
+
+  switch (spec.type) {
+    case data::QueryType::Filter:
+    case data::QueryType::Rag: {
+      // Relational epilogue: keep rows whose answer equals the first
+      // (positive) answer choice.
+      if (!spec.stage1.answers.empty()) {
+        const std::string& keep = spec.stage1.answers.front();
+        result.rows_selected = static_cast<std::size_t>(std::count(
+            s1.answers.begin(), s1.answers.end(), keep));
+      } else {
+        result.rows_selected = dataset.table.num_rows();
+      }
+      break;
+    }
+    case data::QueryType::Projection:
+      result.rows_selected = dataset.table.num_rows();
+      break;
+    case data::QueryType::Aggregation: {
+      // AVG over numeric LLM outputs.
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (const auto& a : s1.answers) {
+        if (auto v = table::parse_double(a)) {
+          sum += *v;
+          ++count;
+        }
+      }
+      result.aggregate = count ? sum / static_cast<double>(count) : 0.0;
+      result.rows_selected = count;
+      break;
+    }
+    case data::QueryType::MultiLlm: {
+      // Stage 1 is a sentiment filter; the paper's example keeps NEGATIVE
+      // reviews (Appendix A), i.e. the *last* answer choice.
+      const std::string keep = spec.stage1.answers.empty()
+                                   ? std::string()
+                                   : spec.stage1.answers.back();
+      std::vector<std::size_t> selected;
+      for (std::size_t r = 0; r < s1.answers.size(); ++r)
+        if (s1.answers[r] == keep) selected.push_back(r);
+      result.rows_selected = selected.size();
+
+      if (!selected.empty() && spec.stage2) {
+        table::Table filtered = dataset.table.take_rows(selected);
+        const auto& full_truth2 = dataset.truth_for(spec.stage2->truth_key);
+        std::vector<std::string> truth2;
+        truth2.reserve(selected.size());
+        for (std::size_t r : selected)
+          truth2.push_back(r < full_truth2.size() ? full_truth2[r]
+                                                  : std::string());
+        StageRun s2 = run_stage(filtered, dataset.fds, spec, *spec.stage2,
+                                truth2, dataset.key_field, config,
+                                session ? &*session : nullptr);
+        result.total_seconds += s2.metrics.engine.total_seconds;
+        result.solver_seconds += s2.metrics.solver_seconds;
+        result.stages.push_back(s2.metrics);
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace llmq::query

@@ -1,0 +1,36 @@
+#pragma once
+// End-to-end query execution: planner -> LLM operator -> serving engine.
+
+#include "cache/prefix_cache.hpp"
+#include "query/plan.hpp"
+
+namespace llmq::query {
+
+/// Run one benchmark query over its dataset under the given configuration.
+/// Covers all five query types:
+///  * Filter / Aggregation / RAG: one LLM invocation per row over the
+///    operator's fields, then a relational epilogue (predicate / AVG).
+///  * Projection: one invocation per row, free-form output.
+///  * Multi-LLM: stage 1 filters (e.g. NEGATIVE sentiment), stage 2 runs
+///    the projection over surviving rows; both stages are independently
+///    replanned, matching the paper's setup where stage 1 sees mostly
+///    distinct review text and gains little from reordering.
+QueryRunResult run_query(const data::Dataset& dataset,
+                         const data::QuerySpec& spec, const ExecConfig& config);
+
+/// Internal building block (exposed for tests and custom pipelines): run
+/// one LLM stage over `t` and return the stage metrics + answers.
+struct StageRun {
+  StageMetrics metrics;
+  std::vector<std::string> answers;  // per original row of `t`
+};
+/// `session_cache` (optional) persists KV state across stages, like a
+/// long-lived serving endpoint handling both invocations of a multi-LLM
+/// query; pass nullptr for a cold cache per stage.
+StageRun run_stage(const table::Table& t, const table::FdSet& fds,
+                   const data::QuerySpec& spec, const data::StageSpec& stage,
+                   const std::vector<std::string>& truth,
+                   const std::string& key_field, const ExecConfig& config,
+                   cache::PrefixCache* session_cache = nullptr);
+
+}  // namespace llmq::query

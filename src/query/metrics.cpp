@@ -1,0 +1,46 @@
+#include "query/metrics.hpp"
+
+#include "query/executor.hpp"
+#include "util/strings.hpp"
+
+namespace llmq::query {
+
+double MethodComparison::speedup_vs_no_cache() const {
+  return cache_ggr.total_seconds > 0.0
+             ? no_cache.total_seconds / cache_ggr.total_seconds
+             : 0.0;
+}
+
+double MethodComparison::speedup_vs_original() const {
+  return cache_ggr.total_seconds > 0.0
+             ? cache_original.total_seconds / cache_ggr.total_seconds
+             : 0.0;
+}
+
+double MethodComparison::original_vs_no_cache() const {
+  return cache_original.total_seconds > 0.0
+             ? no_cache.total_seconds / cache_original.total_seconds
+             : 0.0;
+}
+
+MethodComparison compare_methods(const data::Dataset& dataset,
+                                 const data::QuerySpec& spec,
+                                 const llm::ModelSpec& model,
+                                 const llm::GpuSpec& gpu,
+                                 double kv_fraction) {
+  MethodComparison out;
+  out.label = dataset.name;
+  for (Method m : {Method::NoCache, Method::CacheOriginal, Method::CacheGgr}) {
+    ExecConfig cfg = ExecConfig::standard(m, model, gpu);
+    if (kv_fraction < 1.0) cfg.scale_kv_pool(kv_fraction);
+    QueryRunResult r = run_query(dataset, spec, cfg);
+    if (m == Method::NoCache) out.no_cache = std::move(r);
+    else if (m == Method::CacheOriginal) out.cache_original = std::move(r);
+    else out.cache_ggr = std::move(r);
+  }
+  return out;
+}
+
+std::string format_speedup(double s) { return util::fmt(s, 1) + "x"; }
+
+}  // namespace llmq::query

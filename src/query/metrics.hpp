@@ -1,0 +1,36 @@
+#pragma once
+// Benchmark reporting helpers: method comparisons and speedup formatting
+// shared by the bench binaries.
+
+#include <string>
+#include <vector>
+
+#include "query/plan.hpp"
+
+namespace llmq::query {
+
+/// One dataset/query evaluated under the three paper arms.
+struct MethodComparison {
+  std::string label;       // e.g. "Movies"
+  QueryRunResult no_cache;
+  QueryRunResult cache_original;
+  QueryRunResult cache_ggr;
+
+  double speedup_vs_no_cache() const;       // GGR vs No Cache
+  double speedup_vs_original() const;       // GGR vs Cache (Original)
+  double original_vs_no_cache() const;      // Cache (Original) vs No Cache
+};
+
+/// Run `spec` under all three arms with the standard configuration for the
+/// given model/GPU. `kv_fraction` scales the KV pool for scaled-down
+/// datasets (pass n_rows / paper_rows; 1.0 = full GPU-derived pool).
+MethodComparison compare_methods(const data::Dataset& dataset,
+                                 const data::QuerySpec& spec,
+                                 const llm::ModelSpec& model,
+                                 const llm::GpuSpec& gpu,
+                                 double kv_fraction = 1.0);
+
+/// "3.4x" style formatting.
+std::string format_speedup(double s);
+
+}  // namespace llmq::query

@@ -1,0 +1,69 @@
+#include "query/plan.hpp"
+
+namespace llmq::query {
+
+std::string to_string(Method m) {
+  switch (m) {
+    case Method::NoCache: return "No Cache";
+    case Method::CacheOriginal: return "Cache (Original)";
+    case Method::CacheGgr: return "Cache (GGR)";
+  }
+  return "?";
+}
+
+ExecConfig ExecConfig::standard(Method m) {
+  return standard(m, llm::llama3_8b(), llm::l4());
+}
+
+ExecConfig ExecConfig::standard(Method m, llm::ModelSpec model,
+                                llm::GpuSpec gpu) {
+  ExecConfig c;
+  c.model = std::move(model);
+  c.gpu = std::move(gpu);
+  c.model_profile = llm::profile_llama3_8b();
+  c.engine.max_batch_size = 32;
+  c.engine.block_size = 16;
+
+  // Paper §6.5 solver configuration.
+  c.planner.ggr.max_row_depth = 4;
+  c.planner.ggr.max_col_depth = 2;
+  c.planner.ggr.measure = core::LengthMeasure::Tokens;
+
+  switch (m) {
+    case Method::NoCache:
+      c.cache_enabled = false;
+      c.planner.policy = core::Policy::Original;
+      break;
+    case Method::CacheOriginal:
+      c.cache_enabled = true;
+      c.planner.policy = core::Policy::Original;
+      break;
+    case Method::CacheGgr:
+      c.cache_enabled = true;
+      c.planner.policy = core::Policy::Ggr;
+      break;
+  }
+  c.engine.cache_enabled = c.cache_enabled;
+  return c;
+}
+
+void ExecConfig::scale_kv_pool(double fraction) {
+  const llm::CostModel cm(model, gpu);
+  const auto derived = static_cast<double>(cm.kv_pool_blocks(engine.block_size));
+  // Floor: room for one long prompt (~2K tokens) plus slack, so admission
+  // of a single request never deadlocks on the benchmark datasets.
+  const std::size_t floor_blocks = 4096 / engine.block_size;
+  engine.kv_pool_blocks_override = std::max<std::size_t>(
+      floor_blocks, static_cast<std::size_t>(derived * fraction));
+}
+
+double QueryRunResult::overall_phr() const {
+  std::uint64_t hit = 0, total = 0;
+  for (const auto& s : stages) {
+    hit += s.engine.cached_prompt_tokens;
+    total += s.engine.prompt_tokens;
+  }
+  return total ? static_cast<double>(hit) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace llmq::query

@@ -1,0 +1,77 @@
+#pragma once
+// Query execution configuration and results.
+//
+// A QueryRun pairs one benchmark query with one "method arm" from the
+// paper's evaluation: {No Cache, Cache (Original), Cache (GGR)} plus the
+// ablation policies. The executor (executor.hpp) turns that into planner
+// + operator + serving-engine calls and collects the metrics every bench
+// reports.
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "data/benchmark_suite.hpp"
+#include "data/generators.hpp"
+#include "llm/engine.hpp"
+#include "llm/task_model.hpp"
+
+namespace llmq::query {
+
+/// The paper's three evaluation arms (plus room for ablations via
+/// `planner` overrides).
+enum class Method {
+  NoCache,         // caching disabled, original ordering
+  CacheOriginal,   // prefix cache on, original ordering
+  CacheGgr,        // prefix cache on, GGR reordering
+};
+
+std::string to_string(Method m);
+
+struct ExecConfig {
+  llm::ModelSpec model;
+  llm::GpuSpec gpu;
+  llm::EngineConfig engine;
+  llm::ModelProfile model_profile;
+  core::PlanRequest planner;   // policy + GGR/OPHR options
+  bool cache_enabled = true;
+
+  /// Paper-default configuration for a method arm (Llama3-8B on one L4,
+  /// GGR with depth limits 4/2 as in §6.5).
+  static ExecConfig standard(Method m);
+  static ExecConfig standard(Method m, llm::ModelSpec model, llm::GpuSpec gpu);
+
+  /// Shrink the KV pool to `fraction` of the GPU-derived capacity (floored
+  /// so a single request still fits). Scaled-down experiments must scale
+  /// the cache with the data: the paper's regime is a table orders of
+  /// magnitude larger than KV memory, and with an *unscaled* cache a small
+  /// sample fits entirely, hiding the reordering effect (reuse then works
+  /// at any distance, not just adjacency).
+  void scale_kv_pool(double fraction);
+};
+
+struct StageMetrics {
+  llm::EngineMetrics engine;
+  double solver_seconds = 0.0;
+  double token_phr = 0.0;      // prompt-level cache hit rate for the stage
+  std::size_t rows = 0;
+};
+
+struct QueryRunResult {
+  std::string query_id;
+  Method method = Method::CacheGgr;
+  double total_seconds = 0.0;      // end-to-end simulated job time
+  double solver_seconds = 0.0;     // reordering overhead (real wall clock)
+  std::vector<StageMetrics> stages;
+
+  /// Stage-1 answers per original row ("" where not applicable).
+  std::vector<std::string> answers;
+  /// Rows surviving the filter (filter / multi-LLM stage 1).
+  std::size_t rows_selected = 0;
+  /// Aggregate value (aggregation queries).
+  double aggregate = 0.0;
+
+  double overall_phr() const;
+};
+
+}  // namespace llmq::query

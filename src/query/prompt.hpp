@@ -1,0 +1,56 @@
+#pragma once
+// Prompt construction (paper §5).
+//
+// Each request = system prompt + user query + the row rendered as a JSON
+// object whose *key order follows the planner's per-row field order*. The
+// instruction prefix is identical across a query's rows (and is itself a
+// cacheable shared prefix); everything the reordering algorithms optimize
+// lives in the JSON section.
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "core/ordering.hpp"
+#include "table/table.hpp"
+#include "tokenizer/tokenizer.hpp"
+
+namespace llmq::query {
+
+struct PromptTemplate {
+  std::string system_prompt;
+  std::string user_prompt;
+};
+
+/// The instruction prefix shared by all rows of a query (Appendix C
+/// layout): system prompt, "Answer the below query:" + user prompt, then
+/// the "Given the following data:" header.
+std::string render_instruction_prefix(const PromptTemplate& tmpl);
+
+/// JSON rendering of row `row` of `t` with keys in `field_order` (indices
+/// into t's schema).
+std::string render_row_json(const table::Table& t, std::size_t row,
+                            std::span<const std::size_t> field_order);
+
+/// Full prompt text for one row.
+std::string render_prompt(const PromptTemplate& tmpl, const table::Table& t,
+                          std::size_t row,
+                          std::span<const std::size_t> field_order);
+
+/// Tokenized prompt; uses a precomputed instruction-prefix encoding so per
+/// row work is proportional to the row's own content.
+class PromptEncoder {
+ public:
+  PromptEncoder(PromptTemplate tmpl);
+
+  tokenizer::TokenSeq encode(const table::Table& t, std::size_t row,
+                             std::span<const std::size_t> field_order) const;
+
+  std::size_t instruction_tokens() const { return prefix_tokens_.size(); }
+
+ private:
+  PromptTemplate tmpl_;
+  tokenizer::TokenSeq prefix_tokens_;
+};
+
+}  // namespace llmq::query

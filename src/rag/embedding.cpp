@@ -1,0 +1,43 @@
+#include "rag/embedding.hpp"
+
+#include <cmath>
+
+#include "tokenizer/tokenizer.hpp"
+#include "util/rng.hpp"
+
+namespace llmq::rag {
+
+Embedder::Embedder(std::size_t dim, std::uint64_t seed)
+    : dim_(dim), seed_(seed) {}
+
+Embedding Embedder::embed(std::string_view text) const {
+  Embedding v(dim_, 0.0f);
+  const auto tokens = tokenizer::global_tokenizer().encode(text);
+  for (auto t : tokens) {
+    const std::uint64_t h = util::hash_combine(seed_, t);
+    const std::size_t slot = h % dim_;
+    const float sign = (h >> 63) ? 1.0f : -1.0f;
+    v[slot] += sign;
+  }
+  double norm = 0.0;
+  for (float x : v) norm += static_cast<double>(x) * x;
+  if (norm > 0.0) {
+    const auto inv = static_cast<float>(1.0 / std::sqrt(norm));
+    for (float& x : v) x *= inv;
+  }
+  return v;
+}
+
+float cosine_similarity(const Embedding& a, const Embedding& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+}  // namespace llmq::rag

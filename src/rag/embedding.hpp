@@ -1,0 +1,34 @@
+#pragma once
+// Text embeddings via feature hashing.
+//
+// Stand-in for the paper's gte-base-en-v1.5 encoder: tokens are hashed
+// into a fixed-dimension vector with deterministic signs, L2-normalized.
+// Identical texts embed identically and texts sharing vocabulary are
+// close — the two properties the RAG experiment needs (repeated retrieval
+// of the same evidence across related questions).
+
+#include <string_view>
+#include <vector>
+
+namespace llmq::rag {
+
+using Embedding = std::vector<float>;
+
+class Embedder {
+ public:
+  explicit Embedder(std::size_t dim = 256, std::uint64_t seed = 0x9e37);
+
+  std::size_t dim() const { return dim_; }
+
+  /// Deterministic, L2-normalized embedding of `text`.
+  Embedding embed(std::string_view text) const;
+
+ private:
+  std::size_t dim_;
+  std::uint64_t seed_;
+};
+
+/// Cosine similarity (inputs need not be normalized).
+float cosine_similarity(const Embedding& a, const Embedding& b);
+
+}  // namespace llmq::rag

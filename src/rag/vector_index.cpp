@@ -1,0 +1,32 @@
+#include "rag/vector_index.hpp"
+
+#include <algorithm>
+
+namespace llmq::rag {
+
+VectorIndex::VectorIndex(Embedder embedder) : embedder_(std::move(embedder)) {}
+
+std::size_t VectorIndex::add(std::string text) {
+  vectors_.push_back(embedder_.embed(text));
+  docs_.push_back(std::move(text));
+  return docs_.size() - 1;
+}
+
+std::vector<VectorIndex::Hit> VectorIndex::search(std::string_view query,
+                                                  std::size_t k) const {
+  const Embedding q = embedder_.embed(query);
+  std::vector<Hit> hits;
+  hits.reserve(vectors_.size());
+  for (std::size_t i = 0; i < vectors_.size(); ++i)
+    hits.push_back(Hit{i, cosine_similarity(q, vectors_[i])});
+  const std::size_t want = std::min(k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<std::ptrdiff_t>(want),
+                    hits.end(), [](const Hit& a, const Hit& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;
+                    });
+  hits.resize(want);
+  return hits;
+}
+
+}  // namespace llmq::rag

@@ -1,0 +1,66 @@
+#pragma once
+// AST for the LLM-query SQL dialect.
+//
+// Grammar (the shape of every query in the paper's benchmark, Appendix A):
+//
+//   select    := SELECT item (',' item)* FROM table_ref [WHERE pred]
+//   item      := column [AS alias]
+//              | LLM '(' string (',' field)* ')' [AS alias]
+//              | LLM '(' string ',' '*' ')' [AS alias]
+//              | AVG '(' llm_call ')' [AS alias]
+//   table_ref := ident [JOIN ident ON ident '=' ident]
+//   pred      := atom (AND atom)*
+//   atom      := llm_call '=' string
+//              | column '<>' NULL
+//              | column '=' string
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace llmq::sql {
+
+/// An LLM('prompt', fields...) invocation. `star` means {T.*}: the
+/// operator receives every field of the input table (and the reordering
+/// planner may permute all of them).
+struct LlmCall {
+  std::string prompt;
+  std::vector<std::string> fields;
+  bool star = false;
+};
+
+struct SelectItem {
+  enum class Kind { Column, Llm, AvgLlm };
+  Kind kind = Kind::Column;
+  std::string column;  // Kind::Column
+  LlmCall llm;         // Kind::Llm / AvgLlm
+  std::string alias;   // empty = derive a name
+};
+
+struct PredicateAtom {
+  enum class Kind { LlmEquals, ColumnNotNull, ColumnEquals };
+  Kind kind = Kind::LlmEquals;
+  LlmCall llm;          // LlmEquals
+  std::string column;   // ColumnNotNull / ColumnEquals
+  std::string literal;  // LlmEquals / ColumnEquals
+};
+
+struct TableRef {
+  std::string table;
+  // Optional single equi-join (the reviews-join-metadata pattern).
+  std::optional<std::string> join_table;
+  std::string left_key;   // may be qualified (r.asin)
+  std::string right_key;  // may be qualified (p.asin)
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<PredicateAtom> where;  // conjunction; empty = no WHERE
+};
+
+/// Strip an optional qualifier: "pr.review" -> "review". Field names that
+/// legitimately contain '.' are not used by the dialect.
+std::string unqualified(const std::string& name);
+
+}  // namespace llmq::sql

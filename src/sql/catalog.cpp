@@ -1,0 +1,38 @@
+#include "sql/catalog.hpp"
+
+#include <stdexcept>
+
+namespace llmq::sql {
+
+void Catalog::put(const std::string& name, BoundTable table) {
+  tables_[name] = std::move(table);
+}
+
+void Catalog::put_dataset(const std::string& name, const data::Dataset& d) {
+  BoundTable bt;
+  bt.table = d.table;
+  bt.fds = d.fds;
+  bt.truth = d.truth;
+  bt.key_field = d.key_field;
+  put(name, std::move(bt));
+}
+
+bool Catalog::has(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+const BoundTable& Catalog::get(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end())
+    throw std::invalid_argument("catalog: unknown table '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> Catalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace llmq::sql

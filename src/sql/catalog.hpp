@@ -1,0 +1,51 @@
+#pragma once
+// Catalog: named tables (with their FDs and optional ground truth) that
+// SQL statements resolve against — the analytics system's metadata layer
+// GGR draws its schema hints from (§4.2.1).
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "data/generators.hpp"
+#include "sql/ast.hpp"
+#include "table/fd.hpp"
+#include "table/table.hpp"
+
+namespace llmq::sql {
+
+/// Produces the simulated LLM's answer for row `row` of the bound input
+/// table under `call`. `candidates` are the literals the query compares
+/// against (empty for projections).
+using AnswerOracle = std::function<std::string(
+    std::size_t row, const LlmCall& call,
+    const std::vector<std::string>& candidates)>;
+
+struct BoundTable {
+  table::Table table;
+  table::FdSet fds;
+  /// Optional per-row labels; when present, LLM filter calls answer from
+  /// these through the task-model noise channel, so SQL results line up
+  /// with the benchmark datasets' ground truth.
+  std::vector<std::string> truth;
+  std::string key_field;  // answer-bearing field (may be empty)
+};
+
+class Catalog {
+ public:
+  void put(const std::string& name, BoundTable table);
+
+  /// Convenience: register a benchmark dataset under `name`.
+  void put_dataset(const std::string& name, const data::Dataset& d);
+
+  bool has(const std::string& name) const;
+  const BoundTable& get(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, BoundTable> tables_;
+};
+
+}  // namespace llmq::sql

@@ -1,0 +1,268 @@
+#include "sql/executor.hpp"
+
+#include <algorithm>
+
+#include "query/executor.hpp"
+#include "table/join.hpp"
+#include "table/value.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace llmq::sql {
+
+std::uint64_t SqlResult::prompt_tokens() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stages) total += s.metrics.engine.prompt_tokens;
+  return total;
+}
+
+double SqlResult::overall_phr() const {
+  std::uint64_t hit = 0, total = 0;
+  for (const auto& s : stages) {
+    hit += s.metrics.engine.cached_prompt_tokens;
+    total += s.metrics.engine.prompt_tokens;
+  }
+  return total ? static_cast<double>(hit) / static_cast<double>(total) : 0.0;
+}
+
+namespace {
+
+/// Working set during execution: the current table, its surviving truth
+/// labels, and the FDs (schema metadata survives filtering).
+struct Bound {
+  table::Table table;
+  table::FdSet fds;
+  std::vector<std::string> truth;
+  std::string key_field;
+};
+
+Bound bind_from(const TableRef& from, const Catalog& catalog) {
+  const BoundTable& base = catalog.get(from.table);
+  Bound b;
+  b.fds = base.fds;
+  b.key_field = base.key_field;
+  if (!from.join_table) {
+    b.table = base.table;
+    b.truth = base.truth;
+    return b;
+  }
+  const BoundTable& right = catalog.get(*from.join_table);
+  b.table = table::hash_join(base.table, unqualified(from.left_key),
+                             right.table, unqualified(from.right_key));
+  for (const auto& e : right.fds.edges()) b.fds.add(e.determinant, e.dependent);
+  // Row-aligned truth does not survive a join; LLM filters over joined
+  // tables fall back to synthesized labels.
+  return b;
+}
+
+/// Labels for an LLM filter when the bound table carries none: a
+/// deterministic per-row draw over the candidate literals.
+std::vector<std::string> synthesize_truth(
+    const table::Table& t, const LlmCall& call,
+    const std::vector<std::string>& candidates) {
+  std::vector<std::string> out;
+  out.reserve(t.num_rows());
+  const std::uint64_t salt =
+      util::hash64(call.prompt.data(), call.prompt.size());
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    std::uint64_t h = salt;
+    for (std::size_t c = 0; c < t.num_cols(); ++c) {
+      const auto& cell = t.cell(r, c);
+      h = util::hash_combine(h, util::hash64(cell.data(), cell.size()));
+    }
+    out.push_back(candidates[h % candidates.size()]);
+  }
+  return out;
+}
+
+/// Run one LLM call over `b.table`; returns per-row answers + metrics.
+query::StageRun run_llm(const Bound& b, const LlmCall& call,
+                        const std::vector<std::string>& candidates,
+                        const SqlOptions& options) {
+  data::QuerySpec spec;
+  spec.id = "sql";
+  spec.system_prompt = options.system_prompt;
+  spec.position_sensitivity = options.position_sensitivity;
+  data::StageSpec stage;
+  stage.user_prompt = call.prompt;
+  stage.fields = call.fields;  // empty = {T.*}
+  stage.answers = candidates;
+  stage.avg_output_tokens = options.projection_output_tokens;
+
+  // Choose a truth channel: the dataset's labels when the compared
+  // literal is actually one of them (so SQL filters over benchmark tables
+  // match the benchmark semantics), else synthesized labels.
+  std::vector<std::string> truth;
+  if (!candidates.empty()) {
+    const bool labels_match =
+        !b.truth.empty() && b.truth.size() == b.table.num_rows() &&
+        std::find(b.truth.begin(), b.truth.end(), candidates.front()) !=
+            b.truth.end();
+    truth = labels_match ? b.truth
+                         : synthesize_truth(b.table, call, candidates);
+  }
+  return query::run_stage(b.table, b.fds, spec, stage, truth, b.key_field,
+                          options.exec);
+}
+
+std::string item_name(const SelectItem& item, std::size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  switch (item.kind) {
+    case SelectItem::Kind::Column: return item.column;
+    case SelectItem::Kind::Llm: return "llm_" + std::to_string(index + 1);
+    case SelectItem::Kind::AvgLlm:
+      return "avg_llm_" + std::to_string(index + 1);
+  }
+  return "expr_" + std::to_string(index + 1);
+}
+
+}  // namespace
+
+SqlResult execute(const SelectStatement& stmt, const Catalog& catalog,
+                  const SqlOptions& options) {
+  SqlResult out;
+  Bound bound = bind_from(stmt.from, catalog);
+
+  auto absorb = [&](const char* label, std::size_t n,
+                    const query::StageRun& run) {
+    SqlStageReport rep;
+    rep.label = label + std::string("#") + std::to_string(n);
+    rep.metrics = run.metrics;
+    out.stages.push_back(std::move(rep));
+    out.simulated_seconds += run.metrics.engine.total_seconds;
+    out.solver_seconds += run.metrics.solver_seconds;
+  };
+
+  // ---- WHERE: relational atoms first (cheap), then LLM atoms. ----------
+  std::vector<const PredicateAtom*> llm_atoms;
+  {
+    std::vector<std::size_t> keep(bound.table.num_rows());
+    for (std::size_t r = 0; r < keep.size(); ++r) keep[r] = r;
+    bool filtered = false;
+    for (const auto& atom : stmt.where) {
+      if (atom.kind == PredicateAtom::Kind::LlmEquals) {
+        llm_atoms.push_back(&atom);
+        continue;
+      }
+      const std::size_t col = bound.table.schema().require(atom.column);
+      std::vector<std::size_t> next;
+      for (std::size_t r : keep) {
+        const std::string& v = bound.table.cell(r, col);
+        const bool pass = atom.kind == PredicateAtom::Kind::ColumnNotNull
+                              ? (!v.empty() && v != "NULL")
+                              : (v == atom.literal);
+        if (pass) next.push_back(r);
+      }
+      keep = std::move(next);
+      filtered = true;
+    }
+    if (filtered) {
+      std::vector<std::string> truth;
+      for (std::size_t r : keep)
+        if (r < bound.truth.size()) truth.push_back(bound.truth[r]);
+      if (truth.size() != keep.size()) truth.clear();
+      bound.table = bound.table.take_rows(keep);
+      bound.truth = std::move(truth);
+    }
+  }
+
+  std::size_t llm_counter = 0;
+  for (const PredicateAtom* atom : llm_atoms) {
+    if (bound.table.num_rows() == 0) break;
+    // Candidate answers: the compared literal plus a generic negative, so
+    // the simulated model has a wrong option (real queries constrain the
+    // output set in the prompt).
+    std::vector<std::string> candidates{atom->literal};
+    if (!bound.truth.empty()) {
+      for (const auto& label : bound.truth)
+        if (label != atom->literal &&
+            std::find(candidates.begin(), candidates.end(), label) ==
+                candidates.end()) {
+          candidates.push_back(label);
+          if (candidates.size() >= 4) break;
+        }
+    }
+    if (candidates.size() == 1) candidates.push_back("NO MATCH");
+
+    const auto run = run_llm(bound, atom->llm, candidates, options);
+    absorb("WHERE LLM", ++llm_counter, run);
+
+    std::vector<std::size_t> keep;
+    for (std::size_t r = 0; r < bound.table.num_rows(); ++r)
+      if (run.answers[r] == atom->literal) keep.push_back(r);
+    std::vector<std::string> truth;
+    for (std::size_t r : keep)
+      if (r < bound.truth.size()) truth.push_back(bound.truth[r]);
+    if (truth.size() != keep.size()) truth.clear();
+    bound.table = bound.table.take_rows(keep);
+    bound.truth = std::move(truth);
+  }
+
+  // ---- SELECT ----------------------------------------------------------
+  const bool has_avg =
+      std::any_of(stmt.items.begin(), stmt.items.end(), [](const auto& it) {
+        return it.kind == SelectItem::Kind::AvgLlm;
+      });
+
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < stmt.items.size(); ++i)
+    names.push_back(item_name(stmt.items[i], i));
+
+  if (has_avg) {
+    // Aggregate result: one row; non-aggregate items are not allowed in
+    // this dialect (no GROUP BY).
+    for (const auto& item : stmt.items) {
+      if (item.kind != SelectItem::Kind::AvgLlm)
+        throw std::invalid_argument(
+            "sql: AVG(LLM(...)) cannot be mixed with non-aggregate items");
+    }
+    table::Table result{table::Schema::of_names(names)};
+    std::vector<std::string> row;
+    for (const auto& item : stmt.items) {
+      // Numeric 1-5 scoring, like the paper's aggregation queries.
+      const std::vector<std::string> candidates{"1", "2", "3", "4", "5"};
+      const auto run = run_llm(bound, item.llm, candidates, options);
+      absorb("SELECT AVG LLM", ++llm_counter, run);
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (const auto& a : run.answers) {
+        if (auto v = table::parse_double(a)) {
+          sum += *v;
+          ++count;
+        }
+      }
+      row.push_back(util::fmt(count ? sum / static_cast<double>(count) : 0.0, 3));
+    }
+    result.append_row(std::move(row));
+    out.result = std::move(result);
+    return out;
+  }
+
+  // Column/LLM projection result: one output row per surviving input row.
+  std::vector<std::vector<std::string>> columns;
+  for (const auto& item : stmt.items) {
+    if (item.kind == SelectItem::Kind::Column) {
+      columns.push_back(bound.table.column(item.column));
+    } else {
+      const auto run = run_llm(bound, item.llm, {}, options);
+      absorb("SELECT LLM", ++llm_counter, run);
+      columns.push_back(run.answers);
+    }
+  }
+  table::Table result{table::Schema::of_names(names)};
+  for (std::size_t r = 0; r < bound.table.num_rows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(columns.size());
+    for (const auto& col : columns) row.push_back(col[r]);
+    result.append_row(std::move(row));
+  }
+  out.result = std::move(result);
+  return out;
+}
+
+SqlResult execute(std::string_view sql, const Catalog& catalog,
+                  const SqlOptions& options) {
+  return execute(parse(sql), catalog, options);
+}
+
+}  // namespace llmq::sql

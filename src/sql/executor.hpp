@@ -1,0 +1,54 @@
+#pragma once
+// SQL execution: bind a SelectStatement against a Catalog, run each LLM
+// call through the reordering planner + serving engine, and materialize a
+// result table. This is the paper's end-to-end interface: the user writes
+// SQL with LLM() calls; the system transparently reorders rows and fields
+// per invocation to maximize KV-cache reuse (§1, §5).
+
+#include <string>
+#include <vector>
+
+#include "query/plan.hpp"
+#include "sql/catalog.hpp"
+#include "sql/parser.hpp"
+
+namespace llmq::sql {
+
+struct SqlOptions {
+  /// Method arm; defaults to the paper's Cache (GGR) configuration.
+  query::ExecConfig exec = query::ExecConfig::standard(query::Method::CacheGgr);
+  /// System prompt prepended to every LLM call (Appendix C).
+  std::string system_prompt =
+      "You are a data analyst. Use the provided JSON data to answer the "
+      "user query based on the specified fields. Respond with only the "
+      "answer, no extra formatting.";
+  /// Mean output tokens for free-form (projection) LLM calls.
+  double projection_output_tokens = 40.0;
+  /// Position sensitivity applied to LLM filter calls (accuracy channel).
+  double position_sensitivity = 0.1;
+};
+
+struct SqlStageReport {
+  std::string label;  // e.g. "WHERE LLM#1", "SELECT LLM#2"
+  query::StageMetrics metrics;
+};
+
+struct SqlResult {
+  table::Table result;
+  double simulated_seconds = 0.0;
+  double solver_seconds = 0.0;
+  std::vector<SqlStageReport> stages;
+
+  std::uint64_t prompt_tokens() const;
+  double overall_phr() const;
+};
+
+/// Execute a parsed statement.
+SqlResult execute(const SelectStatement& stmt, const Catalog& catalog,
+                  const SqlOptions& options = {});
+
+/// Parse + execute.
+SqlResult execute(std::string_view sql, const Catalog& catalog,
+                  const SqlOptions& options = {});
+
+}  // namespace llmq::sql

@@ -1,0 +1,111 @@
+#include "sql/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace llmq::sql {
+
+namespace {
+
+constexpr std::array<std::string_view, 10> kKeywords = {
+    "SELECT", "FROM", "WHERE", "JOIN", "ON", "AS", "AND", "AVG", "LLM",
+    "NULL"};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  // '/' appears inside RateBeer field names (beer/beerId); '.' qualifies.
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '/' ||
+         c == '.';
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+bool is_keyword(std::string_view upper) {
+  for (auto k : kKeywords)
+    if (k == upper) return true;
+  return false;
+}
+
+std::vector<Token> lex(std::string_view sql) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      // SQL line comment.
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      std::size_t start = i++;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text += sql[i++];
+      }
+      if (!closed) throw LexError("unterminated string literal", start);
+      out.push_back(Token{TokenKind::String, std::move(text), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.'))
+        ++i;
+      out.push_back(
+          Token{TokenKind::Number, std::string(sql.substr(start, i - start)),
+                start});
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && ident_char(sql[i])) ++i;
+      std::string word(sql.substr(start, i - start));
+      const std::string upper = to_upper(word);
+      if (is_keyword(upper)) {
+        out.push_back(Token{TokenKind::Keyword, upper, start});
+      } else {
+        out.push_back(Token{TokenKind::Identifier, std::move(word), start});
+      }
+      continue;
+    }
+    if (c == '<' && i + 1 < n && sql[i + 1] == '>') {
+      out.push_back(Token{TokenKind::Symbol, "<>", i});
+      i += 2;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == '=' || c == '*') {
+      out.push_back(Token{TokenKind::Symbol, std::string(1, c), i});
+      ++i;
+      continue;
+    }
+    throw LexError(std::string("unexpected character '") + c + "'", i);
+  }
+  out.push_back(Token{TokenKind::End, "", n});
+  return out;
+}
+
+}  // namespace llmq::sql

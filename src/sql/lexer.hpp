@@ -1,0 +1,50 @@
+#pragma once
+// SQL lexer for the paper's LLM-query dialect (§1, §3.1, Appendix A).
+//
+// Tokenizes the subset of SQL the benchmark queries use: SELECT / FROM /
+// WHERE / JOIN ... ON / AS / AND / AVG / LLM / NULL, identifiers
+// (optionally qualified and containing '/' as in "beer/beerId"), single-
+// quoted string literals with '' escaping, numbers, and the operators
+// = <> ( ) , * .
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llmq::sql {
+
+enum class TokenKind {
+  Keyword,     // SELECT, FROM, WHERE, JOIN, ON, AS, AND, AVG, LLM, NULL
+  Identifier,  // possibly qualified: pr.review, beer/beerId
+  String,      // 'text' (with '' escape)
+  Number,      // 123 or 1.5
+  Symbol,      // ( ) , = * and the two-char <>
+  End,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;       // keyword text is upper-cased; others verbatim
+  std::size_t offset = 0; // byte offset in the input (for error messages)
+};
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& msg, std::size_t offset)
+      : std::runtime_error(msg + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Tokenize `sql`; the result always ends with an End token.
+std::vector<Token> lex(std::string_view sql);
+
+/// True if `word` (upper-cased) is one of the dialect's keywords.
+bool is_keyword(std::string_view upper);
+
+}  // namespace llmq::sql

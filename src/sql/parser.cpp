@@ -1,0 +1,178 @@
+#include "sql/parser.hpp"
+
+namespace llmq::sql {
+
+std::string unqualified(const std::string& name) {
+  const auto pos = name.rfind('.');
+  return pos == std::string::npos ? name : name.substr(pos + 1);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  SelectStatement parse_select() {
+    expect_keyword("SELECT");
+    SelectStatement stmt;
+    stmt.items.push_back(parse_item());
+    while (accept_symbol(",")) stmt.items.push_back(parse_item());
+    expect_keyword("FROM");
+    stmt.from = parse_table_ref();
+    if (accept_keyword("WHERE")) {
+      stmt.where.push_back(parse_atom());
+      while (accept_keyword("AND")) stmt.where.push_back(parse_atom());
+    }
+    if (!at_end())
+      throw ParseError("unexpected trailing input '" + peek().text + "'",
+                       peek().offset);
+    return stmt;
+  }
+
+ private:
+  SelectItem parse_item() {
+    SelectItem item;
+    if (accept_keyword("AVG")) {
+      expect_symbol("(");
+      expect_keyword("LLM");
+      item.kind = SelectItem::Kind::AvgLlm;
+      item.llm = parse_llm_args();
+      expect_symbol(")");
+    } else if (accept_keyword("LLM")) {
+      item.kind = SelectItem::Kind::Llm;
+      item.llm = parse_llm_args();
+    } else {
+      item.kind = SelectItem::Kind::Column;
+      item.column = unqualified(expect_identifier("column name"));
+    }
+    if (accept_keyword("AS"))
+      item.alias = expect_identifier("alias after AS");
+    return item;
+  }
+
+  /// Parses '(' string (',' (field | '*'))* ')' — the argument list of an
+  /// LLM call (the LLM keyword itself already consumed).
+  LlmCall parse_llm_args() {
+    expect_symbol("(");
+    LlmCall call;
+    const Token& p = peek();
+    if (p.kind != TokenKind::String)
+      throw ParseError("LLM() requires a prompt string as first argument",
+                       p.offset);
+    call.prompt = p.text;
+    advance();
+    while (accept_symbol(",")) {
+      if (accept_symbol("*")) {
+        call.star = true;
+        continue;
+      }
+      // A qualified star ("pr.*") lexes as identifier "pr." followed by
+      // the '*' symbol — detect it before stripping the qualifier.
+      std::string raw = expect_identifier("field name");
+      if (!raw.empty() && raw.back() == '.') {
+        expect_symbol("*");
+        call.star = true;
+        continue;
+      }
+      call.fields.push_back(unqualified(raw));
+    }
+    expect_symbol(")");
+    if (call.star) call.fields.clear();
+    return call;
+  }
+
+  TableRef parse_table_ref() {
+    TableRef ref;
+    ref.table = expect_identifier("table name");
+    if (accept_keyword("JOIN")) {
+      ref.join_table = expect_identifier("join table name");
+      expect_keyword("ON");
+      ref.left_key = expect_identifier("join key");
+      expect_symbol("=");
+      ref.right_key = expect_identifier("join key");
+    }
+    return ref;
+  }
+
+  PredicateAtom parse_atom() {
+    PredicateAtom atom;
+    if (accept_keyword("LLM")) {
+      atom.kind = PredicateAtom::Kind::LlmEquals;
+      atom.llm = parse_llm_args();
+      expect_symbol("=");
+      const Token& lit = peek();
+      if (lit.kind != TokenKind::String)
+        throw ParseError("LLM predicate must compare to a string literal",
+                         lit.offset);
+      atom.literal = lit.text;
+      advance();
+      return atom;
+    }
+    atom.column = unqualified(expect_identifier("column in predicate"));
+    if (accept_symbol("<>")) {
+      expect_keyword("NULL");
+      atom.kind = PredicateAtom::Kind::ColumnNotNull;
+      return atom;
+    }
+    expect_symbol("=");
+    const Token& lit = peek();
+    if (lit.kind != TokenKind::String)
+      throw ParseError("column comparison must use a string literal",
+                       lit.offset);
+    atom.kind = PredicateAtom::Kind::ColumnEquals;
+    atom.literal = lit.text;
+    advance();
+    return atom;
+  }
+
+  // --- token plumbing ---
+  const Token& peek() const { return tokens_[pos_]; }
+  void advance() { if (pos_ + 1 < tokens_.size()) ++pos_; }
+  bool at_end() const { return peek().kind == TokenKind::End; }
+
+  bool accept_keyword(std::string_view kw) {
+    if (peek().kind == TokenKind::Keyword && peek().text == kw) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect_keyword(std::string_view kw) {
+    if (!accept_keyword(kw))
+      throw ParseError("expected " + std::string(kw), peek().offset);
+  }
+  bool accept_symbol(std::string_view sym) {
+    if (peek().kind == TokenKind::Symbol && peek().text == sym) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect_symbol(std::string_view sym) {
+    if (!accept_symbol(sym))
+      throw ParseError("expected '" + std::string(sym) + "', found '" +
+                           peek().text + "'",
+                       peek().offset);
+  }
+  std::string expect_identifier(const std::string& what) {
+    if (peek().kind != TokenKind::Identifier)
+      throw ParseError("expected " + what + ", found '" + peek().text + "'",
+                       peek().offset);
+    std::string out = peek().text;
+    advance();
+    return out;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+SelectStatement parse(std::string_view sql) {
+  Parser parser(lex(sql));
+  return parser.parse_select();
+}
+
+}  // namespace llmq::sql

@@ -1,0 +1,26 @@
+#pragma once
+// Recursive-descent parser for the LLM-query dialect (see ast.hpp).
+
+#include <stdexcept>
+
+#include "sql/ast.hpp"
+#include "sql/lexer.hpp"
+
+namespace llmq::sql {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, std::size_t offset)
+      : std::runtime_error(msg + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Parse one SELECT statement; trailing tokens are an error.
+/// Throws ParseError / LexError on malformed input.
+SelectStatement parse(std::string_view sql);
+
+}  // namespace llmq::sql

@@ -1,0 +1,76 @@
+#include "table/fd.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace llmq::table {
+
+void FdSet::add_group(std::vector<std::string> field_names) {
+  for (std::size_t i = 0; i < field_names.size(); ++i)
+    for (std::size_t j = 0; j < field_names.size(); ++j)
+      if (i != j) add(field_names[i], field_names[j]);
+}
+
+void FdSet::add(const std::string& determinant, const std::string& dependent) {
+  for (const auto& e : edges_)
+    if (e.determinant == determinant && e.dependent == dependent) return;
+  edges_.push_back(Edge{determinant, dependent});
+}
+
+std::vector<std::size_t> FdSet::inferred_columns(const Schema& schema,
+                                                 std::size_t field) const {
+  const std::string& name = schema.field(field).name;
+  // Transitive closure over the (small) edge list.
+  std::vector<std::string> frontier{name};
+  std::unordered_set<std::string> seen{name};
+  std::vector<std::size_t> out;
+  while (!frontier.empty()) {
+    const std::string cur = std::move(frontier.back());
+    frontier.pop_back();
+    for (const auto& e : edges_) {
+      if (e.determinant != cur || seen.count(e.dependent)) continue;
+      seen.insert(e.dependent);
+      frontier.push_back(e.dependent);
+      if (auto idx = schema.index_of(e.dependent)) out.push_back(*idx);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double fd_violation_rate(const Table& t, std::size_t determinant,
+                         std::size_t dependent) {
+  if (t.num_rows() == 0) return 0.0;
+  // For each determinant value, the majority dependent value is compliant;
+  // all other rows in the group are violations.
+  std::unordered_map<std::string_view,
+                     std::unordered_map<std::string_view, std::size_t>>
+      groups;
+  for (std::size_t r = 0; r < t.num_rows(); ++r)
+    ++groups[t.cell(r, determinant)][t.cell(r, dependent)];
+  std::size_t violations = 0;
+  for (const auto& [det, deps] : groups) {
+    std::size_t total = 0, best = 0;
+    for (const auto& [dep, cnt] : deps) {
+      total += cnt;
+      best = std::max(best, cnt);
+    }
+    violations += total - best;
+  }
+  return static_cast<double>(violations) / static_cast<double>(t.num_rows());
+}
+
+FdSet mine_fds(const Table& t, double max_violation) {
+  FdSet out;
+  for (std::size_t a = 0; a < t.num_cols(); ++a) {
+    for (std::size_t b = 0; b < t.num_cols(); ++b) {
+      if (a == b) continue;
+      if (fd_violation_rate(t, a, b) <= max_violation)
+        out.add(t.schema().field(a).name, t.schema().field(b).name);
+    }
+  }
+  return out;
+}
+
+}  // namespace llmq::table

@@ -1,0 +1,59 @@
+#pragma once
+// Functional dependencies (paper §4.2.1).
+//
+// GGR treats FDs as *hints*: when a value in field f is chosen for a row's
+// prefix, every field functionally tied to f is placed directly after f and
+// removed from later recursion. The paper's Appendix B lists FD groups per
+// dataset (e.g. [beer/beerId, beer/name]); we model an FdSet as symmetric
+// groups plus an optional exact miner for discovering them from data.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "table/table.hpp"
+
+namespace llmq::table {
+
+class FdSet {
+ public:
+  FdSet() = default;
+
+  /// Declare a mutual dependency group by field name (every pair in the
+  /// group is an FD in both directions, matching the paper's notation).
+  void add_group(std::vector<std::string> field_names);
+
+  /// Declare a single directed FD: determinant -> dependent.
+  void add(const std::string& determinant, const std::string& dependent);
+
+  /// Fields inferred by `field` (its FD closure, excluding itself),
+  /// resolved against `schema` to column indices. Fields named in the FdSet
+  /// but absent from the schema are ignored — the planner may run on a
+  /// projection of the original table.
+  std::vector<std::size_t> inferred_columns(const Schema& schema,
+                                            std::size_t field) const;
+
+  bool empty() const { return edges_.empty(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  struct Edge {
+    std::string determinant;
+    std::string dependent;
+  };
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  std::vector<Edge> edges_;
+};
+
+/// Fraction of rows violating determinant -> dependent (0 means exact FD).
+/// A pair of rows "violates" when they agree on the determinant but differ
+/// on the dependent; we report violating rows / total rows.
+double fd_violation_rate(const Table& t, std::size_t determinant,
+                         std::size_t dependent);
+
+/// Discover all pairwise FDs with violation rate <= `max_violation`.
+/// O(m^2 * n); intended for planner setup, not per-query hot paths.
+FdSet mine_fds(const Table& t, double max_violation = 0.0);
+
+}  // namespace llmq::table

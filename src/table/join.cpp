@@ -1,0 +1,49 @@
+#include "table/join.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace llmq::table {
+
+Table hash_join(const Table& left, const std::string& left_key,
+                const Table& right, const std::string& right_key) {
+  const std::size_t lk = left.schema().require(left_key);
+  const std::size_t rk = right.schema().require(right_key);
+
+  // Build output schema.
+  std::vector<Field> fields = left.schema().fields();
+  std::vector<std::size_t> right_cols;
+  for (std::size_t c = 0; c < right.num_cols(); ++c) {
+    if (c == rk) continue;
+    right_cols.push_back(c);
+    Field f = right.schema().field(c);
+    bool clash = false;
+    for (const auto& lf : fields)
+      if (lf.name == f.name) clash = true;
+    if (clash) f.name += "_r";
+    fields.push_back(std::move(f));
+  }
+  Table out{Schema(std::move(fields))};
+
+  // Build side: right table keyed by join column.
+  std::unordered_map<std::string_view, std::vector<std::size_t>> build;
+  build.reserve(right.num_rows() * 2);
+  for (std::size_t r = 0; r < right.num_rows(); ++r)
+    build[right.cell(r, rk)].push_back(r);
+
+  for (std::size_t l = 0; l < left.num_rows(); ++l) {
+    const auto it = build.find(left.cell(l, lk));
+    if (it == build.end()) continue;
+    for (std::size_t r : it->second) {
+      std::vector<std::string> cells;
+      cells.reserve(out.num_cols());
+      for (std::size_t c = 0; c < left.num_cols(); ++c)
+        cells.push_back(left.cell(l, c));
+      for (std::size_t c : right_cols) cells.push_back(right.cell(r, c));
+      out.append_row(std::move(cells));
+    }
+  }
+  return out;
+}
+
+}  // namespace llmq::table

@@ -1,0 +1,22 @@
+#pragma once
+// Hash joins.
+//
+// The paper's benchmark tables are produced by joining review tables with
+// metadata tables (e.g. reviews ⋈ products on asin; BIRD Posts ⋈ Comments
+// on PostId). The join is what *creates* the repeated metadata values that
+// GGR exploits, so the data generators build their tables through this
+// code path rather than fabricating repetition directly.
+
+#include <string>
+
+#include "table/table.hpp"
+
+namespace llmq::table {
+
+/// Inner equi-join. Output schema: all left fields, then all right fields
+/// except the right key. Duplicate names from the right side get a "_r"
+/// suffix. Output row order: left-table order, matches in right-table order.
+Table hash_join(const Table& left, const std::string& left_key,
+                const Table& right, const std::string& right_key);
+
+}  // namespace llmq::table

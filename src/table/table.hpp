@@ -1,0 +1,80 @@
+#pragma once
+// Columnar in-memory table.
+//
+// The substrate the reordering algorithms, query executor, and dataset
+// generators operate on. Column-major storage mirrors how analytical
+// engines hold data and makes per-column scans (distinct-value grouping,
+// statistics) cache-friendly — these scans dominate GGR's runtime.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "table/schema.hpp"
+
+namespace llmq::table {
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_cols() const { return schema_.size(); }
+
+  /// Append a row; `cells.size()` must equal `num_cols()`.
+  void append_row(std::vector<std::string> cells);
+
+  const std::string& cell(std::size_t row, std::size_t col) const {
+    return columns_[col][row];
+  }
+  std::string& cell_mut(std::size_t row, std::size_t col) {
+    return columns_[col][row];
+  }
+
+  const std::vector<std::string>& column(std::size_t col) const {
+    return columns_.at(col);
+  }
+  const std::vector<std::string>& column(std::string_view name) const {
+    return columns_.at(schema_.require(name));
+  }
+
+  /// Materialize row `r` in schema order.
+  std::vector<std::string> row(std::size_t r) const;
+
+  /// New table with only `row_indices`, in that order.
+  Table take_rows(const std::vector<std::size_t>& row_indices) const;
+
+  /// New table with only `col_indices`, in that order.
+  Table project(const std::vector<std::size_t>& col_indices) const;
+  Table project(const std::vector<std::string>& col_names) const;
+
+  /// First `n` rows (or all if fewer) — used by the OPHR-sample ablation.
+  Table head(std::size_t n) const;
+
+  /// Concatenate another table with an identical schema.
+  void append_table(const Table& other);
+
+  /// Distinct values of a column with their row lists, in first-seen order.
+  struct Group {
+    std::string value;
+    std::vector<std::size_t> rows;
+  };
+  std::vector<Group> group_by_value(std::size_t col) const;
+
+  /// Rows sorted lexicographically by the given field priority (indices
+  /// into the schema). Returns the permutation, does not reorder storage.
+  std::vector<std::size_t> sorted_row_order(
+      const std::vector<std::size_t>& field_priority) const;
+
+  bool operator==(const Table& other) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<std::string>> columns_;
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace llmq::table

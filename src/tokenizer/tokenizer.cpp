@@ -1,0 +1,121 @@
+#include "tokenizer/tokenizer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/rng.hpp"
+
+namespace llmq::tokenizer {
+
+namespace {
+
+enum class CharClass { Alnum, Space, Punct };
+
+CharClass classify(unsigned char c) {
+  if (std::isalnum(c)) return CharClass::Alnum;
+  if (std::isspace(c)) return CharClass::Space;
+  return CharClass::Punct;
+}
+
+TokenId piece_id(std::string_view piece) {
+  return static_cast<TokenId>(util::hash64(piece.data(), piece.size()));
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions opts) : opts_(opts) {}
+
+template <typename Sink>
+void Tokenizer::tokenize_pieces(std::string_view text, Sink&& sink) const {
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  bool pending_space = false;
+  while (i < n) {
+    const CharClass cls = classify(static_cast<unsigned char>(text[i]));
+    if (cls == CharClass::Space) {
+      // Collapse runs of whitespace into a space-prefix on the next token
+      // (or a standalone token when space_prefix is off).
+      std::size_t j = i;
+      while (j < n && classify(static_cast<unsigned char>(text[j])) ==
+                          CharClass::Space)
+        ++j;
+      if (opts_.space_prefix) {
+        pending_space = true;
+      } else {
+        sink(text.substr(i, 1));
+      }
+      i = j;
+      continue;
+    }
+    if (cls == CharClass::Punct) {
+      // Each punctuation char is its own token (absorbing a pending space).
+      if (pending_space) {
+        char buf[2] = {' ', text[i]};
+        sink(std::string_view(buf, 2));
+        pending_space = false;
+      } else {
+        sink(text.substr(i, 1));
+      }
+      ++i;
+      continue;
+    }
+    // Alphanumeric run.
+    std::size_t j = i;
+    while (j < n &&
+           classify(static_cast<unsigned char>(text[j])) == CharClass::Alnum)
+      ++j;
+    std::size_t pos = i;
+    bool first_piece = true;
+    while (pos < j) {
+      const std::size_t take = std::min(opts_.max_piece_chars, j - pos);
+      if (first_piece && pending_space) {
+        std::string with_space;
+        with_space.reserve(take + 1);
+        with_space += ' ';
+        with_space.append(text.substr(pos, take));
+        sink(std::string_view(with_space));
+        pending_space = false;
+      } else {
+        sink(text.substr(pos, take));
+      }
+      first_piece = false;
+      pos += take;
+    }
+    i = j;
+  }
+}
+
+TokenSeq Tokenizer::encode(std::string_view text) const {
+  TokenSeq out;
+  out.reserve(text.size() / 4 + 4);
+  tokenize_pieces(text, [&](std::string_view piece) {
+    out.push_back(piece_id(piece));
+  });
+  return out;
+}
+
+std::size_t Tokenizer::count(std::string_view text) const {
+  std::size_t n = 0;
+  tokenize_pieces(text, [&](std::string_view) { ++n; });
+  return n;
+}
+
+void Tokenizer::encode_append(std::string_view text, TokenSeq& out) const {
+  tokenize_pieces(text, [&](std::string_view piece) {
+    out.push_back(piece_id(piece));
+  });
+}
+
+const Tokenizer& global_tokenizer() {
+  static const Tokenizer tok;
+  return tok;
+}
+
+std::size_t common_prefix_len(const TokenSeq& a, const TokenSeq& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace llmq::tokenizer

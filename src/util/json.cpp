@@ -1,0 +1,117 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+
+namespace llmq::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::maybe_comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  maybe_comma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  maybe_comma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  maybe_comma();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  maybe_comma();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  maybe_comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  maybe_comma();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  maybe_comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  maybe_comma();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::kv(std::string_view k, std::string_view v) {
+  key(k);
+  return value(v);
+}
+
+}  // namespace llmq::util

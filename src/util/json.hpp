@@ -1,0 +1,48 @@
+#pragma once
+// Minimal JSON writer.
+//
+// The LLM operator serializes each row as a JSON object (paper §5: "We use
+// JSON formatting to encode row values"), so prompt construction needs a
+// small, exact, deterministic JSON emitter. Only writing is needed; the
+// library never parses JSON.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llmq::util {
+
+/// Escape a string for inclusion inside JSON quotes.
+std::string json_escape(std::string_view s);
+
+/// Streaming writer producing compact JSON. Field order is exactly the
+/// insertion order — this is load-bearing: per-row field *order* is the
+/// paper's optimization variable, and the serialized prompt must respect it.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Convenience: key + string value.
+  JsonWriter& kv(std::string_view k, std::string_view v);
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void maybe_comma();
+  std::string out_;
+  std::vector<bool> needs_comma_;  // one per open scope
+  bool after_key_ = false;
+};
+
+}  // namespace llmq::util

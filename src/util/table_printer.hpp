@@ -1,0 +1,30 @@
+#pragma once
+// Aligned console table output used by the benchmark harnesses to print
+// rows matching the paper's tables and figures.
+
+#include <string>
+#include <vector>
+
+namespace llmq::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment. Numeric-looking cells are right-aligned.
+  std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner: "== title ==".
+void print_banner(const std::string& title);
+
+}  // namespace llmq::util

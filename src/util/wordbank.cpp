@@ -1,0 +1,111 @@
+#include "util/wordbank.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cmath>
+
+namespace llmq::util {
+
+namespace {
+
+constexpr std::array<const char*, 24> kOnsets = {
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j",
+    "k", "l",  "m", "n",  "p", "pr", "r", "s",  "st", "t", "tr", "v"};
+constexpr std::array<const char*, 12> kNuclei = {
+    "a", "e", "i", "o", "u", "ai", "ea", "ie", "oa", "ou", "ee", "io"};
+constexpr std::array<const char*, 14> kCodas = {
+    "", "n", "r", "s", "t", "l", "m", "nd", "st", "rk", "ck", "sh", "th", "ng"};
+
+std::string make_word(Rng& rng) {
+  const std::size_t n_syllables = 1 + rng.next_below(3);
+  std::string w;
+  for (std::size_t s = 0; s < n_syllables; ++s) {
+    w += kOnsets[rng.next_below(kOnsets.size())];
+    w += kNuclei[rng.next_below(kNuclei.size())];
+    if (s + 1 == n_syllables || rng.next_bool(0.3))
+      w += kCodas[rng.next_below(kCodas.size())];
+  }
+  return w;
+}
+
+}  // namespace
+
+WordBank::WordBank(std::uint64_t seed, std::size_t vocab_size) {
+  Rng rng(hash_combine(seed, 0x77047db07ULL));
+  words_.reserve(vocab_size);
+  while (words_.size() < vocab_size) {
+    std::string w = make_word(rng);
+    words_.push_back(std::move(w));
+  }
+  // Zipf(1.05) CDF over ranks — natural-language-like frequency profile.
+  cdf_.resize(vocab_size);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < vocab_size; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), 1.05);
+    cdf_[k] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+const std::string& WordBank::word(std::size_t id) const {
+  return words_[id % words_.size()];
+}
+
+const std::string& WordBank::sample_word(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return words_[static_cast<std::size_t>(it - cdf_.begin())];
+}
+
+std::string WordBank::sentence(Rng& rng, std::size_t n_words) const {
+  std::string out;
+  std::size_t since_punct = 0;
+  bool capitalize = true;
+  for (std::size_t i = 0; i < n_words; ++i) {
+    std::string w = sample_word(rng);
+    if (capitalize) {
+      w[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(w[0])));
+      capitalize = false;
+    }
+    if (!out.empty()) out += ' ';
+    out += w;
+    ++since_punct;
+    const bool last = (i + 1 == n_words);
+    if (last || (since_punct >= 8 && rng.next_bool(0.25))) {
+      out += '.';
+      since_punct = 0;
+      capitalize = true;
+    }
+  }
+  return out;
+}
+
+std::string WordBank::text_of_tokens(Rng& rng, std::size_t target_tokens) const {
+  // ~1.9 tokens per word under the llmq tokenizer: one space-prefixed
+  // piece per short word, 2-3 pieces for the long tail of multi-syllable
+  // words, plus sentence punctuation. Calibrated against measurement in
+  // tests/util/test_wordbank.cpp.
+  const auto n_words = static_cast<std::size_t>(
+      std::max(1.0, static_cast<double>(target_tokens) / 1.9));
+  return sentence(rng, n_words);
+}
+
+std::string WordBank::title(Rng& rng, std::size_t n_words) const {
+  std::string out;
+  for (std::size_t i = 0; i < n_words; ++i) {
+    std::string w = sample_word(rng);
+    w[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(w[0])));
+    if (!out.empty()) out += ' ';
+    out += w;
+  }
+  return out;
+}
+
+const WordBank& default_wordbank() {
+  static const WordBank bank(42, 20000);
+  return bank;
+}
+
+}  // namespace llmq::util

@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic synthetic-English text generation.
+//
+// The benchmark datasets (reviews, post bodies, evidence passages) are
+// replaced by synthetic text whose *statistical* shape matches the paper's
+// Table 1 (average token lengths) and whose repetition structure matches
+// each dataset's description. WordBank produces pronounceable pseudo-words
+// from a seeded syllable model, so text is stable across runs and platforms
+// and tokenizes at a realistic tokens-per-word rate.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace llmq::util {
+
+class WordBank {
+ public:
+  /// `vocab_size` distinct words derived deterministically from `seed`.
+  WordBank(std::uint64_t seed, std::size_t vocab_size);
+
+  /// The id-th vocabulary word (stable).
+  const std::string& word(std::size_t id) const;
+
+  std::size_t vocab_size() const { return words_.size(); }
+
+  /// Zipf-weighted random word (common words repeat, like natural text).
+  const std::string& sample_word(Rng& rng) const;
+
+  /// Space-separated text with exactly `n_words` words, sentence-cased with
+  /// terminal punctuation roughly every 8-14 words.
+  std::string sentence(Rng& rng, std::size_t n_words) const;
+
+  /// Text sized to approximately `target_tokens` tokens under the llmq
+  /// tokenizer (~1.9 tokens/word average); deterministic given `rng` state.
+  std::string text_of_tokens(Rng& rng, std::size_t target_tokens) const;
+
+  /// Title-case short phrase of `n_words` words (for names/titles).
+  std::string title(Rng& rng, std::size_t n_words) const;
+
+ private:
+  std::vector<std::string> words_;
+  std::vector<double> cdf_;  // Zipf CDF over the vocabulary
+};
+
+/// A globally shared bank (seed 42, 20k words) for generators that only
+/// need generic prose.
+const WordBank& default_wordbank();
+
+}  // namespace llmq::util

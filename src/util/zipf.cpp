@@ -1,0 +1,32 @@
+#include "util/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace llmq::util {
+
+Zipf::Zipf(std::size_t n, double s) : s_(s) {
+  if (n == 0) throw std::invalid_argument("Zipf: n must be positive");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double Zipf::pmf(std::size_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  return cdf_[k] - (k == 0 ? 0.0 : cdf_[k - 1]);
+}
+
+}  // namespace llmq::util

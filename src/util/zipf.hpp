@@ -1,0 +1,34 @@
+#pragma once
+// Zipfian sampler for skewed categorical data.
+//
+// Real relational columns (product ids, reviewer names, styles, genres)
+// are heavily skewed; the dataset generators use Zipf draws so that a few
+// values repeat across many rows — exactly the structure GGR exploits.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace llmq::util {
+
+/// Samples ranks in [0, n) with P(rank=k) proportional to 1/(k+1)^s.
+/// Precomputes the CDF; sampling is O(log n) via binary search.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double skew() const { return s_; }
+
+  /// Probability mass of rank k.
+  double pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+  double s_;
+};
+
+}  // namespace llmq::util

@@ -1,0 +1,169 @@
+// Property tests: the radix-tree PrefixCache against a brute-force
+// reference model over randomized request streams.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "cache/prefix_cache.hpp"
+#include "util/rng.hpp"
+
+namespace llmq::cache {
+namespace {
+
+/// Reference model for an *unbounded* cache: remembers every admitted
+/// sequence; a lookup's hit is the longest block-aligned common prefix
+/// with any previously admitted sequence.
+class ReferenceCache {
+ public:
+  explicit ReferenceCache(std::size_t block) : block_(block) {}
+
+  std::size_t lookup(const tokenizer::TokenSeq& p) const {
+    std::size_t best = 0;
+    for (const auto& s : seen_) {
+      std::size_t k = 0;
+      const std::size_t lim = std::min(s.size(), p.size());
+      while (k < lim && s[k] == p[k]) ++k;
+      best = std::max(best, k);
+    }
+    return (best / block_) * block_;
+  }
+
+  void admit(const tokenizer::TokenSeq& p) {
+    // Only full blocks are retained.
+    tokenizer::TokenSeq full(p.begin(),
+                             p.begin() + static_cast<std::ptrdiff_t>(
+                                             (p.size() / block_) * block_));
+    seen_.push_back(std::move(full));
+  }
+
+ private:
+  std::size_t block_;
+  std::vector<tokenizer::TokenSeq> seen_;
+};
+
+struct StreamParams {
+  std::size_t block;
+  std::size_t n_requests;
+  std::size_t vocab;        // small vocab => heavy prefix collisions
+  std::size_t max_len;
+  std::uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const StreamParams& p) {
+  return os << "b" << p.block << "n" << p.n_requests << "v" << p.vocab << "l"
+            << p.max_len << "s" << p.seed;
+}
+
+std::vector<tokenizer::TokenSeq> make_stream(const StreamParams& p) {
+  util::Rng rng(p.seed);
+  std::vector<tokenizer::TokenSeq> out;
+  for (std::size_t i = 0; i < p.n_requests; ++i) {
+    const std::size_t len = 1 + rng.next_below(p.max_len);
+    tokenizer::TokenSeq s(len);
+    for (auto& t : s)
+      t = static_cast<tokenizer::TokenId>(rng.next_below(p.vocab));
+    // Half the time, extend a previous request instead (realistic reuse).
+    if (!out.empty() && rng.next_bool(0.5)) {
+      const auto& base = out[rng.next_below(out.size())];
+      const std::size_t keep = rng.next_below(base.size() + 1);
+      s.insert(s.begin(), base.begin(),
+               base.begin() + static_cast<std::ptrdiff_t>(keep));
+      if (s.size() > 4 * p.max_len) s.resize(4 * p.max_len);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+class CacheVsReference : public ::testing::TestWithParam<StreamParams> {};
+
+TEST_P(CacheVsReference, UnboundedCacheMatchesReferenceExactly) {
+  const auto params = GetParam();
+  const auto stream = make_stream(params);
+  PrefixCache cache(CacheConfig{params.block, 0, true});
+  ReferenceCache ref(params.block);
+  for (const auto& p : stream) {
+    auto lease = cache.lookup(p);
+    EXPECT_EQ(lease.cached_tokens, ref.lookup(p));
+    cache.admit(p, lease);
+    ref.admit(p);
+    cache.release(lease);
+  }
+}
+
+TEST_P(CacheVsReference, BoundedCacheNeverBeatsReference) {
+  const auto params = GetParam();
+  const auto stream = make_stream(params);
+  PrefixCache cache(CacheConfig{params.block, 24, true});
+  ReferenceCache ref(params.block);
+  for (const auto& p : stream) {
+    auto lease = cache.lookup(p);
+    EXPECT_LE(lease.cached_tokens, ref.lookup(p));
+    cache.admit(p, lease);
+    ref.admit(p);
+    cache.release(lease);
+  }
+  EXPECT_LE(cache.resident_blocks(), 24u);
+}
+
+TEST_P(CacheVsReference, ResidencyNeverExceedsInsertedMinusEvicted) {
+  const auto params = GetParam();
+  const auto stream = make_stream(params);
+  PrefixCache cache(CacheConfig{params.block, 16, true});
+  for (const auto& p : stream) {
+    auto lease = cache.lookup(p);
+    cache.admit(p, lease);
+    cache.release(lease);
+    EXPECT_EQ(cache.resident_blocks(),
+              cache.stats().inserted_blocks - cache.stats().evicted_blocks);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheVsReference,
+    ::testing::Values(StreamParams{1, 60, 2, 6, 1},
+                      StreamParams{2, 80, 3, 10, 2},
+                      StreamParams{4, 100, 2, 16, 3},
+                      StreamParams{4, 100, 8, 24, 4},
+                      StreamParams{8, 60, 4, 40, 5},
+                      StreamParams{16, 50, 2, 64, 6},
+                      StreamParams{3, 120, 2, 9, 7}));
+
+TEST(CachePinning, ConcurrentLeasesAccountCorrectly) {
+  // Many in-flight leases over a shared prefix: pin counts must allow all
+  // to release exactly once, and eviction must respect every pin.
+  PrefixCache cache(CacheConfig{4, 0, true});
+  tokenizer::TokenSeq shared(16);
+  std::iota(shared.begin(), shared.end(), 0u);
+
+  std::vector<CacheLease> leases;
+  for (int i = 0; i < 8; ++i) {
+    auto lease = cache.lookup(shared);
+    cache.admit(shared, lease);
+    leases.push_back(std::move(lease));
+  }
+  EXPECT_EQ(cache.resident_blocks(), 4u);
+  EXPECT_EQ(cache.evict(100), 0u);  // all pinned
+  for (int i = 0; i < 7; ++i) cache.release(leases[i]);
+  EXPECT_EQ(cache.evict(100), 0u);  // one lease still pins the path
+  cache.release(leases[7]);
+  EXPECT_EQ(cache.evict(100), 4u);
+  EXPECT_EQ(cache.resident_blocks(), 0u);
+}
+
+TEST(CachePinning, DoubleReleaseIsSafeNoOp) {
+  PrefixCache cache(CacheConfig{4, 0, true});
+  tokenizer::TokenSeq p{1, 2, 3, 4};
+  auto lease = cache.lookup(p);
+  cache.admit(p, lease);
+  cache.release(lease);
+  // Lease cleared on release; releasing again must not throw or unpin
+  // anything else.
+  EXPECT_NO_THROW(cache.release(lease));
+}
+
+}  // namespace
+}  // namespace llmq::cache

@@ -1,0 +1,136 @@
+#include "cache/prefix_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace llmq::cache {
+namespace {
+
+tokenizer::TokenSeq iota_seq(std::size_t n, TokenId start = 0) {
+  tokenizer::TokenSeq s(n);
+  std::iota(s.begin(), s.end(), start);
+  return s;
+}
+
+CacheConfig cfg(std::size_t block = 4, std::size_t cap = 0, bool on = true) {
+  CacheConfig c;
+  c.block_size = block;
+  c.capacity_blocks = cap;
+  c.enabled = on;
+  return c;
+}
+
+TEST(PrefixCache, ColdLookupMisses) {
+  PrefixCache pc(cfg());
+  const auto p = iota_seq(16);
+  auto lease = pc.lookup(p);
+  EXPECT_EQ(lease.cached_tokens, 0u);
+  EXPECT_EQ(pc.stats().hit_tokens, 0u);
+  EXPECT_EQ(pc.stats().lookup_tokens, 16u);
+}
+
+TEST(PrefixCache, AdmitThenHit) {
+  PrefixCache pc(cfg());
+  const auto p = iota_seq(16);
+  auto lease = pc.lookup(p);
+  pc.admit(p, lease);
+  pc.release(lease);
+  auto lease2 = pc.lookup(p);
+  EXPECT_EQ(lease2.cached_tokens, 16u);
+  EXPECT_DOUBLE_EQ(pc.stats().hit_rate(), 0.5);  // 16 of 32 looked-up tokens
+  pc.release(lease2);
+}
+
+TEST(PrefixCache, DisabledCacheNeverHits) {
+  PrefixCache pc(cfg(4, 0, /*on=*/false));
+  const auto p = iota_seq(16);
+  auto lease = pc.lookup(p);
+  EXPECT_EQ(pc.admit(p, lease), 0u);
+  auto lease2 = pc.lookup(p);
+  EXPECT_EQ(lease2.cached_tokens, 0u);
+  EXPECT_EQ(pc.resident_blocks(), 0u);
+}
+
+TEST(PrefixCache, SharedPrefixAcrossRequests) {
+  PrefixCache pc(cfg());
+  auto a = iota_seq(16);
+  auto b = iota_seq(16);
+  b[12] = 999;  // last block differs
+  auto la = pc.lookup(a);
+  pc.admit(a, la);
+  pc.release(la);
+  auto lb = pc.lookup(b);
+  EXPECT_EQ(lb.cached_tokens, 12u);
+  pc.admit(b, lb);
+  pc.release(lb);
+  EXPECT_EQ(pc.resident_blocks(), 5u);  // 4 + 1 divergent
+}
+
+TEST(PrefixCache, CapacityEvictsLru) {
+  PrefixCache pc(cfg(4, /*cap=*/4));
+  // Fill with request A (4 blocks), release, then admit B (4 blocks).
+  const auto a = iota_seq(16, 0);
+  const auto b = iota_seq(16, 100);
+  auto la = pc.lookup(a);
+  pc.admit(a, la);
+  pc.release(la);
+  auto lb = pc.lookup(b);
+  pc.admit(b, lb);
+  pc.release(lb);
+  EXPECT_LE(pc.resident_blocks(), 4u);
+  EXPECT_GT(pc.stats().evicted_blocks, 0u);
+}
+
+TEST(PrefixCache, PinnedLeaseSurvivesPressure) {
+  PrefixCache pc(cfg(4, /*cap=*/4));
+  const auto a = iota_seq(16, 0);
+  auto la = pc.lookup(a);
+  pc.admit(a, la);  // pinned, 4 blocks
+  const auto b = iota_seq(16, 100);
+  auto lb = pc.lookup(b);
+  pc.admit(b, lb);  // nothing evictable; b admitted partially or not at all
+  // a's full path must still hit.
+  EXPECT_EQ(pc.resident_blocks(), 4u);
+  pc.release(la);
+  pc.release(lb);
+  auto la2 = pc.lookup(a);
+  EXPECT_EQ(la2.cached_tokens, 16u);
+  pc.release(la2);
+}
+
+TEST(PrefixCache, EngineDrivenEvict) {
+  PrefixCache pc(cfg(4, 0));
+  const auto a = iota_seq(16);
+  auto la = pc.lookup(a);
+  pc.admit(a, la);
+  pc.release(la);
+  EXPECT_EQ(pc.resident_blocks(), 4u);
+  EXPECT_EQ(pc.evict(2), 2u);
+  EXPECT_EQ(pc.resident_blocks(), 2u);
+}
+
+TEST(PrefixCache, BlocksNeededArithmetic) {
+  PrefixCache pc(cfg(4, 0));
+  EXPECT_EQ(pc.blocks_needed(16, 0), 4u);
+  EXPECT_EQ(pc.blocks_needed(16, 8), 2u);
+  EXPECT_EQ(pc.blocks_needed(18, 16), 0u);  // partial tail not cached
+  EXPECT_EQ(pc.blocks_needed(3, 0), 0u);
+}
+
+TEST(PrefixCache, StatsAccumulate) {
+  PrefixCache pc(cfg());
+  const auto p = iota_seq(8);
+  for (int i = 0; i < 3; ++i) {
+    auto lease = pc.lookup(p);
+    pc.admit(p, lease);
+    pc.release(lease);
+  }
+  EXPECT_EQ(pc.stats().lookups, 3u);
+  EXPECT_EQ(pc.stats().lookup_tokens, 24u);
+  EXPECT_EQ(pc.stats().hit_tokens, 16u);  // 2nd and 3rd fully cached
+  EXPECT_EQ(pc.stats().inserted_blocks, 2u);
+}
+
+}  // namespace
+}  // namespace llmq::cache

@@ -1,0 +1,141 @@
+#include "cache/radix_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace llmq::cache {
+namespace {
+
+tokenizer::TokenSeq seq(std::initializer_list<TokenId> ids) { return ids; }
+
+tokenizer::TokenSeq iota_seq(std::size_t n, TokenId start = 0) {
+  tokenizer::TokenSeq s(n);
+  std::iota(s.begin(), s.end(), start);
+  return s;
+}
+
+TEST(RadixTree, ZeroBlockSizeRejected) {
+  EXPECT_THROW(RadixTree(0), std::invalid_argument);
+}
+
+TEST(RadixTree, EmptyTreeMatchesNothing) {
+  RadixTree t(4);
+  EXPECT_EQ(t.match(iota_seq(16)).matched_tokens, 0u);
+  EXPECT_EQ(t.num_blocks(), 0u);
+}
+
+TEST(RadixTree, InsertThenFullMatch) {
+  RadixTree t(4);
+  const auto s = iota_seq(12);
+  const auto ins = t.insert(s, 1);
+  EXPECT_EQ(ins.new_blocks, 3u);
+  EXPECT_EQ(t.num_blocks(), 3u);
+  const auto m = t.match(s);
+  EXPECT_EQ(m.matched_tokens, 12u);
+  EXPECT_EQ(m.path.size(), 3u);
+}
+
+TEST(RadixTree, PartialBlockNotCached) {
+  RadixTree t(4);
+  t.insert(iota_seq(10), 1);  // 2 full blocks; trailing 2 tokens dropped
+  EXPECT_EQ(t.num_blocks(), 2u);
+  EXPECT_EQ(t.match(iota_seq(10)).matched_tokens, 8u);
+}
+
+TEST(RadixTree, SharedPrefixSharesNodes) {
+  RadixTree t(4);
+  auto a = iota_seq(8);                 // blocks [0..3][4..7]
+  auto b = iota_seq(8);
+  b[6] = 99;                            // second block differs
+  t.insert(a, 1);
+  const auto ins_b = t.insert(b, 2);
+  EXPECT_EQ(ins_b.new_blocks, 1u);      // first block reused
+  EXPECT_EQ(t.num_blocks(), 3u);
+  EXPECT_EQ(t.match(a).matched_tokens, 8u);
+  EXPECT_EQ(t.match(b).matched_tokens, 8u);
+}
+
+TEST(RadixTree, MatchStopsAtDivergence) {
+  RadixTree t(4);
+  t.insert(iota_seq(8), 1);
+  auto probe = iota_seq(8);
+  probe[5] = 42;
+  EXPECT_EQ(t.match(probe).matched_tokens, 4u);
+}
+
+TEST(RadixTree, InsertRespectsMaxNewBlocks) {
+  RadixTree t(4);
+  const auto ins = t.insert(iota_seq(16), 1, 2);
+  EXPECT_EQ(ins.new_blocks, 2u);
+  EXPECT_EQ(t.num_blocks(), 2u);
+  EXPECT_EQ(ins.path.size(), 2u);
+}
+
+TEST(RadixTree, EvictLruRemovesOldestLeaf) {
+  RadixTree t(4);
+  t.insert(seq({1, 2, 3, 4}), 1);
+  t.insert(seq({5, 6, 7, 8}), 2);
+  EXPECT_EQ(t.evict_lru(1), 1u);
+  // The older (time 1) chain must be gone; the newer remains.
+  EXPECT_EQ(t.match(seq({1, 2, 3, 4})).matched_tokens, 0u);
+  EXPECT_EQ(t.match(seq({5, 6, 7, 8})).matched_tokens, 4u);
+}
+
+TEST(RadixTree, EvictionIsLeafFirst) {
+  RadixTree t(4);
+  t.insert(iota_seq(12), 1);  // chain of 3
+  EXPECT_EQ(t.evict_lru(1), 1u);
+  // Prefix-closed: the first two blocks still match.
+  EXPECT_EQ(t.match(iota_seq(12)).matched_tokens, 8u);
+}
+
+TEST(RadixTree, PinnedNodesNotEvicted) {
+  RadixTree t(4);
+  const auto ins = t.insert(seq({1, 2, 3, 4}), 1);
+  t.pin(ins.path);
+  EXPECT_EQ(t.evict_lru(5), 0u);
+  EXPECT_EQ(t.pinned_blocks(), 1u);
+  t.unpin(ins.path);
+  EXPECT_EQ(t.evict_lru(5), 1u);
+}
+
+TEST(RadixTree, UnpinWithoutPinThrows) {
+  RadixTree t(4);
+  const auto ins = t.insert(seq({1, 2, 3, 4}), 1);
+  EXPECT_THROW(t.unpin(ins.path), std::logic_error);
+}
+
+TEST(RadixTree, TouchProtectsFromLru) {
+  RadixTree t(4);
+  const auto a = t.insert(seq({1, 2, 3, 4}), 1);
+  t.insert(seq({5, 6, 7, 8}), 2);
+  t.touch(a.path, 3);  // refresh the older entry
+  EXPECT_EQ(t.evict_lru(1), 1u);
+  EXPECT_EQ(t.match(seq({1, 2, 3, 4})).matched_tokens, 4u);
+  EXPECT_EQ(t.match(seq({5, 6, 7, 8})).matched_tokens, 0u);
+}
+
+TEST(RadixTree, NodeReuseAfterEviction) {
+  RadixTree t(2);
+  for (int round = 0; round < 50; ++round) {
+    t.insert(seq({static_cast<TokenId>(round), 1}), round);
+    t.evict_lru(1);
+  }
+  EXPECT_EQ(t.num_blocks(), 0u);
+}
+
+TEST(RadixTree, DeepSharedHierarchy) {
+  RadixTree t(2);
+  // 4 sequences sharing progressively longer prefixes.
+  t.insert(seq({1, 2, 3, 4, 5, 6}), 1);
+  t.insert(seq({1, 2, 3, 4, 9, 9}), 2);
+  t.insert(seq({1, 2, 8, 8, 8, 8}), 3);
+  // seq1 adds 3 blocks; seq2 reuses 2 and adds 1; seq3 reuses 1, adds 2.
+  EXPECT_EQ(t.num_blocks(), 6u);
+  EXPECT_EQ(t.match(seq({1, 2, 3, 4, 5, 6})).matched_tokens, 6u);
+  EXPECT_EQ(t.match(seq({1, 2, 8, 8})).matched_tokens, 4u);
+}
+
+}  // namespace
+}  // namespace llmq::cache

@@ -1,0 +1,62 @@
+#include "core/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llmq::core {
+namespace {
+
+table::Table tiny() {
+  table::Table t(table::Schema::of_names({"a", "b"}));
+  t.append_row({"1", "x"});
+  t.append_row({"2", "y"});
+  return t;
+}
+
+TEST(Ordering, IdentityValidates) {
+  const auto o = Ordering::identity(3, 4);
+  EXPECT_TRUE(o.validate(3, 4));
+  EXPECT_EQ(o.row_at(2), 2u);
+  EXPECT_EQ(o.fields_at(1), (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Ordering, FixedFieldsSharesPermutation) {
+  const auto o = Ordering::fixed_fields({1, 0}, {1, 0});
+  EXPECT_TRUE(o.validate(2, 2));
+  EXPECT_EQ(o.fields_at(0), o.fields_at(1));
+  EXPECT_EQ(o.row_at(0), 1u);
+}
+
+TEST(Ordering, SizeMismatchThrows) {
+  EXPECT_THROW(Ordering({0, 1}, {{0}}), std::invalid_argument);
+}
+
+TEST(Ordering, ValidateCatchesDuplicateRow) {
+  const Ordering o({0, 0}, {{0}, {0}});
+  EXPECT_FALSE(o.validate(2, 1));
+}
+
+TEST(Ordering, ValidateCatchesOutOfRangeRow) {
+  const Ordering o({0, 5}, {{0}, {0}});
+  EXPECT_FALSE(o.validate(2, 1));
+}
+
+TEST(Ordering, ValidateCatchesBadFieldPermutation) {
+  const Ordering o({0, 1}, {{0, 1}, {1, 1}});
+  EXPECT_FALSE(o.validate(2, 2));
+}
+
+TEST(Ordering, ValidateCatchesWrongRowCount) {
+  const auto o = Ordering::identity(2, 2);
+  EXPECT_FALSE(o.validate(3, 2));
+}
+
+TEST(Ordering, CellAccessorRespectsPermutation) {
+  const auto t = tiny();
+  const Ordering o({1, 0}, {{1, 0}, {0, 1}});
+  EXPECT_EQ(o.cell(t, 0, 0), "y");  // row 1, field b
+  EXPECT_EQ(o.cell(t, 0, 1), "2");
+  EXPECT_EQ(o.cell(t, 1, 0), "1");  // row 0, field a
+}
+
+}  // namespace
+}  // namespace llmq::core

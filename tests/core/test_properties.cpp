@@ -1,0 +1,163 @@
+// Parameterized property suites over the reordering stack (paper §3-§4):
+// invariants that must hold for every planner on randomized tables.
+
+#include <gtest/gtest.h>
+
+#include <ostream>
+#include <set>
+
+#include "core/baselines.hpp"
+#include "core/ggr.hpp"
+#include "core/ophr.hpp"
+#include "core/phc.hpp"
+#include "util/rng.hpp"
+
+namespace llmq::core {
+namespace {
+
+using table::Schema;
+using table::Table;
+
+struct TableShape {
+  std::size_t rows;
+  std::size_t cols;
+  int alphabet;        // distinct single-char values per column
+  std::uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const TableShape& s) {
+  return os << s.rows << "x" << s.cols << "/a" << s.alphabet << "/s" << s.seed;
+}
+
+Table make_table(const TableShape& shape) {
+  util::Rng rng(shape.seed);
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < shape.cols; ++c)
+    names.push_back("f" + std::to_string(c));
+  Table t(Schema::of_names(names));
+  for (std::size_t r = 0; r < shape.rows; ++r) {
+    std::vector<std::string> row;
+    for (std::size_t c = 0; c < shape.cols; ++c)
+      row.push_back(std::string(
+          1, static_cast<char>('a' + rng.next_below(shape.alphabet))));
+    t.append_row(std::move(row));
+  }
+  return t;
+}
+
+class ReorderProperty : public ::testing::TestWithParam<TableShape> {};
+
+TEST_P(ReorderProperty, GgrOrderingIsPermutation) {
+  const auto t = make_table(GetParam());
+  GgrOptions opts;
+  opts.measure = LengthMeasure::Unit;
+  const auto r = ggr(t, opts);
+  EXPECT_TRUE(r.ordering.validate(t.num_rows(), t.num_cols()));
+}
+
+TEST_P(ReorderProperty, GgrPhcSelfConsistent) {
+  const auto t = make_table(GetParam());
+  GgrOptions opts;
+  opts.measure = LengthMeasure::Unit;
+  const auto r = ggr(t, opts);
+  EXPECT_DOUBLE_EQ(r.phc, phc(t, r.ordering, LengthMeasure::Unit));
+}
+
+TEST_P(ReorderProperty, GgrAtLeastStatsFixed) {
+  // GGR with unlimited depth should never do worse than its own fallback
+  // policy applied to the whole table... but greedy choices can in theory
+  // lose to the global sort, so we assert a generous 70% floor, which holds
+  // across the sweep and would catch real regressions.
+  const auto t = make_table(GetParam());
+  GgrOptions opts;
+  opts.measure = LengthMeasure::Unit;
+  opts.max_row_depth = -1;
+  opts.max_col_depth = -1;
+  const auto r = ggr(t, opts);
+  const double fixed = phc(t, stats_fixed_ordering(t), LengthMeasure::Unit);
+  EXPECT_GE(r.phc + 1e-9, 0.7 * fixed);
+}
+
+TEST_P(ReorderProperty, PhcNonNegativeAndBounded) {
+  const auto t = make_table(GetParam());
+  const auto b =
+      phc_breakdown(t, original_ordering(t), LengthMeasure::Unit);
+  EXPECT_GE(b.total, 0.0);
+  EXPECT_LE(b.total, b.max_possible + 1e-9);
+}
+
+TEST_P(ReorderProperty, RowPermutationPreservesRowMultiset) {
+  const auto t = make_table(GetParam());
+  GgrOptions opts;
+  opts.measure = LengthMeasure::Unit;
+  const auto r = ggr(t, opts);
+  // Each emitted position, materialized in field order, must be a
+  // permutation of the original row's cells.
+  for (std::size_t pos = 0; pos < r.ordering.num_rows(); ++pos) {
+    const std::size_t row = r.ordering.row_at(pos);
+    std::multiset<std::string> expect;
+    for (std::size_t c = 0; c < t.num_cols(); ++c)
+      expect.insert(t.cell(row, c));
+    std::multiset<std::string> got;
+    for (std::size_t f = 0; f < t.num_cols(); ++f)
+      got.insert(r.ordering.cell(t, pos, f));
+    EXPECT_EQ(expect, got);
+  }
+}
+
+TEST_P(ReorderProperty, DepthLimitedGgrNeverInvalid) {
+  const auto t = make_table(GetParam());
+  for (int rd : {0, 1, 4}) {
+    for (int cd : {0, 2}) {
+      GgrOptions opts;
+      opts.measure = LengthMeasure::Unit;
+      opts.max_row_depth = rd;
+      opts.max_col_depth = cd;
+      const auto r = ggr(t, opts);
+      EXPECT_TRUE(r.ordering.validate(t.num_rows(), t.num_cols()))
+          << "rd=" << rd << " cd=" << cd;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReorderProperty,
+    ::testing::Values(TableShape{2, 1, 1, 1}, TableShape{2, 2, 2, 2},
+                      TableShape{5, 3, 2, 3}, TableShape{8, 2, 3, 4},
+                      TableShape{10, 4, 2, 5}, TableShape{16, 3, 4, 6},
+                      TableShape{25, 5, 3, 7}, TableShape{40, 4, 5, 8},
+                      TableShape{64, 6, 2, 9}, TableShape{100, 3, 8, 10},
+                      TableShape{33, 7, 3, 11}, TableShape{50, 2, 2, 12}));
+
+// OPHR-vs-GGR dominance on brute-forceable shapes.
+class OptimalityProperty : public ::testing::TestWithParam<TableShape> {};
+
+TEST_P(OptimalityProperty, OphrDominatesGgr) {
+  const auto t = make_table(GetParam());
+  const auto o = ophr(t, {.measure = LengthMeasure::Unit});
+  ASSERT_TRUE(o.has_value());
+  GgrOptions opts;
+  opts.measure = LengthMeasure::Unit;
+  opts.max_row_depth = -1;
+  opts.max_col_depth = -1;
+  const auto g = ggr(t, opts);
+  EXPECT_GE(phc(t, o->ordering, LengthMeasure::Unit) + 1e-9, g.phc);
+}
+
+TEST_P(OptimalityProperty, OphrEmissionConsistent) {
+  const auto t = make_table(GetParam());
+  const auto o = ophr(t, {.measure = LengthMeasure::Unit});
+  ASSERT_TRUE(o.has_value());
+  EXPECT_TRUE(o->ordering.validate(t.num_rows(), t.num_cols()));
+  EXPECT_GE(phc(t, o->ordering, LengthMeasure::Unit) + 1e-9, o->phc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallSweep, OptimalityProperty,
+    ::testing::Values(TableShape{2, 2, 2, 21}, TableShape{3, 2, 2, 22},
+                      TableShape{4, 2, 2, 23}, TableShape{4, 3, 2, 24},
+                      TableShape{5, 2, 3, 25}, TableShape{5, 3, 2, 26},
+                      TableShape{6, 2, 2, 27}, TableShape{6, 3, 3, 28}));
+
+}  // namespace
+}  // namespace llmq::core

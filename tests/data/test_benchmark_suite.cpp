@@ -1,0 +1,97 @@
+#include "data/benchmark_suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace llmq::data {
+namespace {
+
+TEST(BenchmarkSuite, SixteenQueries) {
+  EXPECT_EQ(benchmark_queries().size(), 16u);
+}
+
+TEST(BenchmarkSuite, TypeBreakdownMatchesPaper) {
+  EXPECT_EQ(queries_of_type(QueryType::Filter).size(), 5u);
+  EXPECT_EQ(queries_of_type(QueryType::Projection).size(), 5u);
+  EXPECT_EQ(queries_of_type(QueryType::MultiLlm).size(), 2u);
+  EXPECT_EQ(queries_of_type(QueryType::Aggregation).size(), 2u);
+  EXPECT_EQ(queries_of_type(QueryType::Rag).size(), 2u);
+}
+
+TEST(BenchmarkSuite, UniqueIds) {
+  std::set<std::string> ids;
+  for (const auto& q : benchmark_queries()) ids.insert(q.id);
+  EXPECT_EQ(ids.size(), 16u);
+}
+
+TEST(BenchmarkSuite, LookupById) {
+  const auto& q = query_by_id("movies-filter");
+  EXPECT_EQ(q.dataset, "movies");
+  EXPECT_EQ(q.type, QueryType::Filter);
+  EXPECT_THROW(query_by_id("nope"), std::invalid_argument);
+}
+
+TEST(BenchmarkSuite, DatasetsResolvable) {
+  for (const auto& q : benchmark_queries()) {
+    GenOptions o;
+    o.n_rows = 20;
+    EXPECT_NO_THROW(generate_dataset(q.dataset, o)) << q.id;
+  }
+}
+
+TEST(BenchmarkSuite, StageFieldsExistInDataset) {
+  GenOptions o;
+  o.n_rows = 20;
+  for (const auto& q : benchmark_queries()) {
+    const auto d = generate_dataset(q.dataset, o);
+    for (const auto& f : q.stage1.fields)
+      EXPECT_TRUE(d.table.schema().has(f)) << q.id << ": " << f;
+    if (q.stage2)
+      for (const auto& f : q.stage2->fields)
+        EXPECT_TRUE(d.table.schema().has(f)) << q.id << ": " << f;
+  }
+}
+
+TEST(BenchmarkSuite, MultiLlmQueriesHaveTwoStages) {
+  for (const auto& q : queries_of_type(QueryType::MultiLlm))
+    EXPECT_TRUE(q.stage2.has_value()) << q.id;
+  for (const auto& q : queries_of_type(QueryType::Filter))
+    EXPECT_FALSE(q.stage2.has_value()) << q.id;
+}
+
+TEST(BenchmarkSuite, FilterAnswersMatchDatasetChoices) {
+  GenOptions o;
+  o.n_rows = 20;
+  for (const auto& q : queries_of_type(QueryType::Filter)) {
+    const auto d = generate_dataset(q.dataset, o);
+    EXPECT_EQ(q.stage1.answers, d.label_choices) << q.id;
+  }
+}
+
+TEST(BenchmarkSuite, OutputLengthsMatchTable1) {
+  EXPECT_DOUBLE_EQ(query_by_id("movies-filter").stage1.avg_output_tokens, 2);
+  EXPECT_DOUBLE_EQ(query_by_id("movies-projection").stage1.avg_output_tokens,
+                   29);
+  EXPECT_DOUBLE_EQ(query_by_id("products-projection").stage1.avg_output_tokens,
+                   107);
+  EXPECT_DOUBLE_EQ(query_by_id("squad-rag").stage1.avg_output_tokens, 11);
+  EXPECT_DOUBLE_EQ(query_by_id("fever-rag").stage1.avg_output_tokens, 3);
+}
+
+TEST(BenchmarkSuite, FeverHasStrongestPositionSensitivity) {
+  const double fever = query_by_id("fever-rag").position_sensitivity;
+  for (const auto& q : benchmark_queries())
+    if (q.id != "fever-rag")
+      EXPECT_LT(q.position_sensitivity, fever) << q.id;
+}
+
+TEST(BenchmarkSuite, SystemPromptShared) {
+  const auto& first = benchmark_queries().front().system_prompt;
+  EXPECT_FALSE(first.empty());
+  for (const auto& q : benchmark_queries())
+    EXPECT_EQ(q.system_prompt, first);
+}
+
+}  // namespace
+}  // namespace llmq::data

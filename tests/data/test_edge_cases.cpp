@@ -1,0 +1,113 @@
+// Edge-case and failure-injection tests for the data + query layers.
+
+#include <gtest/gtest.h>
+
+#include "core/ggr.hpp"
+#include "table/stats.hpp"
+#include "query/executor.hpp"
+#include "query/metrics.hpp"
+
+namespace llmq::data {
+namespace {
+
+class TinyDatasets : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TinyDatasets, SingleRowGenerates) {
+  GenOptions o;
+  o.n_rows = 1;
+  o.seed = 3;
+  const auto d = generate_dataset(GetParam(), o);
+  EXPECT_EQ(d.table.num_rows(), 1u);
+  EXPECT_EQ(d.truth.size(), 1u);
+  // Planning a 1-row table is trivial but must not crash.
+  core::GgrOptions go;
+  const auto r = core::ggr(d.table, d.fds, go);
+  EXPECT_DOUBLE_EQ(r.phc, 0.0);
+}
+
+TEST_P(TinyDatasets, TwoRowsGenerate) {
+  GenOptions o;
+  o.n_rows = 2;
+  o.seed = 3;
+  const auto d = generate_dataset(GetParam(), o);
+  EXPECT_EQ(d.table.num_rows(), 2u);
+  core::GgrOptions go;
+  EXPECT_NO_THROW(core::ggr(d.table, d.fds, go));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, TinyDatasets,
+                         ::testing::ValuesIn(dataset_keys()),
+                         [](const auto& info) { return info.param; });
+
+TEST(EdgeCases, QueryOverSingleRowDataset) {
+  GenOptions o;
+  o.n_rows = 1;
+  o.seed = 5;
+  const auto d = generate_movies(o);
+  const auto& spec = query_by_id("movies-filter");
+  const auto r = query::run_query(
+      d, spec, query::ExecConfig::standard(query::Method::CacheGgr));
+  EXPECT_GT(r.total_seconds, 0.0);
+  EXPECT_LE(r.rows_selected, 1u);
+}
+
+TEST(EdgeCases, MultiLlmWithNoSurvivorsSkipsStageTwo) {
+  // Force stage 1 to select nothing by making the model always answer the
+  // kept class's opposite... easiest: position-robust model plus a truth
+  // vector of all-POSITIVE and a keep-class of NEGATIVE with near-perfect
+  // accuracy.
+  GenOptions o;
+  o.n_rows = 30;
+  o.seed = 6;
+  auto d = generate_movies(o);
+  std::fill(d.sentiment_truth.begin(), d.sentiment_truth.end(), "POSITIVE");
+  const auto& spec = query_by_id("movies-multi");
+  auto cfg = query::ExecConfig::standard(query::Method::CacheGgr);
+  cfg.model_profile.base_accuracy = 0.999;  // never answers NEGATIVE
+  cfg.model_profile.position_susceptibility = 0.0;
+  const auto r = query::run_query(d, spec, cfg);
+  EXPECT_EQ(r.rows_selected, 0u);
+  EXPECT_EQ(r.stages.size(), 1u);  // stage 2 skipped entirely
+}
+
+TEST(EdgeCases, KvPoolScalingIsMonotoneInFraction) {
+  auto a = query::ExecConfig::standard(query::Method::CacheGgr);
+  auto b = query::ExecConfig::standard(query::Method::CacheGgr);
+  a.scale_kv_pool(0.01);
+  b.scale_kv_pool(0.5);
+  EXPECT_LE(a.engine.kv_pool_blocks_override, b.engine.kv_pool_blocks_override);
+  // Floor guarantees a workable minimum.
+  EXPECT_GE(a.engine.kv_pool_blocks_override, 4096u / a.engine.block_size);
+}
+
+TEST(EdgeCases, GeneratorsScaleLinearly) {
+  // Structure (cards per row) should be scale-free: doubling rows roughly
+  // doubles metadata-pool sizes, keeping the rows-per-group ratio.
+  GenOptions small_o, large_o;
+  small_o.n_rows = 300;
+  large_o.n_rows = 600;
+  small_o.seed = large_o.seed = 9;
+  const auto s = generate_movies(small_o);
+  const auto l = generate_movies(large_o);
+  const auto title = s.table.schema().require("movietitle");
+  const auto cs = table::compute_stats(s.table).columns[title].cardinality;
+  const auto cl = table::compute_stats(l.table).columns[title].cardinality;
+  const double ratio = static_cast<double>(cl) / static_cast<double>(cs);
+  EXPECT_GT(ratio, 1.4);
+  EXPECT_LT(ratio, 2.6);
+}
+
+TEST(EdgeCases, CompareMethodsHandlesUnitFraction) {
+  GenOptions o;
+  o.n_rows = 60;
+  o.seed = 10;
+  const auto d = generate_beer(o);
+  const auto& spec = query_by_id("beer-filter");
+  // kv_fraction = 1.0 must mean "GPU-derived pool", no override.
+  const auto cmp =
+      query::compare_methods(d, spec, llm::llama3_8b(), llm::l4(), 1.0);
+  EXPECT_GT(cmp.no_cache.total_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace llmq::data

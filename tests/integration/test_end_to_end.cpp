@@ -1,0 +1,117 @@
+// Cross-module integration: planner + prompt + cache + engine agree with
+// each other on shared quantities.
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/phc.hpp"
+#include "query/executor.hpp"
+#include "query/llm_operator.hpp"
+#include "query/prompt.hpp"
+
+namespace llmq::query {
+namespace {
+
+data::GenOptions small(std::size_t n) {
+  data::GenOptions o;
+  o.n_rows = n;
+  o.seed = 3;
+  return o;
+}
+
+TEST(EndToEnd, TokenPhrTracksPlannerPhc) {
+  // A higher-PHC ordering must serialize into a request stream with a
+  // higher adjacent-request token-sharing rate.
+  const auto d = data::generate_movies(small(150));
+  core::GgrOptions gopt;
+  gopt.max_row_depth = 4;
+  gopt.max_col_depth = 2;
+  const auto g = core::ggr(d.table, d.fds, gopt);
+  const auto original = core::original_ordering(d.table);
+  ASSERT_GT(g.phc, core::phc(d.table, original));
+
+  const PromptEncoder enc(
+      PromptTemplate{"System prompt.", "Filter the row."});
+  auto streams = [&](const core::Ordering& o) {
+    std::vector<std::vector<std::uint32_t>> reqs;
+    for (std::size_t pos = 0; pos < o.num_rows(); ++pos)
+      reqs.push_back(enc.encode(d.table, o.row_at(pos), o.fields_at(pos)));
+    return reqs;
+  };
+  const auto phr_ggr = core::token_phr(streams(g.ordering));
+  const auto phr_orig = core::token_phr(streams(original));
+  EXPECT_GT(phr_ggr.rate(), phr_orig.rate());
+}
+
+TEST(EndToEnd, EnginePhrConsistentWithAdjacentSharing) {
+  // The radix cache retains *all* prior prompts, so its hit rate is at
+  // least the adjacent-sharing rate (minus block-granularity loss).
+  const auto d = data::generate_beer(small(1200));
+  const auto& spec = data::query_by_id("beer-filter");
+  auto cfg_ggr = ExecConfig::standard(Method::CacheGgr);
+  auto cfg_orig = ExecConfig::standard(Method::CacheOriginal);
+  cfg_ggr.scale_kv_pool(1200.0 / static_cast<double>(data::paper_rows("beer")));
+  cfg_orig.scale_kv_pool(1200.0 / static_cast<double>(data::paper_rows("beer")));
+  const auto r = run_query(d, spec, cfg_ggr);
+  const auto r0 = run_query(d, spec, cfg_orig);
+  EXPECT_GT(r.overall_phr(), r0.overall_phr());
+  EXPECT_GT(r.overall_phr(), 0.5);
+}
+
+TEST(EndToEnd, CacheDisabledMatchesZeroHits) {
+  const auto d = data::generate_bird(small(80));
+  const auto& spec = data::query_by_id("bird-filter");
+  const auto r = run_query(d, spec, ExecConfig::standard(Method::NoCache));
+  EXPECT_DOUBLE_EQ(r.overall_phr(), 0.0);
+  EXPECT_EQ(r.stages[0].engine.cached_prompt_tokens, 0u);
+}
+
+TEST(EndToEnd, RequestsCoverEveryRowExactlyOnce) {
+  const auto d = data::generate_products(small(100));
+  core::GgrOptions gopt;
+  const auto g = core::ggr(d.table, d.fds, gopt);
+  LlmOperatorSpec op;
+  op.tmpl = PromptTemplate{"sys", "query"};
+  op.answers = {"POSITIVE", "NEGATIVE", "NEUTRAL"};
+  op.key_field = d.key_field;
+  const llm::TaskModel tm(llm::profile_llama3_8b());
+  const auto out = build_requests(d.table, g.ordering, op, tm, d.truth);
+  ASSERT_EQ(out.requests.size(), 100u);
+  std::vector<bool> seen(100, false);
+  for (const auto& r : out.requests) {
+    EXPECT_LT(r.row_tag, 100u);
+    EXPECT_FALSE(seen[r.row_tag]);
+    seen[r.row_tag] = true;
+    EXPECT_GT(r.prompt.size(), 0u);
+    EXPECT_GE(r.output_tokens, 1u);
+  }
+  for (std::size_t r = 0; r < 100; ++r)
+    EXPECT_FALSE(out.answers[r].empty());
+}
+
+TEST(EndToEnd, DeterministicAcrossProcessRuns) {
+  const auto d1 = data::generate_movies(small(60));
+  const auto d2 = data::generate_movies(small(60));
+  const auto& spec = data::query_by_id("movies-filter");
+  const auto r1 = run_query(d1, spec, ExecConfig::standard(Method::CacheGgr));
+  const auto r2 = run_query(d2, spec, ExecConfig::standard(Method::CacheGgr));
+  EXPECT_DOUBLE_EQ(r1.total_seconds, r2.total_seconds);
+  EXPECT_EQ(r1.answers, r2.answers);
+}
+
+TEST(EndToEnd, ReorderingPreservesQuerySemanticsExactlyWhenRobust) {
+  // With a fully position-robust model, GGR answers == original answers:
+  // reordering "preserves query semantics" (paper abstract).
+  auto d = data::generate_movies(small(100));
+  const auto& spec = data::query_by_id("movies-filter");
+  auto cfg_orig = ExecConfig::standard(Method::CacheOriginal);
+  auto cfg_ggr = ExecConfig::standard(Method::CacheGgr);
+  cfg_orig.model_profile.position_susceptibility = 0.0;
+  cfg_ggr.model_profile.position_susceptibility = 0.0;
+  const auto a = run_query(d, spec, cfg_orig);
+  const auto b = run_query(d, spec, cfg_ggr);
+  EXPECT_EQ(a.answers, b.answers);
+}
+
+}  // namespace
+}  // namespace llmq::query

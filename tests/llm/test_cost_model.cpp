@@ -1,0 +1,104 @@
+#include "llm/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llmq::llm {
+namespace {
+
+TEST(ModelSpec, KvBytesMatchHandComputation) {
+  // Llama-3-8B: 2 * 32 layers * 8 kv-heads * 128 head-dim * 2 bytes = 128KB.
+  EXPECT_DOUBLE_EQ(llama3_8b().kv_bytes_per_token(), 131072.0);
+  // 70B: 2 * 80 * 8 * 128 * 2 = 320KB.
+  EXPECT_DOUBLE_EQ(llama3_70b().kv_bytes_per_token(), 327680.0);
+  // 1B: 2 * 16 * 8 * 64 * 2 = 32KB.
+  EXPECT_DOUBLE_EQ(llama3_1b().kv_bytes_per_token(), 32768.0);
+}
+
+TEST(GpuSpec, TensorParallelScales) {
+  const auto one = l4();
+  const auto eight = l4_x8();
+  EXPECT_GT(eight.total_memory(), 7.0 * one.total_memory() * 0.8);
+  EXPECT_GT(eight.total_flops(), 4.0 * one.total_flops());
+}
+
+TEST(CostModel, PrefillZeroTokensFree) {
+  const CostModel cm(llama3_8b(), l4());
+  EXPECT_DOUBLE_EQ(cm.prefill_flops(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(cm.prefill_seconds(0, 100), 0.0);
+}
+
+TEST(CostModel, PrefillLinearTermDominatesShortContext) {
+  const CostModel cm(llama3_8b(), l4());
+  // 2 * 8.03e9 params * 100 tokens ~ 1.6e12 FLOPs; attention adds little.
+  const double f = cm.prefill_flops(100, 0);
+  EXPECT_GT(f, 1.5e12);
+  EXPECT_LT(f, 2.0e12);
+}
+
+TEST(CostModel, CachedPrefixReducesPrefill) {
+  const CostModel cm(llama3_8b(), l4());
+  const double cold = cm.prefill_seconds(1000, 0);
+  const double warm = cm.prefill_seconds(200, 800);
+  EXPECT_LT(warm, cold);
+  // The saving is at least proportional to the skipped linear work.
+  EXPECT_LT(warm, cold * 0.35);
+}
+
+TEST(CostModel, PrefillQuadraticTermGrowsWithContext) {
+  const CostModel cm(llama3_8b(), l4());
+  // Same new tokens, larger cached context -> more attention FLOPs.
+  EXPECT_GT(cm.prefill_flops(100, 10000), cm.prefill_flops(100, 0));
+}
+
+TEST(CostModel, DecodeStepIsBandwidthBoundAtSmallBatch) {
+  const CostModel cm(llama3_8b(), l4());
+  // Single sequence: time ~ weights / bandwidth ~ 16GB / 210GB/s ~ 76ms.
+  const double t = cm.decode_step_seconds({500});
+  EXPECT_GT(t, 0.05);
+  EXPECT_LT(t, 0.12);
+}
+
+TEST(CostModel, BatchingAmortizesWeightReads) {
+  const CostModel cm(llama3_8b(), l4());
+  const double single = cm.decode_step_seconds({500});
+  std::vector<std::size_t> batch(32, 500);
+  const double batched = cm.decode_step_seconds(batch);
+  // 32x the tokens for well under 2x the step time.
+  EXPECT_LT(batched, single * 2.0);
+}
+
+TEST(CostModel, LongContextsSlowDecode) {
+  const CostModel cm(llama3_8b(), l4());
+  std::vector<std::size_t> short_ctx(8, 100), long_ctx(8, 20000);
+  EXPECT_GT(cm.decode_step_seconds(long_ctx),
+            cm.decode_step_seconds(short_ctx));
+}
+
+TEST(CostModel, EmptyBatchFree) {
+  const CostModel cm(llama3_8b(), l4());
+  EXPECT_DOUBLE_EQ(cm.decode_step_seconds({}), 0.0);
+}
+
+TEST(CostModel, KvPoolSizes) {
+  // 8B on one L4: ~5.5GB free for KV -> ~42K tokens.
+  const CostModel small(llama3_8b(), l4());
+  EXPECT_GT(small.kv_pool_tokens(), 30000u);
+  EXPECT_LT(small.kv_pool_tokens(), 60000u);
+  // 1B on one L4: far more headroom (the Table 7 mechanism).
+  const CostModel tiny(llama3_1b(), l4());
+  EXPECT_GT(tiny.kv_pool_tokens(), 8 * small.kv_pool_tokens());
+  // 70B does not fit on a single L4 at all.
+  const CostModel huge(llama3_70b(), l4());
+  EXPECT_EQ(huge.kv_pool_tokens(), 0u);
+  // ...but fits on 8xL4.
+  const CostModel tp(llama3_70b(), l4_x8());
+  EXPECT_GT(tp.kv_pool_tokens(), 50000u);
+}
+
+TEST(CostModel, PoolBlocks) {
+  const CostModel cm(llama3_8b(), l4());
+  EXPECT_EQ(cm.kv_pool_blocks(16), cm.kv_pool_tokens() / 16);
+}
+
+}  // namespace
+}  // namespace llmq::llm

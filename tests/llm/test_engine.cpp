@@ -1,0 +1,204 @@
+#include "llm/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace llmq::llm {
+namespace {
+
+tokenizer::TokenSeq iota_seq(std::size_t n, std::uint32_t start = 0) {
+  tokenizer::TokenSeq s(n);
+  std::iota(s.begin(), s.end(), start);
+  return s;
+}
+
+Request make_request(std::uint64_t id, tokenizer::TokenSeq prompt,
+                     std::size_t out_tokens) {
+  Request r;
+  r.id = id;
+  r.prompt = std::move(prompt);
+  r.output_tokens = out_tokens;
+  r.row_tag = id;
+  return r;
+}
+
+EngineConfig small_config(bool cache_on, std::size_t pool_blocks = 0) {
+  EngineConfig c;
+  c.max_batch_size = 8;
+  c.block_size = 4;
+  c.cache_enabled = cache_on;
+  c.kv_pool_blocks_override = pool_blocks;
+  return c;
+}
+
+ServingEngine make_engine(bool cache_on, std::size_t pool_blocks = 0) {
+  return ServingEngine(CostModel(llama3_8b(), l4()),
+                       small_config(cache_on, pool_blocks));
+}
+
+TEST(Engine, ModelMustFit) {
+  ServingEngine e(CostModel(llama3_70b(), l4()), small_config(true));
+  EXPECT_THROW(e.run({make_request(0, iota_seq(8), 2)}), std::runtime_error);
+}
+
+TEST(Engine, AllRequestsComplete) {
+  auto e = make_engine(true);
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 0; i < 20; ++i)
+    reqs.push_back(make_request(i, iota_seq(40, static_cast<std::uint32_t>(i * 100)), 5));
+  const auto run = e.run(reqs);
+  EXPECT_EQ(run.results.size(), 20u);
+  EXPECT_EQ(run.metrics.output_tokens, 100u);
+  EXPECT_GT(run.metrics.total_seconds, 0.0);
+  EXPECT_NEAR(run.metrics.total_seconds,
+              run.metrics.prefill_seconds + run.metrics.decode_seconds, 1e-9);
+}
+
+TEST(Engine, NoCacheComputesEveryPromptToken) {
+  auto e = make_engine(false);
+  std::vector<Request> reqs;
+  const auto shared = iota_seq(40);
+  for (std::uint64_t i = 0; i < 10; ++i) reqs.push_back(make_request(i, shared, 3));
+  const auto run = e.run(reqs);
+  EXPECT_EQ(run.metrics.cached_prompt_tokens, 0u);
+  EXPECT_EQ(run.metrics.computed_prompt_tokens, 400u);
+}
+
+TEST(Engine, IdenticalPromptsHitAfterFirst) {
+  auto e = make_engine(true);
+  std::vector<Request> reqs;
+  const auto shared = iota_seq(40);  // 10 blocks of 4
+  for (std::uint64_t i = 0; i < 10; ++i) reqs.push_back(make_request(i, shared, 3));
+  const auto run = e.run(reqs);
+  // 9 of 10 requests fully cached at block granularity.
+  EXPECT_EQ(run.metrics.cached_prompt_tokens, 9u * 40u);
+  EXPECT_GT(run.metrics.prompt_cache_hit_rate(), 0.85);
+}
+
+TEST(Engine, CachingReducesJobTime) {
+  std::vector<Request> reqs;
+  const auto shared = iota_seq(200);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    auto p = shared;
+    p.push_back(static_cast<std::uint32_t>(10000 + i));  // unique tail
+    reqs.push_back(make_request(i, std::move(p), 4));
+  }
+  const auto cold = make_engine(false).run(reqs);
+  const auto warm = make_engine(true).run(reqs);
+  EXPECT_LT(warm.metrics.total_seconds, cold.metrics.total_seconds);
+  EXPECT_LT(warm.metrics.prefill_seconds, cold.metrics.prefill_seconds * 0.2);
+}
+
+TEST(Engine, ContinuousBatchingReachesConfiguredWidth) {
+  auto e = make_engine(true);
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 0; i < 32; ++i)
+    reqs.push_back(make_request(i, iota_seq(20, static_cast<std::uint32_t>(i * 50)), 50));
+  const auto run = e.run(reqs);
+  EXPECT_EQ(run.metrics.peak_batch_size, 8u);  // max_batch_size
+  EXPECT_GT(run.metrics.mean_batch_size(), 4.0);
+}
+
+TEST(Engine, MemoryPressureLimitsBatch) {
+  // Pool of 30 blocks, each request needs ~11 private blocks (40 prompt
+  // tokens uncacheable + 4 outputs) with cache off -> at most 2 in flight.
+  auto e = make_engine(false, 30);
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 0; i < 8; ++i)
+    reqs.push_back(make_request(i, iota_seq(40, static_cast<std::uint32_t>(i * 100)), 4));
+  const auto run = e.run(reqs);
+  EXPECT_EQ(run.results.size(), 8u);
+  EXPECT_LE(run.metrics.peak_batch_size, 2u);
+}
+
+TEST(Engine, SharedPrefixEnablesLargerBatchUnderPressure) {
+  // Same memory budget: sharing the 40-token prompt leaves room for more
+  // concurrent requests than no-cache.
+  std::vector<Request> reqs;
+  const auto shared = iota_seq(40);
+  for (std::uint64_t i = 0; i < 8; ++i) reqs.push_back(make_request(i, shared, 16));
+  const auto uncached = make_engine(false, 30).run(reqs);
+  const auto cached = make_engine(true, 30).run(reqs);
+  EXPECT_GT(cached.metrics.peak_batch_size, uncached.metrics.peak_batch_size);
+  EXPECT_LT(cached.metrics.total_seconds, uncached.metrics.total_seconds);
+}
+
+TEST(Engine, SingleRequestTooLargeThrows) {
+  auto e = make_engine(false, 5);  // 20 tokens of KV
+  EXPECT_THROW(e.run({make_request(0, iota_seq(100), 4)}), std::runtime_error);
+}
+
+TEST(Engine, ResultsCarryTimingAndTags) {
+  auto e = make_engine(true);
+  const auto run = e.run({make_request(7, iota_seq(12), 3)});
+  ASSERT_EQ(run.results.size(), 1u);
+  const auto& r = run.results[0];
+  EXPECT_EQ(r.id, 7u);
+  EXPECT_EQ(r.row_tag, 7u);
+  EXPECT_EQ(r.prompt_tokens, 12u);
+  EXPECT_EQ(r.output_tokens, 3u);
+  EXPECT_GT(r.finish_time, r.admit_time);
+}
+
+TEST(Engine, ZeroOutputTreatedAsOne) {
+  auto e = make_engine(true);
+  const auto run = e.run({make_request(0, iota_seq(8), 0)});
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].output_tokens, 1u);
+}
+
+TEST(Engine, RunsAreIndependent) {
+  auto e = make_engine(true);
+  const auto reqs = std::vector<Request>{make_request(0, iota_seq(40), 3)};
+  const auto first = e.run(reqs);
+  const auto second = e.run(reqs);
+  // Cold cache each run: identical results.
+  EXPECT_DOUBLE_EQ(first.metrics.total_seconds, second.metrics.total_seconds);
+  EXPECT_EQ(second.metrics.cached_prompt_tokens, 0u);
+}
+
+TEST(Engine, SessionCachePersistsAcrossRuns) {
+  auto e = make_engine(true);
+  auto cache = e.make_session_cache();
+  std::vector<Request> reqs{make_request(0, iota_seq(40), 3)};
+  const auto first = e.run(reqs, cache);
+  EXPECT_EQ(first.metrics.cached_prompt_tokens, 0u);
+  const auto second = e.run(reqs, cache);
+  // The prompt's full blocks survive the first run.
+  EXPECT_EQ(second.metrics.cached_prompt_tokens, 40u);
+  EXPECT_LT(second.metrics.prefill_seconds, first.metrics.prefill_seconds);
+  // Per-run cache stats are deltas, not session totals.
+  EXPECT_EQ(second.metrics.cache.lookups, 1u);
+  EXPECT_EQ(second.metrics.cache.inserted_blocks, 0u);
+}
+
+TEST(Engine, SessionCacheRespectsBudgetAcrossRuns) {
+  auto e = make_engine(true, /*pool_blocks=*/30);
+  auto cache = e.make_session_cache();
+  for (std::uint32_t round = 0; round < 6; ++round) {
+    std::vector<Request> reqs{
+        make_request(round, iota_seq(40, round * 1000), 3)};
+    e.run(reqs, cache);
+    EXPECT_LE(cache.resident_blocks(), 30u);
+  }
+}
+
+TEST(Engine, OrderingChangesHitRate) {
+  // Alternating vs grouped identical prompts: grouped still hits (radix
+  // cache persists), but with a tiny pool that evicts between groups the
+  // interleaved order loses. Here we verify both orders hit with ample
+  // memory, and the grouped order never does worse.
+  std::vector<Request> grouped, interleaved;
+  const auto a = iota_seq(40, 0), b = iota_seq(40, 1000);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    grouped.push_back(make_request(i, i < 3 ? a : b, 2));
+    interleaved.push_back(make_request(i, (i % 2) ? b : a, 2));
+  }
+  const auto g = make_engine(true).run(grouped);
+  const auto il = make_engine(true).run(interleaved);
+  EXPECT_GE(g.metrics.cached_prompt_tokens, il.metrics.cached_prompt_tokens);
+}
+
+}  // namespace
+}  // namespace llmq::llm

@@ -1,0 +1,143 @@
+// Property tests: serving-engine invariants over randomized workloads.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "llm/engine.hpp"
+#include "util/rng.hpp"
+
+namespace llmq::llm {
+namespace {
+
+struct WorkloadParams {
+  std::size_t n_requests;
+  std::size_t vocab;
+  std::size_t max_prompt;
+  std::size_t max_output;
+  bool cache_on;
+  std::size_t pool_blocks;  // 0 = GPU-derived
+  std::uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const WorkloadParams& p) {
+  return os << "n" << p.n_requests << "v" << p.vocab << "p" << p.max_prompt
+            << "o" << p.max_output << (p.cache_on ? "C" : "_") << "k"
+            << p.pool_blocks << "s" << p.seed;
+}
+
+std::vector<Request> make_workload(const WorkloadParams& p) {
+  util::Rng rng(p.seed);
+  std::vector<Request> reqs;
+  for (std::size_t i = 0; i < p.n_requests; ++i) {
+    Request r;
+    r.id = i;
+    r.row_tag = i;
+    const std::size_t len = 1 + rng.next_below(p.max_prompt);
+    r.prompt.resize(len);
+    for (auto& t : r.prompt)
+      t = static_cast<tokenizer::TokenId>(rng.next_below(p.vocab));
+    r.output_tokens = 1 + rng.next_below(p.max_output);
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+class EngineProperty : public ::testing::TestWithParam<WorkloadParams> {};
+
+TEST_P(EngineProperty, ConservationLaws) {
+  const auto params = GetParam();
+  const auto reqs = make_workload(params);
+  EngineConfig cfg;
+  cfg.max_batch_size = 8;
+  cfg.block_size = 4;
+  cfg.cache_enabled = params.cache_on;
+  cfg.kv_pool_blocks_override = params.pool_blocks;
+  ServingEngine engine(CostModel(llama3_8b(), l4()), cfg);
+  const auto run = engine.run(reqs);
+
+  // Every request completes exactly once.
+  ASSERT_EQ(run.results.size(), reqs.size());
+  std::set<std::uint64_t> ids;
+  for (const auto& r : run.results) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), reqs.size());
+
+  // Token conservation.
+  std::uint64_t prompt_total = 0, out_total = 0;
+  for (const auto& r : reqs) {
+    prompt_total += r.prompt.size();
+    out_total += r.output_tokens;
+  }
+  EXPECT_EQ(run.metrics.prompt_tokens, prompt_total);
+  EXPECT_EQ(run.metrics.output_tokens, out_total);
+  EXPECT_EQ(run.metrics.cached_prompt_tokens +
+                run.metrics.computed_prompt_tokens,
+            prompt_total);
+
+  // Per-request accounting agrees with aggregates.
+  std::uint64_t cached_sum = 0;
+  for (const auto& r : run.results) {
+    EXPECT_LE(r.cached_tokens, r.prompt_tokens);
+    EXPECT_EQ(r.cached_tokens + r.computed_tokens, r.prompt_tokens);
+    EXPECT_GE(r.finish_time, r.admit_time);
+    cached_sum += r.cached_tokens;
+  }
+  EXPECT_EQ(cached_sum, run.metrics.cached_prompt_tokens);
+
+  // Time decomposes into prefill + decode.
+  EXPECT_NEAR(run.metrics.total_seconds,
+              run.metrics.prefill_seconds + run.metrics.decode_seconds, 1e-9);
+
+  // No cache => no cached tokens.
+  if (!params.cache_on) EXPECT_EQ(run.metrics.cached_prompt_tokens, 0u);
+
+  // Batch never exceeds the configured maximum.
+  EXPECT_LE(run.metrics.peak_batch_size, cfg.max_batch_size);
+}
+
+TEST_P(EngineProperty, CachingNeverSlower) {
+  const auto params = GetParam();
+  const auto reqs = make_workload(params);
+  EngineConfig cfg;
+  cfg.max_batch_size = 8;
+  cfg.block_size = 4;
+  cfg.kv_pool_blocks_override = params.pool_blocks;
+
+  cfg.cache_enabled = false;
+  const auto cold = ServingEngine(CostModel(llama3_8b(), l4()), cfg).run(reqs);
+  cfg.cache_enabled = true;
+  const auto warm = ServingEngine(CostModel(llama3_8b(), l4()), cfg).run(reqs);
+  EXPECT_LE(warm.metrics.prefill_seconds, cold.metrics.prefill_seconds + 1e-9);
+  EXPECT_LE(warm.metrics.total_seconds, cold.metrics.total_seconds + 1e-9);
+}
+
+TEST_P(EngineProperty, CompletionTimesNondecreasingPerAdmission) {
+  const auto params = GetParam();
+  const auto reqs = make_workload(params);
+  EngineConfig cfg;
+  cfg.max_batch_size = 8;
+  cfg.block_size = 4;
+  cfg.cache_enabled = params.cache_on;
+  cfg.kv_pool_blocks_override = params.pool_blocks;
+  const auto run = ServingEngine(CostModel(llama3_8b(), l4()), cfg).run(reqs);
+  // Completion order is by finish time (we retire in decode order).
+  for (std::size_t i = 1; i < run.results.size(); ++i)
+    EXPECT_LE(run.results[i - 1].finish_time,
+              run.results[i].finish_time + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineProperty,
+    ::testing::Values(
+        WorkloadParams{30, 4, 30, 6, true, 0, 1},
+        WorkloadParams{30, 4, 30, 6, false, 0, 2},
+        WorkloadParams{50, 2, 20, 3, true, 0, 3},   // heavy sharing
+        WorkloadParams{40, 1000, 40, 8, true, 0, 4},  // no sharing
+        WorkloadParams{25, 8, 25, 10, true, 60, 5},   // memory pressure
+        WorkloadParams{25, 8, 25, 10, false, 60, 6},
+        WorkloadParams{1, 4, 10, 2, true, 0, 7},      // single request
+        WorkloadParams{60, 3, 12, 2, true, 30, 8}));  // tiny pool, shared
+
+}  // namespace
+}  // namespace llmq::llm

@@ -1,0 +1,139 @@
+#include "llm/task_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace llmq::llm {
+namespace {
+
+TEST(TaskModel, SuccessProbabilityClampedAndCentered) {
+  TaskModel m(profile_llama3_8b());
+  const double base = m.profile().base_accuracy;
+  EXPECT_DOUBLE_EQ(m.success_probability(0.5, 0.3), base);
+  EXPECT_GT(m.success_probability(1.0, 0.3), base);
+  EXPECT_LT(m.success_probability(0.0, 0.3), base);
+  EXPECT_LE(m.success_probability(1.0, 10.0), 0.999);
+  EXPECT_GE(m.success_probability(0.0, 10.0), 0.01);
+}
+
+TEST(TaskModel, RobustModelsBarelyMove) {
+  TaskModel big(profile_llama3_70b());
+  const double lo = big.success_probability(0.0, 0.3);
+  const double hi = big.success_probability(1.0, 0.3);
+  EXPECT_LT(hi - lo, 0.05);
+  TaskModel small(profile_llama3_8b());
+  EXPECT_GT(small.success_probability(1.0, 0.3) -
+                small.success_probability(0.0, 0.3),
+            hi - lo);
+}
+
+TEST(TaskModel, AnswerDeterministic) {
+  TaskModel m(profile_llama3_8b());
+  const std::vector<std::string> alts{"Yes", "No"};
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = "row-" + std::to_string(i);
+    EXPECT_EQ(m.answer(key, "Yes", alts, 0.5, 0.1),
+              m.answer(key, "Yes", alts, 0.5, 0.1));
+  }
+}
+
+TEST(TaskModel, AccuracyTracksProbability) {
+  TaskModel m(profile_llama3_8b());
+  const std::vector<std::string> alts{"Yes", "No"};
+  int correct = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const std::string key = "sample-" + std::to_string(i);
+    if (m.answer(key, "Yes", alts, 0.5, 0.0) == "Yes") ++correct;
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / n, m.profile().base_accuracy,
+              0.02);
+}
+
+TEST(TaskModel, PositionShiftMovesMeasuredAccuracy) {
+  // FEVER-like task with strong sensitivity: accuracy at frac=1.0 should
+  // exceed frac=0.0 by roughly susceptibility * sensitivity.
+  TaskModel m(profile_llama3_8b());
+  const std::vector<std::string> alts{"SUPPORTS", "REFUTES"};
+  const double sens = 0.30;
+  int early = 0, late = 0;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    const std::string key = "claim-" + std::to_string(i);
+    if (m.answer(key, "SUPPORTS", alts, 0.0, sens) == "SUPPORTS") ++early;
+    if (m.answer(key, "SUPPORTS", alts, 1.0, sens) == "SUPPORTS") ++late;
+  }
+  const double gap = static_cast<double>(late - early) / n;
+  EXPECT_NEAR(gap, m.profile().position_susceptibility * sens, 0.02);
+}
+
+TEST(TaskModel, PairedFlips) {
+  // A row that is correct at the *lower* probability must also be correct
+  // at the higher one (the channel is a threshold on a fixed latent).
+  TaskModel m(profile_llama3_8b());
+  const std::vector<std::string> alts{"A", "B"};
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    const bool lo_ok = m.answer(key, "A", alts, 0.0, 0.3) == "A";
+    const bool hi_ok = m.answer(key, "A", alts, 1.0, 0.3) == "A";
+    if (lo_ok) EXPECT_TRUE(hi_ok) << key;
+  }
+}
+
+TEST(TaskModel, WrongAnswerComesFromAlternatives) {
+  ModelProfile p = profile_llama3_8b();
+  p.base_accuracy = 0.01;  // essentially always wrong
+  TaskModel m(p);
+  const std::vector<std::string> alts{"Yes", "No"};
+  int wrong_is_no = 0, total_wrong = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto a = m.answer("k" + std::to_string(i), "Yes", alts, 0.5, 0.0);
+    if (a != "Yes") {
+      ++total_wrong;
+      if (a == "No") ++wrong_is_no;
+    }
+  }
+  EXPECT_GT(total_wrong, 150);
+  EXPECT_EQ(wrong_is_no, total_wrong);
+}
+
+TEST(TaskModel, NoAlternativesGarbles) {
+  ModelProfile p = profile_llama3_8b();
+  p.base_accuracy = 0.01;
+  TaskModel m(p);
+  bool saw_garbled = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto a = m.answer("k" + std::to_string(i), "truth", {}, 0.5, 0.0);
+    if (a != "truth") {
+      saw_garbled = true;
+      EXPECT_NE(a.find("garbled"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_garbled);
+}
+
+TEST(TaskModel, OutputTokensSpreadAroundMean) {
+  TaskModel m(profile_llama3_8b());
+  double sum = 0.0;
+  std::size_t lo = SIZE_MAX, hi = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const auto t = m.output_tokens("r" + std::to_string(i), 40.0);
+    sum += static_cast<double>(t);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_NEAR(sum / n, 40.0, 2.0);
+  EXPECT_GE(lo, 30u);
+  EXPECT_LE(hi, 50u);
+}
+
+TEST(TaskModel, OutputTokensFloorOne) {
+  TaskModel m(profile_llama3_8b());
+  EXPECT_GE(m.output_tokens("x", 0.1), 1u);
+}
+
+}  // namespace
+}  // namespace llmq::llm

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pricing/api_simulator.hpp"
+#include "pricing/cost_report.hpp"
+#include "pricing/price_sheet.hpp"
+
+namespace llmq::pricing {
+namespace {
+
+tokenizer::TokenSeq iota_seq(std::size_t n, std::uint32_t start = 0) {
+  tokenizer::TokenSeq s(n);
+  std::iota(s.begin(), s.end(), start);
+  return s;
+}
+
+TEST(PriceSheet, PublishedNumbers) {
+  const auto oa = openai_gpt4o_mini();
+  EXPECT_DOUBLE_EQ(oa.cached_read_per_mtok / oa.input_per_mtok, 0.5);
+  const auto an = anthropic_claude35_sonnet();
+  EXPECT_DOUBLE_EQ(an.cache_write_per_mtok / an.input_per_mtok, 1.25);
+  EXPECT_DOUBLE_EQ(an.cached_read_per_mtok / an.input_per_mtok, 0.1);
+  EXPECT_EQ(oa.min_prefix_tokens, 1024u);
+  EXPECT_EQ(an.min_prefix_tokens, 1024u);
+}
+
+TEST(PriceSheet, CostArithmetic) {
+  TokenUsage u;
+  u.uncached_input = 1'000'000;
+  u.cached_input = 2'000'000;
+  u.output = 500'000;
+  const auto oa = openai_gpt4o_mini();
+  EXPECT_NEAR(cost_usd(oa, u), 0.15 + 2 * 0.075 + 0.5 * 0.60, 1e-9);
+}
+
+TEST(PriceSheet, InputCostFraction) {
+  const auto oa = openai_gpt4o_mini();
+  EXPECT_DOUBLE_EQ(input_cost_fraction(oa, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(input_cost_fraction(oa, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(input_cost_fraction(oa, 0.4), 0.8);
+}
+
+TEST(PriceSheet, EstimatedSavingsMatchesPaperExample) {
+  // Paper §3.2: nine-field table, fixed ordering 10% hit rate, optimized
+  // ~m-fold better (~90%): ~42% savings under OpenAI pricing.
+  const auto oa = openai_gpt4o_mini();
+  const double s = estimated_savings(oa, 0.10, 0.90);
+  EXPECT_NEAR(s, 0.42, 0.012);
+}
+
+TEST(PriceSheet, Table4MoviesShape) {
+  // Movies row of Table 4: PHR 34.6% -> 85.7% gives ~31% OpenAI savings.
+  const auto oa = openai_gpt4o_mini();
+  EXPECT_NEAR(estimated_savings(oa, 0.346, 0.857), 0.31, 0.02);
+  // Anthropic savings are much larger (cached reads at 10%).
+  const auto an = anthropic_claude35_sonnet();
+  EXPECT_GT(estimated_savings(an, 0.346, 0.857), 0.55);
+}
+
+TEST(AutoCacheApi, MinimumPrefixEnforced) {
+  auto sheet = openai_gpt4o_mini();
+  AutoCacheApi api(sheet);
+  const auto p = iota_seq(512);  // shorter than the 1024 minimum
+  api.submit(p, 4);
+  const auto c = api.submit(p, 4);
+  EXPECT_EQ(c.cached_tokens, 0u);  // matched but below minimum: not billed
+  EXPECT_DOUBLE_EQ(api.prompt_hit_rate(), 0.0);
+}
+
+TEST(AutoCacheApi, LongSharedPrefixBills) {
+  auto sheet = openai_gpt4o_mini();
+  AutoCacheApi api(sheet);
+  const auto p = iota_seq(2048);
+  api.submit(p, 4);
+  const auto c = api.submit(p, 4);
+  EXPECT_EQ(c.cached_tokens, 2048u);
+  EXPECT_EQ(c.usage.uncached_input, 0u);
+}
+
+TEST(AutoCacheApi, IncrementGranularity) {
+  auto sheet = openai_gpt4o_mini();
+  AutoCacheApi api(sheet);
+  auto a = iota_seq(1500);
+  api.submit(a, 1);
+  auto b = iota_seq(1500);
+  b[1400] = 999999;  // diverges after 1400 tokens
+  const auto c = api.submit(b, 1);
+  // Matched prefix rounds down to a 128-token boundary >= 1024.
+  EXPECT_EQ(c.cached_tokens % 128, 0u);
+  EXPECT_GE(c.cached_tokens, 1024u);
+  EXPECT_LE(c.cached_tokens, 1400u);
+}
+
+TEST(AutoCacheApi, CostDropsWithSharing) {
+  auto sheet = openai_gpt4o_mini();
+  std::vector<PricedRequest> stream;
+  const auto shared = iota_seq(1536);
+  for (int i = 0; i < 50; ++i) {
+    PricedRequest r;
+    r.prompt = shared;
+    r.prompt.push_back(static_cast<std::uint32_t>(100000 + i));
+    r.output_tokens = 4;
+    stream.push_back(std::move(r));
+  }
+  const auto cached = price_stream_auto(sheet, stream);
+  const auto uncached = price_stream_uncached(sheet, stream);
+  EXPECT_LT(cached.cost_usd, uncached.cost_usd);
+  EXPECT_GT(cached.prompt_hit_rate, 0.9);
+  // 49 of 50 requests ~fully cached at half price: ~48% input savings.
+  EXPECT_NEAR(1.0 - cached.cost_usd / uncached.cost_usd, 0.47, 0.05);
+}
+
+TEST(BreakpointCacheApi, FirstWriteThenReads) {
+  auto sheet = anthropic_claude35_sonnet();
+  BreakpointCacheApi api(sheet);
+  const auto p = iota_seq(1500);
+  const auto first = api.submit(p, 2);
+  EXPECT_EQ(first.usage.cache_write, 1024u);
+  EXPECT_EQ(first.usage.cached_input, 0u);
+  EXPECT_EQ(first.usage.uncached_input, 1500u - 1024u);
+  const auto second = api.submit(p, 2);
+  EXPECT_EQ(second.usage.cached_input, 1024u);
+  EXPECT_EQ(second.usage.cache_write, 0u);
+}
+
+TEST(BreakpointCacheApi, ShortPromptsNeverCache) {
+  auto sheet = anthropic_claude35_sonnet();
+  BreakpointCacheApi api(sheet);
+  const auto p = iota_seq(500);
+  api.submit(p, 2);
+  const auto c = api.submit(p, 2);
+  EXPECT_EQ(c.usage.cached_input, 0u);
+  EXPECT_EQ(c.usage.uncached_input, 500u);
+}
+
+TEST(BreakpointCacheApi, DivergentPrefixesWriteSeparately) {
+  auto sheet = anthropic_claude35_sonnet();
+  BreakpointCacheApi api(sheet);
+  api.submit(iota_seq(1200, 0), 1);
+  const auto c = api.submit(iota_seq(1200, 5000), 1);
+  EXPECT_EQ(c.usage.cache_write, 1024u);  // different prefix: new write
+}
+
+TEST(BreakpointCacheApi, WritePremiumCanExceedUncached) {
+  // A stream of all-distinct prompts under breakpoint caching costs *more*
+  // than no caching (every request pays the 25% write premium).
+  auto sheet = anthropic_claude35_sonnet();
+  std::vector<PricedRequest> stream;
+  for (int i = 0; i < 20; ++i) {
+    PricedRequest r;
+    r.prompt = iota_seq(1200, static_cast<std::uint32_t>(i * 10000));
+    r.output_tokens = 2;
+    stream.push_back(std::move(r));
+  }
+  const auto bp = price_stream_breakpoint(sheet, stream);
+  const auto plain = price_stream_uncached(sheet, stream);
+  EXPECT_GT(bp.cost_usd, plain.cost_usd);
+}
+
+}  // namespace
+}  // namespace llmq::pricing

@@ -1,0 +1,121 @@
+#include "query/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "query/llm_operator.hpp"
+#include "query/metrics.hpp"
+
+namespace llmq::query {
+namespace {
+
+data::GenOptions small(std::size_t n = 120) {
+  data::GenOptions o;
+  o.n_rows = n;
+  o.seed = 11;
+  return o;
+}
+
+TEST(KeyFieldFraction, PositionsAndFallbacks) {
+  const auto schema = table::Schema::of_names({"a", "b", "c"});
+  const std::size_t first[] = {0, 1, 2};
+  const std::size_t last[] = {1, 2, 0};
+  EXPECT_DOUBLE_EQ(key_field_fraction(schema, first, "a"), 0.0);
+  EXPECT_DOUBLE_EQ(key_field_fraction(schema, last, "a"), 1.0);
+  EXPECT_DOUBLE_EQ(key_field_fraction(schema, first, "b"), 0.5);
+  EXPECT_DOUBLE_EQ(key_field_fraction(schema, first, "missing"), 0.5);
+  EXPECT_DOUBLE_EQ(key_field_fraction(schema, first, ""), 0.5);
+}
+
+TEST(Executor, FilterQueryRunsAllArms) {
+  const auto d = data::generate_movies(small());
+  const auto& spec = data::query_by_id("movies-filter");
+  for (Method m : {Method::NoCache, Method::CacheOriginal, Method::CacheGgr}) {
+    const auto r = run_query(d, spec, ExecConfig::standard(m));
+    EXPECT_GT(r.total_seconds, 0.0) << to_string(m);
+    EXPECT_EQ(r.stages.size(), 1u);
+    EXPECT_EQ(r.stages[0].rows, 120u);
+    EXPECT_GT(r.rows_selected, 0u);
+    EXPECT_LT(r.rows_selected, 120u);
+  }
+}
+
+TEST(Executor, GgrBeatsOriginalWhichBeatsNoCache) {
+  const auto d = data::generate_movies(small(200));
+  const auto& spec = data::query_by_id("movies-filter");
+  const auto cmp = compare_methods(d, spec, llm::llama3_8b(), llm::l4(),
+                                   200.0 / data::paper_rows("movies"));
+  EXPECT_GT(cmp.speedup_vs_no_cache(), 1.0);
+  EXPECT_GT(cmp.speedup_vs_original(), 1.0);
+  EXPECT_GE(cmp.original_vs_no_cache(), 1.0);
+  EXPECT_GT(cmp.cache_ggr.overall_phr(), cmp.cache_original.overall_phr());
+}
+
+TEST(Executor, AnswersStableAcrossCachingArms) {
+  // Caching must not change semantics: NoCache and CacheOriginal share the
+  // ordering, so answers are identical. (GGR may differ slightly — that is
+  // the Fig 6 experiment.)
+  const auto d = data::generate_movies(small());
+  const auto& spec = data::query_by_id("movies-filter");
+  const auto a = run_query(d, spec, ExecConfig::standard(Method::NoCache));
+  const auto b =
+      run_query(d, spec, ExecConfig::standard(Method::CacheOriginal));
+  EXPECT_EQ(a.answers, b.answers);
+  EXPECT_EQ(a.rows_selected, b.rows_selected);
+}
+
+TEST(Executor, ProjectionUsesSpecFields) {
+  const auto d = data::generate_movies(small());
+  const auto& spec = data::query_by_id("movies-projection");
+  const auto r =
+      run_query(d, spec, ExecConfig::standard(Method::CacheGgr));
+  EXPECT_EQ(r.rows_selected, d.table.num_rows());
+  // Long decode: output tokens dominate per-request work.
+  EXPECT_GT(r.stages[0].engine.output_tokens, 20u * d.table.num_rows());
+}
+
+TEST(Executor, AggregationProducesValueInRange) {
+  const auto d = data::generate_movies(small());
+  const auto& spec = data::query_by_id("movies-aggregation");
+  const auto r = run_query(d, spec, ExecConfig::standard(Method::CacheGgr));
+  EXPECT_GE(r.aggregate, 1.0);
+  EXPECT_LE(r.aggregate, 5.0);
+  EXPECT_EQ(r.rows_selected, d.table.num_rows());
+}
+
+TEST(Executor, MultiLlmRunsTwoStages) {
+  const auto d = data::generate_movies(small(200));
+  const auto& spec = data::query_by_id("movies-multi");
+  const auto r = run_query(d, spec, ExecConfig::standard(Method::CacheGgr));
+  ASSERT_EQ(r.stages.size(), 2u);
+  EXPECT_EQ(r.stages[0].rows, 200u);
+  EXPECT_EQ(r.stages[1].rows, r.rows_selected);
+  EXPECT_GT(r.rows_selected, 0u);
+  EXPECT_NEAR(r.total_seconds,
+              r.stages[0].engine.total_seconds + r.stages[1].engine.total_seconds,
+              1e-9);
+}
+
+TEST(Executor, RagQueryRuns) {
+  const auto d = data::generate_fever(small(150));
+  const auto& spec = data::query_by_id("fever-rag");
+  const auto cmp = compare_methods(d, spec, llm::llama3_8b(), llm::l4(),
+                                   150.0 / data::paper_rows("fever"));
+  EXPECT_GT(cmp.speedup_vs_original(), 1.0);
+}
+
+TEST(Executor, SolverOverheadRecordedForGgr) {
+  const auto d = data::generate_movies(small());
+  const auto& spec = data::query_by_id("movies-filter");
+  const auto r = run_query(d, spec, ExecConfig::standard(Method::CacheGgr));
+  EXPECT_GE(r.solver_seconds, 0.0);
+  // Solver wall-clock must be negligible vs simulated job time at scale.
+  EXPECT_LT(r.solver_seconds, 10.0);
+}
+
+TEST(Executor, FormatSpeedup) {
+  EXPECT_EQ(format_speedup(3.42), "3.4x");
+  EXPECT_EQ(format_speedup(1.0), "1.0x");
+}
+
+}  // namespace
+}  // namespace llmq::query

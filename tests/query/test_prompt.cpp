@@ -1,0 +1,85 @@
+#include "query/prompt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace llmq::query {
+namespace {
+
+table::Table sample() {
+  table::Table t(table::Schema::of_names({"a", "b"}));
+  t.append_row({"va", "vb"});
+  t.append_row({"va", "other"});
+  return t;
+}
+
+PromptTemplate tmpl() {
+  return PromptTemplate{"You are a data analyst.", "Is it good?"};
+}
+
+TEST(Prompt, InstructionPrefixLayout) {
+  const auto p = render_instruction_prefix(tmpl());
+  EXPECT_TRUE(util::starts_with(p, "You are a data analyst."));
+  EXPECT_TRUE(util::contains(p, "Answer the below query:\nIs it good?"));
+  EXPECT_TRUE(util::contains(p, "Given the following data:"));
+}
+
+TEST(Prompt, RowJsonRespectsFieldOrder) {
+  const auto t = sample();
+  const std::size_t fo1[] = {0, 1};
+  const std::size_t fo2[] = {1, 0};
+  EXPECT_EQ(render_row_json(t, 0, fo1), R"({"a":"va","b":"vb"})");
+  EXPECT_EQ(render_row_json(t, 0, fo2), R"({"b":"vb","a":"va"})");
+}
+
+TEST(Prompt, JsonEscapesCellContent) {
+  table::Table t(table::Schema::of_names({"x"}));
+  t.append_row({"line\nwith \"quotes\""});
+  const std::size_t fo[] = {0};
+  EXPECT_EQ(render_row_json(t, 0, fo), R"({"x":"line\nwith \"quotes\""})");
+}
+
+TEST(Prompt, FullPromptConcatenation) {
+  const auto t = sample();
+  const std::size_t fo[] = {0, 1};
+  const auto p = render_prompt(tmpl(), t, 0, fo);
+  EXPECT_TRUE(util::contains(p, R"({"a":"va","b":"vb"})"));
+  EXPECT_TRUE(util::starts_with(p, "You are a data analyst."));
+}
+
+TEST(PromptEncoder, SharedInstructionPrefixAligns) {
+  const auto t = sample();
+  const PromptEncoder enc(tmpl());
+  const std::size_t fo[] = {0, 1};
+  const auto p0 = enc.encode(t, 0, fo);
+  const auto p1 = enc.encode(t, 1, fo);
+  // Both prompts share the instruction prefix plus the common leading cell.
+  const auto shared = tokenizer::common_prefix_len(p0, p1);
+  EXPECT_GE(shared, enc.instruction_tokens());
+  EXPECT_GT(shared, 0u);
+  EXPECT_LT(shared, p0.size());
+}
+
+TEST(PromptEncoder, FieldOrderChangesSuffixNotPrefix) {
+  const auto t = sample();
+  const PromptEncoder enc(tmpl());
+  const std::size_t fo1[] = {0, 1};
+  const std::size_t fo2[] = {1, 0};
+  const auto a = enc.encode(t, 0, fo1);
+  const auto b = enc.encode(t, 0, fo2);
+  const auto shared = tokenizer::common_prefix_len(a, b);
+  EXPECT_GE(shared, enc.instruction_tokens());
+  EXPECT_NE(a, b);
+}
+
+TEST(PromptEncoder, TokenCountTracksTextLength) {
+  const auto t = sample();
+  const PromptEncoder enc(tmpl());
+  const std::size_t fo[] = {0, 1};
+  const auto toks = enc.encode(t, 0, fo);
+  EXPECT_GT(toks.size(), enc.instruction_tokens());
+}
+
+}  // namespace
+}  // namespace llmq::query

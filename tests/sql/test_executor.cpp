@@ -1,0 +1,188 @@
+#include "sql/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "table/value.hpp"
+
+namespace llmq::sql {
+namespace {
+
+Catalog make_catalog(std::size_t n = 150) {
+  Catalog cat;
+  data::GenOptions g;
+  g.n_rows = n;
+  g.seed = 17;
+  cat.put_dataset("movies", data::generate_movies(g));
+  cat.put_dataset("beer", data::generate_beer(g));
+  return cat;
+}
+
+SqlOptions fast_options() {
+  SqlOptions opt;
+  opt.exec = query::ExecConfig::standard(query::Method::CacheGgr);
+  return opt;
+}
+
+TEST(SqlCatalog, PutGetNames) {
+  const auto cat = make_catalog(30);
+  EXPECT_TRUE(cat.has("movies"));
+  EXPECT_FALSE(cat.has("nope"));
+  EXPECT_THROW(cat.get("nope"), std::invalid_argument);
+  EXPECT_EQ(cat.names().size(), 2u);
+  EXPECT_EQ(cat.get("movies").table.num_rows(), 30u);
+}
+
+TEST(SqlExec, ColumnProjection) {
+  const auto cat = make_catalog(40);
+  const auto res =
+      execute("SELECT movietitle, reviewtype FROM movies", cat, fast_options());
+  EXPECT_EQ(res.result.num_rows(), 40u);
+  EXPECT_EQ(res.result.num_cols(), 2u);
+  EXPECT_EQ(res.result.schema().field(0).name, "movietitle");
+  EXPECT_TRUE(res.stages.empty());  // no LLM calls
+  EXPECT_DOUBLE_EQ(res.simulated_seconds, 0.0);
+}
+
+TEST(SqlExec, LlmFilterSelectsSubset) {
+  const auto cat = make_catalog(120);
+  const auto res = execute(
+      "SELECT movietitle FROM movies WHERE LLM('Suitable for kids? Answer "
+      "ONLY Yes or No.', movieinfo, reviewcontent) = 'Yes'",
+      cat, fast_options());
+  EXPECT_GT(res.result.num_rows(), 0u);
+  EXPECT_LT(res.result.num_rows(), 120u);
+  ASSERT_EQ(res.stages.size(), 1u);
+  EXPECT_EQ(res.stages[0].metrics.rows, 120u);
+  EXPECT_GT(res.simulated_seconds, 0.0);
+}
+
+TEST(SqlExec, LlmProjectionProducesText) {
+  const auto cat = make_catalog(25);
+  const auto res = execute(
+      "SELECT LLM('Summarize the review.', reviewcontent, movieinfo) AS "
+      "summary FROM movies",
+      cat, fast_options());
+  EXPECT_EQ(res.result.num_rows(), 25u);
+  EXPECT_EQ(res.result.schema().field(0).name, "summary");
+  for (std::size_t r = 0; r < res.result.num_rows(); ++r)
+    EXPECT_FALSE(res.result.cell(r, 0).empty());
+}
+
+TEST(SqlExec, AvgLlmProducesSingleNumericRow) {
+  const auto cat = make_catalog(60);
+  const auto res = execute(
+      "SELECT AVG(LLM('Rate sentiment 1-5.', reviewcontent, movieinfo)) AS "
+      "score FROM movies",
+      cat, fast_options());
+  EXPECT_EQ(res.result.num_rows(), 1u);
+  const auto v = table::parse_double(res.result.cell(0, 0));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_GE(*v, 1.0);
+  EXPECT_LE(*v, 5.0);
+}
+
+TEST(SqlExec, AvgMixedWithColumnRejected) {
+  const auto cat = make_catalog(20);
+  EXPECT_THROW(
+      execute("SELECT movietitle, AVG(LLM('q', reviewcontent)) FROM movies",
+              cat, fast_options()),
+      std::invalid_argument);
+}
+
+TEST(SqlExec, MultiLlmPipeline) {
+  const auto cat = make_catalog(100);
+  const auto res = execute(
+      "SELECT LLM('Summarize good qualities.', reviewtype, reviewcontent, "
+      "movieinfo, genres) FROM movies "
+      "WHERE LLM('Sentiment POSITIVE or NEGATIVE?', reviewcontent) = "
+      "'NEGATIVE'",
+      cat, fast_options());
+  ASSERT_EQ(res.stages.size(), 2u);
+  EXPECT_EQ(res.stages[0].metrics.rows, 100u);   // WHERE over all rows
+  EXPECT_EQ(res.stages[1].metrics.rows, res.result.num_rows());
+  EXPECT_GT(res.result.num_rows(), 0u);
+}
+
+TEST(SqlExec, RelationalAtomsApplyWithoutLlm) {
+  const auto cat = make_catalog(80);
+  const auto res = execute(
+      "SELECT movietitle FROM movies WHERE reviewtype = 'Fresh'", cat,
+      fast_options());
+  EXPECT_GT(res.result.num_rows(), 0u);
+  EXPECT_LT(res.result.num_rows(), 80u);
+  EXPECT_TRUE(res.stages.empty());
+}
+
+TEST(SqlExec, GgrBeatsOriginalOnSqlQuery) {
+  const auto cat = make_catalog(200);
+  const char* q =
+      "SELECT movietitle FROM movies WHERE LLM('Suitable for kids?', "
+      "movieinfo, reviewcontent, genres, movietitle) = 'Yes'";
+  SqlOptions ggr = fast_options();
+  ggr.exec.scale_kv_pool(200.0 / 15000.0);
+  SqlOptions orig = fast_options();
+  orig.exec = query::ExecConfig::standard(query::Method::CacheOriginal);
+  orig.exec.scale_kv_pool(200.0 / 15000.0);
+  const auto r_ggr = execute(q, cat, ggr);
+  const auto r_orig = execute(q, cat, orig);
+  EXPECT_LT(r_ggr.simulated_seconds, r_orig.simulated_seconds);
+  EXPECT_GT(r_ggr.overall_phr(), r_orig.overall_phr());
+}
+
+TEST(SqlExec, UnknownTableThrows) {
+  const auto cat = make_catalog(10);
+  EXPECT_THROW(execute("SELECT a FROM nope", cat, fast_options()),
+               std::invalid_argument);
+}
+
+TEST(SqlExec, UnknownColumnThrows) {
+  const auto cat = make_catalog(10);
+  EXPECT_THROW(execute("SELECT no_such_column FROM movies", cat, fast_options()),
+               std::out_of_range);
+}
+
+TEST(SqlExec, JoinedFromClause) {
+  Catalog cat;
+  BoundTable reviews;
+  reviews.table = table::Table(table::Schema::of_names({"review", "asin"}));
+  reviews.table.append_row({"great", "A1"});
+  reviews.table.append_row({"poor", "A2"});
+  reviews.table.append_row({"fine", "A1"});
+  cat.put("reviews", std::move(reviews));
+  BoundTable products;
+  products.table =
+      table::Table(table::Schema::of_names({"asin", "description"}));
+  products.table.append_row({"A1", "A fine widget for all your needs"});
+  products.table.append_row({"A2", "A gadget of questionable provenance"});
+  cat.put("product", std::move(products));
+
+  const auto res = execute(
+      "SELECT LLM('Summarize: ', pr.*) FROM reviews JOIN product ON "
+      "r.asin = p.asin",
+      cat, fast_options());
+  EXPECT_EQ(res.result.num_rows(), 3u);
+  ASSERT_EQ(res.stages.size(), 1u);
+  EXPECT_EQ(res.stages[0].metrics.rows, 3u);
+}
+
+TEST(SqlExec, EmptyFilterResultShortCircuits) {
+  const auto cat = make_catalog(20);
+  const auto res = execute(
+      "SELECT movietitle FROM movies WHERE reviewtype = 'NoSuchType'", cat,
+      fast_options());
+  EXPECT_EQ(res.result.num_rows(), 0u);
+}
+
+TEST(SqlExec, DeterministicResults) {
+  const auto cat = make_catalog(60);
+  const char* q =
+      "SELECT LLM('Sum.', reviewcontent) FROM movies WHERE "
+      "LLM('Kids?', movieinfo) = 'Yes'";
+  const auto a = execute(q, cat, fast_options());
+  const auto b = execute(q, cat, fast_options());
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_DOUBLE_EQ(a.simulated_seconds, b.simulated_seconds);
+}
+
+}  // namespace
+}  // namespace llmq::sql

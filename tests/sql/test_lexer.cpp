@@ -1,0 +1,78 @@
+#include "sql/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llmq::sql {
+namespace {
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::End);
+}
+
+TEST(Lexer, KeywordsCaseInsensitive) {
+  const auto toks = lex("select FROM Where aNd");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].text, "SELECT");
+  EXPECT_EQ(toks[1].text, "FROM");
+  EXPECT_EQ(toks[2].text, "WHERE");
+  EXPECT_EQ(toks[3].text, "AND");
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(toks[i].kind, TokenKind::Keyword);
+}
+
+TEST(Lexer, IdentifiersKeepCaseAndQualifiers) {
+  const auto toks = lex("MOVIES t.reviewcontent beer/beerId");
+  EXPECT_EQ(toks[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[0].text, "MOVIES");  // not a keyword
+  EXPECT_EQ(toks[1].text, "t.reviewcontent");
+  EXPECT_EQ(toks[2].text, "beer/beerId");
+}
+
+TEST(Lexer, StringLiteralWithEscapedQuote) {
+  const auto toks = lex("'it''s a test'");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokenKind::String);
+  EXPECT_EQ(toks[0].text, "it's a test");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("'oops"), LexError);
+}
+
+TEST(Lexer, SymbolsIncludingNotEquals) {
+  const auto toks = lex("( ) , = * <>");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[5].text, "<>");
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(toks[i].kind, TokenKind::Symbol);
+}
+
+TEST(Lexer, Numbers) {
+  const auto toks = lex("42 1.5");
+  EXPECT_EQ(toks[0].kind, TokenKind::Number);
+  EXPECT_EQ(toks[0].text, "42");
+  EXPECT_EQ(toks[1].text, "1.5");
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  const auto toks = lex("SELECT -- comment text\nFROM");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "FROM");
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) { EXPECT_THROW(lex("@"), LexError); }
+
+TEST(Lexer, OffsetsTrackPosition) {
+  const auto toks = lex("SELECT x");
+  EXPECT_EQ(toks[0].offset, 0u);
+  EXPECT_EQ(toks[1].offset, 7u);
+}
+
+TEST(Lexer, IsKeywordHelper) {
+  EXPECT_TRUE(is_keyword("LLM"));
+  EXPECT_TRUE(is_keyword("NULL"));
+  EXPECT_FALSE(is_keyword("MOVIES"));
+}
+
+}  // namespace
+}  // namespace llmq::sql

@@ -1,0 +1,131 @@
+#include "sql/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llmq::sql {
+namespace {
+
+TEST(Parser, SimpleColumnSelect) {
+  const auto stmt = parse("SELECT movietitle FROM movies");
+  ASSERT_EQ(stmt.items.size(), 1u);
+  EXPECT_EQ(stmt.items[0].kind, SelectItem::Kind::Column);
+  EXPECT_EQ(stmt.items[0].column, "movietitle");
+  EXPECT_EQ(stmt.from.table, "movies");
+  EXPECT_TRUE(stmt.where.empty());
+}
+
+TEST(Parser, LlmProjectionWithFields) {
+  const auto stmt = parse(
+      "SELECT LLM('Summarize the movie.', reviewcontent, movieinfo) "
+      "FROM movies");
+  ASSERT_EQ(stmt.items.size(), 1u);
+  const auto& item = stmt.items[0];
+  EXPECT_EQ(item.kind, SelectItem::Kind::Llm);
+  EXPECT_EQ(item.llm.prompt, "Summarize the movie.");
+  EXPECT_EQ(item.llm.fields,
+            (std::vector<std::string>{"reviewcontent", "movieinfo"}));
+  EXPECT_FALSE(item.llm.star);
+}
+
+TEST(Parser, LlmStarArgument) {
+  const auto stmt = parse("SELECT LLM('Summarize: ', pr.*) FROM pr");
+  EXPECT_TRUE(stmt.items[0].llm.star);
+  EXPECT_TRUE(stmt.items[0].llm.fields.empty());
+}
+
+TEST(Parser, BareStarArgument) {
+  const auto stmt = parse("SELECT LLM('Summarize: ', *) FROM t");
+  EXPECT_TRUE(stmt.items[0].llm.star);
+}
+
+TEST(Parser, PaperIntroQuery) {
+  // The paper's §1 customer-tickets query (LLM in SELECT with alias, a
+  // NOT NULL guard in WHERE).
+  const auto stmt = parse(
+      "SELECT user_id, request, support_response, "
+      "LLM('Did {support_response} address {request}?', support_response, "
+      "request) AS success "
+      "FROM customer_tickets WHERE support_response <> NULL");
+  ASSERT_EQ(stmt.items.size(), 4u);
+  EXPECT_EQ(stmt.items[0].column, "user_id");
+  EXPECT_EQ(stmt.items[3].kind, SelectItem::Kind::Llm);
+  EXPECT_EQ(stmt.items[3].alias, "success");
+  ASSERT_EQ(stmt.where.size(), 1u);
+  EXPECT_EQ(stmt.where[0].kind, PredicateAtom::Kind::ColumnNotNull);
+  EXPECT_EQ(stmt.where[0].column, "support_response");
+}
+
+TEST(Parser, PaperFilterQuery) {
+  const auto stmt = parse(
+      "SELECT t.movietitle FROM MOVIES WHERE LLM('Given the following "
+      "fields, determine whether the movie is suitable for kids. Answer "
+      "ONLY with \"Yes\" or \"No\".', movieinfo, reviewcontent, reviewtype, "
+      "movietitle) = 'Yes'");
+  EXPECT_EQ(stmt.items[0].column, "movietitle");  // qualifier stripped
+  ASSERT_EQ(stmt.where.size(), 1u);
+  const auto& atom = stmt.where[0];
+  EXPECT_EQ(atom.kind, PredicateAtom::Kind::LlmEquals);
+  EXPECT_EQ(atom.literal, "Yes");
+  EXPECT_EQ(atom.llm.fields.size(), 4u);
+}
+
+TEST(Parser, PaperAggregationQuery) {
+  const auto stmt = parse(
+      "SELECT AVG(LLM('Rate sentiment in numerical values from 1 (bad) to "
+      "5 (good).', reviewcontent, movieinfo)) AS AverageScore FROM MOVIES");
+  ASSERT_EQ(stmt.items.size(), 1u);
+  EXPECT_EQ(stmt.items[0].kind, SelectItem::Kind::AvgLlm);
+  EXPECT_EQ(stmt.items[0].alias, "AverageScore");
+  EXPECT_EQ(stmt.items[0].llm.fields.size(), 2u);
+}
+
+TEST(Parser, MultiLlmQuery) {
+  // Paper's multi-LLM invocation: LLM in SELECT and in WHERE.
+  const auto stmt = parse(
+      "SELECT LLM('Summarize good qualities.', reviewtype, reviewcontent, "
+      "movieinfo, genres) FROM MOVIES WHERE LLM('Sentiment?', "
+      "reviewcontent) = 'NEGATIVE'");
+  EXPECT_EQ(stmt.items[0].kind, SelectItem::Kind::Llm);
+  ASSERT_EQ(stmt.where.size(), 1u);
+  EXPECT_EQ(stmt.where[0].literal, "NEGATIVE");
+}
+
+TEST(Parser, JoinClause) {
+  const auto stmt = parse(
+      "SELECT review FROM reviews JOIN product ON r.asin = p.asin");
+  EXPECT_EQ(stmt.from.table, "reviews");
+  ASSERT_TRUE(stmt.from.join_table.has_value());
+  EXPECT_EQ(*stmt.from.join_table, "product");
+  EXPECT_EQ(stmt.from.left_key, "r.asin");
+  EXPECT_EQ(stmt.from.right_key, "p.asin");
+}
+
+TEST(Parser, ConjunctivePredicates) {
+  const auto stmt = parse(
+      "SELECT a FROM t WHERE a <> NULL AND b = 'x' AND "
+      "LLM('q', a) = 'Yes'");
+  ASSERT_EQ(stmt.where.size(), 3u);
+  EXPECT_EQ(stmt.where[0].kind, PredicateAtom::Kind::ColumnNotNull);
+  EXPECT_EQ(stmt.where[1].kind, PredicateAtom::Kind::ColumnEquals);
+  EXPECT_EQ(stmt.where[2].kind, PredicateAtom::Kind::LlmEquals);
+}
+
+TEST(Parser, ErrorsAreSpecific) {
+  EXPECT_THROW(parse("FROM t"), ParseError);                    // no SELECT
+  EXPECT_THROW(parse("SELECT a"), ParseError);                  // no FROM
+  EXPECT_THROW(parse("SELECT LLM(a) FROM t"), ParseError);      // no prompt
+  EXPECT_THROW(parse("SELECT a FROM t WHERE a = b"), ParseError);  // literal
+  EXPECT_THROW(parse("SELECT a FROM t extra"), ParseError);     // trailing
+  EXPECT_THROW(parse("SELECT a FROM t WHERE LLM('q', a) = 5"),
+               ParseError);  // non-string comparison
+}
+
+TEST(Parser, SlashFieldNames) {
+  const auto stmt =
+      parse("SELECT LLM('q', beer/beerId, review/overall) FROM beer");
+  EXPECT_EQ(stmt.items[0].llm.fields,
+            (std::vector<std::string>{"beer/beerId", "review/overall"}));
+}
+
+}  // namespace
+}  // namespace llmq::sql

@@ -1,0 +1,101 @@
+#include "table/fd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace llmq::table {
+namespace {
+
+Table beer_like() {
+  Table t(Schema::of_names({"beerId", "name", "review"}));
+  t.append_row({"1", "Pale Ale", "good"});
+  t.append_row({"1", "Pale Ale", "bad"});
+  t.append_row({"2", "Stout", "rich"});
+  t.append_row({"2", "Stout", "dark"});
+  return t;
+}
+
+TEST(FdSet, GroupCreatesSymmetricEdges) {
+  FdSet fds;
+  fds.add_group({"a", "b", "c"});
+  EXPECT_EQ(fds.num_edges(), 6u);  // 3 ordered pairs * 2 directions
+}
+
+TEST(FdSet, DuplicateEdgesIgnored) {
+  FdSet fds;
+  fds.add("a", "b");
+  fds.add("a", "b");
+  EXPECT_EQ(fds.num_edges(), 1u);
+}
+
+TEST(FdSet, InferredColumnsResolveAgainstSchema) {
+  const auto schema = Schema::of_names({"beerId", "name", "review"});
+  FdSet fds;
+  fds.add_group({"beerId", "name"});
+  const auto inferred = fds.inferred_columns(schema, 0);
+  EXPECT_EQ(inferred, (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(fds.inferred_columns(schema, 2).empty());
+}
+
+TEST(FdSet, TransitiveClosure) {
+  const auto schema = Schema::of_names({"a", "b", "c"});
+  FdSet fds;
+  fds.add("a", "b");
+  fds.add("b", "c");
+  const auto inferred = fds.inferred_columns(schema, 0);
+  EXPECT_EQ(inferred, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(FdSet, MissingFieldsIgnored) {
+  const auto schema = Schema::of_names({"a"});
+  FdSet fds;
+  fds.add("a", "not_in_schema");
+  EXPECT_TRUE(fds.inferred_columns(schema, 0).empty());
+}
+
+TEST(FdViolation, ExactFdIsZero) {
+  const auto t = beer_like();
+  EXPECT_DOUBLE_EQ(fd_violation_rate(t, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(fd_violation_rate(t, 1, 0), 0.0);
+}
+
+TEST(FdViolation, NonFdPositive) {
+  const auto t = beer_like();
+  // beerId does not determine review: each id maps to 2 reviews -> half the
+  // rows deviate from the majority.
+  EXPECT_DOUBLE_EQ(fd_violation_rate(t, 0, 2), 0.5);
+}
+
+TEST(FdViolation, EmptyTableZero) {
+  Table t(Schema::of_names({"x", "y"}));
+  EXPECT_DOUBLE_EQ(fd_violation_rate(t, 0, 1), 0.0);
+}
+
+TEST(MineFds, FindsExactDependencies) {
+  const auto t = beer_like();
+  const auto fds = mine_fds(t);
+  const auto schema = t.schema();
+  // beerId <-> name discovered; review -> beerId also holds here since all
+  // review values are unique (a unique column determines everything).
+  const auto from_id = fds.inferred_columns(schema, 0);
+  EXPECT_TRUE(std::find(from_id.begin(), from_id.end(), 1u) != from_id.end());
+  const auto from_name = fds.inferred_columns(schema, 1);
+  EXPECT_TRUE(std::find(from_name.begin(), from_name.end(), 0u) !=
+              from_name.end());
+}
+
+TEST(MineFds, ToleranceAdmitsApproximateFds) {
+  Table t(Schema::of_names({"k", "v"}));
+  for (int i = 0; i < 9; ++i) t.append_row({"a", "same"});
+  t.append_row({"a", "different"});  // 10% violation of k -> v
+  // Strict mining rejects k -> v (but discovers the exact reverse v -> k,
+  // since each v value maps to the single k value "a").
+  EXPECT_TRUE(mine_fds(t, 0.0).inferred_columns(t.schema(), 0).empty());
+  const auto loose = mine_fds(t, 0.15);
+  const auto inferred = loose.inferred_columns(t.schema(), 0);
+  EXPECT_EQ(inferred, (std::vector<std::size_t>{1}));
+}
+
+}  // namespace
+}  // namespace llmq::table

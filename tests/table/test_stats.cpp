@@ -1,0 +1,68 @@
+#include "table/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llmq::table {
+namespace {
+
+TEST(TableStats, CardinalityAndLengths) {
+  Table t(Schema::of_names({"dup", "uniq"}));
+  t.append_row({"same", "a"});
+  t.append_row({"same", "b"});
+  t.append_row({"same", "c"});
+  t.append_row({"other", "d"});
+  const auto stats = compute_stats(t);
+  EXPECT_EQ(stats.n_rows, 4u);
+  EXPECT_EQ(stats.columns[0].cardinality, 2u);
+  EXPECT_EQ(stats.columns[1].cardinality, 4u);
+  EXPECT_EQ(stats.columns[0].max_group_size, 3u);
+  EXPECT_EQ(stats.columns[1].max_group_size, 1u);
+  EXPECT_GT(stats.columns[0].avg_len_tokens, 0.0);
+}
+
+TEST(TableStats, ExpectedScoreZeroWhenAllDistinct) {
+  Table t(Schema::of_names({"u"}));
+  t.append_row({"a"});
+  t.append_row({"b"});
+  const auto stats = compute_stats(t);
+  EXPECT_DOUBLE_EQ(stats.columns[0].expected_hit_score(t.num_rows()), 0.0);
+}
+
+TEST(TableStats, ExpectedScorePositiveWithRepeats) {
+  Table t(Schema::of_names({"r"}));
+  for (int i = 0; i < 10; ++i) t.append_row({"repeated value"});
+  const auto stats = compute_stats(t);
+  EXPECT_GT(stats.columns[0].expected_hit_score(t.num_rows()), 0.0);
+}
+
+TEST(TableStats, FieldRankingPrefersRepetitiveLongColumns) {
+  Table t(Schema::of_names({"unique_short", "repeated_long"}));
+  for (int i = 0; i < 20; ++i)
+    t.append_row({std::to_string(i),
+                  "a very long repeated product description paragraph"});
+  const auto stats = compute_stats(t);
+  const auto order = stats.fields_by_expected_score();
+  EXPECT_EQ(order.front(), 1u);
+}
+
+TEST(TableStats, SqLenAtLeastLenSquaredOfAvg) {
+  // Jensen: E[len^2] >= (E[len])^2.
+  Table t(Schema::of_names({"c"}));
+  t.append_row({"one"});
+  t.append_row({"three parts here"});
+  t.append_row({"five tokens in this cell yes"});
+  const auto stats = compute_stats(t);
+  const auto& c = stats.columns[0];
+  EXPECT_GE(c.avg_sq_len_tokens + 1e-9, c.avg_len_tokens * c.avg_len_tokens);
+}
+
+TEST(TableStats, EmptyTable) {
+  Table t(Schema::of_names({"a", "b"}));
+  const auto stats = compute_stats(t);
+  EXPECT_EQ(stats.n_rows, 0u);
+  EXPECT_EQ(stats.columns[0].cardinality, 0u);
+  EXPECT_DOUBLE_EQ(stats.columns[0].expected_hit_score(0), 0.0);
+}
+
+}  // namespace
+}  // namespace llmq::table

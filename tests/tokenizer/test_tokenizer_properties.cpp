@@ -1,0 +1,94 @@
+// Property tests: tokenizer invariants over randomized text.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+
+#include "tokenizer/tokenizer.hpp"
+#include "util/rng.hpp"
+#include "util/wordbank.hpp"
+
+namespace llmq::tokenizer {
+namespace {
+
+std::string random_text(util::Rng& rng, std::size_t len) {
+  static const char* alphabet =
+      "abcdefghij KLMNOP.,!?  0123456789\t\n'\"-_/";
+  const std::size_t n_chars = std::strlen(alphabet);
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    s += alphabet[rng.next_below(n_chars)];
+  return s;
+}
+
+class TokenizerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TokenizerProperty, CountAlwaysMatchesEncode) {
+  util::Rng rng(GetParam());
+  const Tokenizer tok;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto text = random_text(rng, rng.next_below(200));
+    EXPECT_EQ(tok.count(text), tok.encode(text).size()) << text;
+  }
+}
+
+TEST_P(TokenizerProperty, EqualStringsEqualStreams) {
+  util::Rng rng(GetParam());
+  const Tokenizer tok;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto text = random_text(rng, 1 + rng.next_below(120));
+    EXPECT_EQ(tok.encode(text), tok.encode(std::string(text)));
+  }
+}
+
+TEST_P(TokenizerProperty, SharedWordPrefixSharesTokenPrefix) {
+  // If two texts agree on a word-boundary-aligned prefix, the token
+  // streams agree on the corresponding tokens.
+  util::Rng rng(GetParam());
+  const Tokenizer tok;
+  const auto& bank = util::default_wordbank();
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto prefix = bank.sentence(rng, 5 + rng.next_below(20));
+    const auto a = prefix + " " + bank.sentence(rng, 10);
+    const auto b = prefix + " " + bank.sentence(rng, 10);
+    const auto ta = tok.encode(a);
+    const auto tb = tok.encode(b);
+    const auto prefix_tokens = tok.count(prefix);
+    EXPECT_GE(common_prefix_len(ta, tb), prefix_tokens);
+  }
+}
+
+TEST_P(TokenizerProperty, TokenCountBounds) {
+  // 1 <= tokens <= chars for non-empty text (each token covers >= 1 char,
+  // whitespace folds into neighbors).
+  util::Rng rng(GetParam() ^ 0xb0b);
+  const Tokenizer tok;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto text = random_text(rng, 1 + rng.next_below(150));
+    const auto n = tok.count(text);
+    EXPECT_LE(n, text.size());
+    bool all_space = true;
+    for (char c : text)
+      if (!std::isspace(static_cast<unsigned char>(c))) all_space = false;
+    if (!all_space) EXPECT_GE(n, 1u);
+  }
+}
+
+TEST_P(TokenizerProperty, ConcatenationNeverCreatesFewerPieces) {
+  // Tokens of (a + b) >= tokens(a-trimmed) since boundaries only split.
+  util::Rng rng(GetParam() ^ 0xc4c4);
+  const Tokenizer tok;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto a = random_text(rng, 1 + rng.next_below(60));
+    const auto b = random_text(rng, 1 + rng.next_below(60));
+    EXPECT_GE(tok.count(a + b) + 1, tok.count(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace llmq::tokenizer

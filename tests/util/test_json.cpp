@@ -1,0 +1,59 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llmq::util {
+namespace {
+
+TEST(Json, EscapeSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, EmptyObject) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonWriter w;
+  w.begin_object().kv("zeta", "1").kv("alpha", "2").kv("mid", "3").end_object();
+  EXPECT_EQ(w.str(), R"({"zeta":"1","alpha":"2","mid":"3"})");
+}
+
+TEST(Json, NestedStructures) {
+  JsonWriter w;
+  w.begin_object()
+      .key("rows")
+      .begin_array()
+      .begin_object()
+      .kv("a", "x")
+      .end_object()
+      .value(std::int64_t{42})
+      .end_array()
+      .key("flag")
+      .value(true)
+      .key("nothing")
+      .null()
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"rows":[{"a":"x"},42],"flag":true,"nothing":null})");
+}
+
+TEST(Json, NumbersAndBooleans) {
+  JsonWriter w;
+  w.begin_array().value(std::int64_t{-7}).value(false).value(2.5).end_array();
+  EXPECT_EQ(w.str(), "[-7,false,2.5]");
+}
+
+TEST(Json, TakeMovesBuffer) {
+  JsonWriter w;
+  w.begin_array().end_array();
+  EXPECT_EQ(w.take(), "[]");
+}
+
+}  // namespace
+}  // namespace llmq::util

@@ -1,0 +1,136 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace llmq::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 * 0.9);
+    EXPECT_LT(c, n / 10 * 1.1);
+  }
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng rng(13);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.next_bool(0.3)) ++heads;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng rng(19);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(31);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+  // Forking is deterministic.
+  Rng parent2(31);
+  Rng c1_again = parent2.fork(1);
+  Rng c1_ref = Rng(31).fork(1);
+  EXPECT_EQ(c1_again.next_u64(), c1_ref.next_u64());
+}
+
+TEST(Hash64, StableAndSensitive) {
+  const std::string a = "hello", b = "hellp";
+  EXPECT_EQ(hash64(a.data(), a.size()), hash64(a.data(), a.size()));
+  EXPECT_NE(hash64(a.data(), a.size()), hash64(b.data(), b.size()));
+}
+
+TEST(Hash64, EmptyInputOk) {
+  EXPECT_EQ(hash64(nullptr, 0), hash64(nullptr, 0));
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+}  // namespace
+}  // namespace llmq::util

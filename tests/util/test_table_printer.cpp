@@ -1,0 +1,37 @@
+#include "util/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace llmq::util {
+namespace {
+
+TEST(TablePrinter, RendersHeaderAndRows) {
+  TablePrinter tp({"name", "value"});
+  tp.add_row({"alpha", "1.5"});
+  tp.add_row({"b", "22"});
+  const std::string out = tp.render();
+  EXPECT_TRUE(contains(out, "name"));
+  EXPECT_TRUE(contains(out, "alpha"));
+  EXPECT_TRUE(contains(out, "22"));
+  // header + separator + two rows
+  EXPECT_EQ(split(out, '\n').size(), 5u);  // includes trailing empty
+}
+
+TEST(TablePrinter, PadsShortRows) {
+  TablePrinter tp({"a", "b", "c"});
+  tp.add_row({"only"});
+  EXPECT_NO_THROW(tp.render());
+}
+
+TEST(TablePrinter, ColumnsAligned) {
+  TablePrinter tp({"x", "yy"});
+  tp.add_row({"longcell", "1"});
+  const auto lines = split(tp.render(), '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0].size(), lines[2].size());
+}
+
+}  // namespace
+}  // namespace llmq::util

@@ -1,0 +1,63 @@
+#include "util/wordbank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tokenizer/tokenizer.hpp"
+
+namespace llmq::util {
+namespace {
+
+TEST(WordBank, DeterministicAcrossInstances) {
+  WordBank a(7, 1000), b(7, 1000);
+  for (std::size_t i = 0; i < 1000; ++i) EXPECT_EQ(a.word(i), b.word(i));
+}
+
+TEST(WordBank, SeedChangesVocabulary) {
+  WordBank a(7, 100), b(8, 100);
+  int same = 0;
+  for (std::size_t i = 0; i < 100; ++i)
+    if (a.word(i) == b.word(i)) ++same;
+  EXPECT_LT(same, 20);
+}
+
+TEST(WordBank, SentenceWordCount) {
+  Rng rng(3);
+  const auto s = default_wordbank().sentence(rng, 12);
+  int spaces = 0;
+  for (char c : s)
+    if (c == ' ') ++spaces;
+  EXPECT_EQ(spaces, 11);
+  EXPECT_EQ(s.back(), '.');
+}
+
+TEST(WordBank, SentenceDeterministicGivenRngState) {
+  Rng r1(9), r2(9);
+  EXPECT_EQ(default_wordbank().sentence(r1, 30),
+            default_wordbank().sentence(r2, 30));
+}
+
+TEST(WordBank, TextOfTokensApproximatesTarget) {
+  // The tokens/word calibration should land within 30% of target for
+  // realistic sizes.
+  const auto& tok = tokenizer::global_tokenizer();
+  Rng rng(21);
+  for (std::size_t target : {50u, 200u, 800u}) {
+    const auto text = default_wordbank().text_of_tokens(rng, target);
+    const double actual = static_cast<double>(tok.count(text));
+    EXPECT_GT(actual, 0.7 * static_cast<double>(target));
+    EXPECT_LT(actual, 1.3 * static_cast<double>(target));
+  }
+}
+
+TEST(WordBank, TitleIsTitleCase) {
+  Rng rng(4);
+  const auto t = default_wordbank().title(rng, 3);
+  EXPECT_TRUE(std::isupper(static_cast<unsigned char>(t[0])));
+  int spaces = 0;
+  for (char c : t)
+    if (c == ' ') ++spaces;
+  EXPECT_EQ(spaces, 2);
+}
+
+}  // namespace
+}  // namespace llmq::util

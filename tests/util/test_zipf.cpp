@@ -1,0 +1,55 @@
+#include "util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace llmq::util {
+namespace {
+
+TEST(Zipf, ThrowsOnZeroSize) { EXPECT_THROW(Zipf(0, 1.0), std::invalid_argument); }
+
+TEST(Zipf, SamplesInRange) {
+  Zipf z(50, 1.1);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.sample(rng), 50u);
+}
+
+TEST(Zipf, SkewFavorsLowRanks) {
+  Zipf z(100, 1.2);
+  Rng rng(2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(Zipf, UniformWhenSkewZero) {
+  Zipf z(10, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  Zipf z(20, 1.5);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < 20; ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(z.pmf(20), 0.0);
+}
+
+TEST(Zipf, PmfMatchesEmpiricalFrequency) {
+  Zipf z(5, 1.0);
+  Rng rng(4);
+  std::vector<int> counts(5, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t k = 0; k < 5; ++k)
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.pmf(k), 0.01);
+}
+
+}  // namespace
+}  // namespace llmq::util
