@@ -11,6 +11,7 @@ using namespace llmq;
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
   bench::print_header("Ablations — serving engine", opt);
+  bench::JsonReport json("bench_ablation_serving", opt);
 
   const char* key = "movies";
   data::GenOptions g;
@@ -37,6 +38,11 @@ int main(int argc, char** argv) {
                   bench::pct(rg.overall_phr()), bench::secs(ro.total_seconds),
                   bench::secs(rg.total_seconds),
                   query::format_speedup(ro.total_seconds / rg.total_seconds)});
+      json.add("kv_pool_sweep", {{"pool_mult", mult},
+                                 {"original_phr", ro.overall_phr()},
+                                 {"ggr_phr", rg.overall_phr()},
+                                 {"original_s", ro.total_seconds},
+                                 {"ggr_s", rg.total_seconds}});
     }
     tp.print();
   }
@@ -59,6 +65,9 @@ int main(int argc, char** argv) {
                   bench::secs(rg.total_seconds),
                   query::format_speedup(ro.total_seconds / rg.total_seconds),
                   util::fmt(rg.stages[0].engine.mean_batch_size(), 1)});
+      json.add("batch_size_sweep", {{"max_batch", bs},
+                                    {"original_s", ro.total_seconds},
+                                    {"ggr_s", rg.total_seconds}});
     }
     tp.print();
   }
@@ -74,8 +83,12 @@ int main(int argc, char** argv) {
       const auto r = query::run_query(d, spec, cfg);
       tp.add_row({std::to_string(block), bench::pct(r.overall_phr()),
                   bench::secs(r.total_seconds)});
+      json.add("block_size_sweep", {{"block_tokens", block},
+                                    {"ggr_phr", r.overall_phr()},
+                                    {"ggr_s", r.total_seconds}});
     }
     tp.print();
   }
+  json.write();
   return 0;
 }

@@ -5,6 +5,8 @@
 //   --scale <f>   fraction of the paper's dataset sizes (default 0.1)
 //   --seed <s>    dataset seed (default 42)
 //   --full        shorthand for --scale 1.0
+//   --json <path> also write results as machine-readable JSON (the
+//                 BENCH_*.json perf-trajectory format; see JsonReport)
 // Scaled runs also scale the KV pool by the same fraction so the
 // data-to-cache ratio (the regime that makes reordering matter) is
 // preserved; see ExecConfig::scale_kv_pool.
@@ -12,12 +14,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "data/benchmark_suite.hpp"
 #include "data/generators.hpp"
 #include "query/executor.hpp"
 #include "query/metrics.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table_printer.hpp"
 
@@ -26,6 +32,7 @@ namespace llmq::bench {
 struct BenchOptions {
   double scale = 0.1;
   std::uint64_t seed = 42;
+  std::string json_path;  // empty = no JSON output
 
   std::size_t rows_for(const std::string& dataset_key) const {
     const auto full = data::paper_rows(dataset_key);
@@ -48,13 +55,101 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--full") == 0) {
       opt.scale = 1.0;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opt.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--scale f] [--seed s] [--full]\n", argv[0]);
+      std::printf("usage: %s [--scale f] [--seed s] [--full] [--json path]\n",
+                  argv[0]);
       std::exit(0);
     }
   }
   return opt;
 }
+
+/// One key of a JSON result record: either numeric or string.
+struct JsonField {
+  std::string key;
+  bool is_number = false;
+  double num = 0.0;
+  std::string str;
+  JsonField(std::string k, double v)
+      : key(std::move(k)), is_number(true), num(v) {}
+  JsonField(std::string k, int v)
+      : key(std::move(k)), is_number(true), num(v) {}
+  JsonField(std::string k, std::size_t v)
+      : key(std::move(k)), is_number(true), num(static_cast<double>(v)) {}
+  JsonField(std::string k, std::string v)
+      : key(std::move(k)), str(std::move(v)) {}
+  JsonField(std::string k, const char* v) : key(std::move(k)), str(v) {}
+};
+
+/// Machine-readable bench output (--json): named sections of records,
+/// written once via util::JsonWriter when the report is finalized.
+///
+///   { "bench": ..., "scale": ..., "seed": ...,
+///     "sections": { "<name>": [ { k: v, ... }, ... ], ... } }
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, const BenchOptions& opt)
+      : name_(std::move(bench_name)), opt_(opt) {}
+
+  void add(const std::string& section, std::vector<JsonField> record) {
+    if (opt_.json_path.empty()) return;  // recording disabled
+    for (auto& [name, records] : sections_) {
+      if (name == section) {
+        records.push_back(std::move(record));
+        return;
+      }
+    }
+    sections_.emplace_back(section,
+                           std::vector<std::vector<JsonField>>{
+                               std::move(record)});
+  }
+
+  /// Write the report if --json was given. Safe to call once at the end of
+  /// main; prints the output path on success.
+  void write() const {
+    if (opt_.json_path.empty()) return;
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value(name_);
+    w.key("scale").value(opt_.scale);
+    w.key("seed").value(static_cast<std::int64_t>(opt_.seed));
+    w.key("sections").begin_object();
+    for (const auto& [section, records] : sections_) {
+      w.key(section).begin_array();
+      for (const auto& record : records) {
+        w.begin_object();
+        for (const auto& f : record) {
+          w.key(f.key);
+          if (f.is_number)
+            w.value(f.num);
+          else
+            w.value(f.str);
+        }
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+    w.end_object();
+    std::ofstream out(opt_.json_path);
+    out << w.str() << "\n";
+    out.flush();
+    if (out.good())
+      std::printf("\n[json results written to %s]\n", opt_.json_path.c_str());
+    else
+      std::fprintf(stderr, "\n[error: could not write json to %s]\n",
+                   opt_.json_path.c_str());
+  }
+
+ private:
+  std::string name_;
+  BenchOptions opt_;
+  // Section insertion order is preserved (vector, not map).
+  std::vector<std::pair<std::string, std::vector<std::vector<JsonField>>>>
+      sections_;
+};
 
 inline data::Dataset load(const std::string& key, const BenchOptions& opt) {
   data::GenOptions g;

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
                       {"fever", "fever-rag", 11, 67},
                       {"squad", "squad-rag", 11, 70}};
 
+  bench::JsonReport json("bench_table2_phr", opt);
   util::TablePrinter tp({"dataset", "rows", "Original PHR", "GGR PHR",
                          "delta", "paper Orig", "paper GGR"});
   for (const auto& r : rows) {
@@ -42,7 +43,14 @@ int main(int argc, char** argv) {
                                 1),
                 util::fmt(r.paper_orig, 0) + "%",
                 util::fmt(r.paper_ggr, 0) + "%"});
+    json.add("phr", {{"dataset", r.dataset},
+                     {"rows", d.table.num_rows()},
+                     {"original_phr", orig.overall_phr()},
+                     {"ggr_phr", ggr.overall_phr()},
+                     {"paper_original_phr", r.paper_orig / 100.0},
+                     {"paper_ggr_phr", r.paper_ggr / 100.0}});
   }
   tp.print();
+  json.write();
   return 0;
 }

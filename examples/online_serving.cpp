@@ -1,0 +1,65 @@
+// Online serving demo: the paper's reordering win, live on a stream.
+//
+// Generates a Poisson stream of multi-tenant requests over the synthetic
+// Movies table and serves it twice through the online scheduler — once
+// FIFO (dispatch in arrival order), once with cache-aware windowed GGR
+// reordering — then prints the serving metrics side by side: prompt-cache
+// hit rate, TTFT percentiles, queueing delay, goodput.
+//
+// Build & run:  ./build/example_online_serving
+
+#include <cstdio>
+
+#include "data/benchmark_suite.hpp"
+#include "data/generators.hpp"
+#include "serve/online.hpp"
+
+using namespace llmq;
+
+int main() {
+  // -- 1. Data: 400 rows of the Movies benchmark table. -----------------
+  data::GenOptions g;
+  g.n_rows = 400;
+  g.seed = 7;
+  const data::Dataset d = data::generate_dataset("movies", g);
+  const data::QuerySpec& spec = data::query_by_id("movies-filter");
+  const table::Table t = spec.stage1.fields.empty()
+                             ? d.table
+                             : d.table.project(spec.stage1.fields);
+
+  // -- 2. Workload: 2 tenants, 20 req/s Poisson. ------------------------
+  serve::WorkloadOptions w;
+  w.arrival_rate = 20.0;
+  w.n_tenants = 2;
+  w.seed = 7;
+  const auto arrivals = serve::generate_arrivals(t.num_rows(), w);
+  std::printf("stream: %zu arrivals over %.1f simulated s\n\n",
+              arrivals.size(), arrivals.back().time);
+
+  // -- 3. Serve the same stream under both policies. --------------------
+  serve::OnlineConfig cfg;
+  cfg.prompt.system_prompt = spec.system_prompt;
+  cfg.prompt.user_prompt = spec.stage1.user_prompt;
+  cfg.avg_output_tokens = spec.stage1.avg_output_tokens;
+  cfg.scheduler.window_rows = 64;
+  cfg.scheduler.max_wait_seconds = 4.0;
+  // Oversubscribe the KV cache the way paper-scale tables do.
+  cfg.scale_kv_pool(static_cast<double>(t.num_rows()) /
+                    static_cast<double>(data::paper_rows("movies")));
+
+  for (const serve::Policy policy :
+       {serve::Policy::Fifo, serve::Policy::WindowedGgr}) {
+    cfg.scheduler.policy = policy;
+    const serve::OnlineRunResult r = serve::run_online(t, d.fds, arrivals, cfg);
+    std::printf("%-12s: PHR %.0f%%  TTFT p50 %.2fs p99 %.2fs  queue %.2fs  "
+                "goodput %.1f req/s  (%zu windows, planner %.1f ms)\n",
+                serve::to_string(policy).c_str(),
+                100.0 * r.engine.prompt_cache_hit_rate(), r.latency.p50_ttft,
+                r.latency.p99_ttft, r.latency.mean_queue_delay,
+                r.latency.goodput_rps, r.windows, 1e3 * r.solve_seconds);
+  }
+  std::printf(
+      "\nSame trace, same engine: the windowed-GGR scheduler turns buffer "
+      "slack\ninto prefix-cache hits — the paper's batch-mode win, online.\n");
+  return 0;
+}

@@ -49,4 +49,13 @@ std::size_t CostModel::kv_pool_tokens() const {
   return static_cast<std::size_t>(free_bytes / model_.kv_bytes_per_token());
 }
 
+std::size_t scaled_kv_pool_blocks(const ModelSpec& model, const GpuSpec& gpu,
+                                  std::size_t block_size, double fraction) {
+  const CostModel cm(model, gpu);
+  const auto derived = static_cast<double>(cm.kv_pool_blocks(block_size));
+  const std::size_t floor_blocks = 4096 / block_size;
+  return std::max<std::size_t>(
+      floor_blocks, static_cast<std::size_t>(derived * fraction));
+}
+
 }  // namespace llmq::llm

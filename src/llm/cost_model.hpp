@@ -58,4 +58,13 @@ class CostModel {
   GpuSpec gpu_;
 };
 
+/// KV pool size (in blocks) for a run scaled to `fraction` of the
+/// GPU-derived capacity, floored so one long prompt (~4K tokens) always
+/// fits. Scaled-down experiments must scale the cache with the data: the
+/// paper's regime is a table orders of magnitude larger than KV memory,
+/// and an unscaled cache hides the reordering effect. Shared by the batch
+/// executor (query::ExecConfig) and the online server (serve::OnlineConfig).
+std::size_t scaled_kv_pool_blocks(const ModelSpec& model, const GpuSpec& gpu,
+                                  std::size_t block_size, double fraction);
+
 }  // namespace llmq::llm

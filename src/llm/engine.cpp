@@ -1,25 +1,8 @@
 #include "llm/engine.hpp"
 
-#include <algorithm>
-#include <stdexcept>
+#include "llm/engine_session.hpp"
 
 namespace llmq::llm {
-
-namespace {
-
-struct Running {
-  const Request* req = nullptr;
-  cache::CacheLease lease;
-  std::size_t cached = 0;        // prompt tokens served from cache
-  std::size_t generated = 0;
-  std::size_t context_len = 0;   // prompt + generated
-  std::size_t private_blocks = 0;
-  double admit_time = 0.0;
-};
-
-std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
-
-}  // namespace
 
 ServingEngine::ServingEngine(CostModel cost, EngineConfig config)
     : cost_(std::move(cost)), config_(config) {
@@ -45,129 +28,16 @@ BatchRunResult ServingEngine::run(const std::vector<Request>& requests) {
 
 BatchRunResult ServingEngine::run(const std::vector<Request>& requests,
                                   cache::PrefixCache& cache) {
-  if (pool_blocks_ == 0)
-    throw std::runtime_error(
-        "ServingEngine: model does not fit on the configured GPU");
-
+  // A whole-batch job is the degenerate online session: everything is
+  // submitted at t=0 and the session steps to completion. submit() copies
+  // each request — the session must own its requests because the online
+  // path materializes them from a stream; for batch runs that is one
+  // prompt-vector copy per request, noise next to planning + simulation.
+  EngineSession session(*this, cache);
+  for (const auto& r : requests) session.submit(r);
   BatchRunResult out;
-  out.results.reserve(requests.size());
-  EngineMetrics& m = out.metrics;
-
-  const cache::CacheStats stats_before = cache.stats();
-
-  std::deque<const Request*> pending;
-  for (const auto& r : requests) pending.push_back(&r);
-  std::vector<Running> running;
-  std::size_t private_in_use = 0;
-  double now = 0.0;
-
-  const std::size_t bs = config_.block_size;
-
-  while (!pending.empty() || !running.empty()) {
-    // ---- Admission: fill the batch while memory allows. ----
-    while (!pending.empty() && running.size() < config_.max_batch_size) {
-      const Request* req = pending.front();
-      const std::size_t prompt_len = req->prompt.size();
-      const std::size_t output_len = std::max<std::size_t>(1, req->output_tokens);
-
-      cache::CacheLease lease = cache.lookup(req->prompt);
-      const std::size_t cached = lease.cached_tokens;
-
-      // Memory plan: full prompt blocks beyond the cached path move into
-      // the shared cache at admit(); the partial prompt tail plus all
-      // output tokens are private to this request.
-      const std::size_t new_shared =
-          config_.cache_enabled ? cache.blocks_needed(prompt_len, cached) : 0;
-      const std::size_t private_tokens =
-          (config_.cache_enabled ? prompt_len % bs : prompt_len) + output_len;
-      const std::size_t private_blocks = ceil_div(private_tokens, bs);
-      const std::size_t needed = new_shared + private_blocks;
-
-      std::size_t used = cache.resident_blocks() + private_in_use;
-      if (used + needed > pool_blocks_) {
-        const std::size_t shortfall = used + needed - pool_blocks_;
-        cache.evict(shortfall);
-        used = cache.resident_blocks() + private_in_use;
-      }
-      if (used + needed > pool_blocks_) {
-        cache.release(lease);
-        if (running.empty())
-          throw std::runtime_error(
-              "ServingEngine: request cannot fit in KV memory even alone");
-        break;  // wait for completions to free memory
-      }
-
-      // Prefill the uncached suffix (quadratic attention against the
-      // cached context included).
-      const std::size_t uncached = prompt_len - cached;
-      const double pf = cost_.prefill_seconds(uncached, cached);
-      now += pf;
-      m.prefill_seconds += pf;
-      m.prompt_tokens += prompt_len;
-      m.cached_prompt_tokens += cached;
-      m.computed_prompt_tokens += uncached;
-
-      if (config_.cache_enabled) cache.admit(req->prompt, lease);
-      private_in_use += private_blocks;
-
-      Running r;
-      r.req = req;
-      r.lease = std::move(lease);
-      r.cached = cached;
-      r.context_len = prompt_len;
-      r.private_blocks = private_blocks;
-      r.admit_time = now;
-      running.push_back(std::move(r));
-      pending.pop_front();
-    }
-
-    if (running.empty()) continue;  // admission made progress or threw
-
-    // ---- One decode step across the whole batch. ----
-    std::vector<std::size_t> ctx;
-    ctx.reserve(running.size());
-    for (const auto& r : running) ctx.push_back(r.context_len);
-    const double dt = cost_.decode_step_seconds(ctx);
-    now += dt;
-    m.decode_seconds += dt;
-    ++m.decode_steps;
-    m.sum_batch_size += static_cast<double>(running.size());
-    m.peak_batch_size = std::max(m.peak_batch_size, running.size());
-    m.output_tokens += running.size();
-
-    // Advance and retire completed requests.
-    for (auto it = running.begin(); it != running.end();) {
-      ++it->generated;
-      ++it->context_len;
-      const std::size_t want = std::max<std::size_t>(1, it->req->output_tokens);
-      if (it->generated >= want) {
-        RequestResult res;
-        res.id = it->req->id;
-        res.row_tag = it->req->row_tag;
-        res.prompt_tokens = it->req->prompt.size();
-        res.cached_tokens = it->cached;
-        res.computed_tokens = res.prompt_tokens - it->cached;
-        res.output_tokens = it->generated;
-        res.admit_time = it->admit_time;
-        res.finish_time = now;
-        out.results.push_back(res);
-        cache.release(it->lease);
-        private_in_use -= it->private_blocks;
-        it = running.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-
-  m.total_seconds = now;
-  // Per-run cache stats (delta against the session's running totals).
-  m.cache = cache.stats();
-  m.cache.lookups -= stats_before.lookups;
-  m.cache.hit_tokens -= stats_before.hit_tokens;
-  m.cache.lookup_tokens -= stats_before.lookup_tokens;
-  m.cache.inserted_blocks -= stats_before.inserted_blocks;
-  m.cache.evicted_blocks -= stats_before.evicted_blocks;
+  out.results = session.drain();
+  out.metrics = session.metrics();
   return out;
 }
 

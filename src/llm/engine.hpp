@@ -18,7 +18,6 @@
 //    stay cached until evicted by LRU.
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "cache/prefix_cache.hpp"
@@ -74,6 +73,10 @@ class ServingEngine {
   /// starts with a cold cache.
   BatchRunResult run(const std::vector<Request>& requests);
 
+  /// Incremental execution (online serving) uses EngineSession
+  /// (engine_session.hpp); run() is the submit-everything-then-drain
+  /// special case of that state machine.
+  ///
   /// Run against a caller-owned cache, which persists across calls — the
   /// paper's multi-LLM queries hit one long-lived server, so the second
   /// invocation can reuse blocks the first left behind. The cache must

@@ -1,0 +1,163 @@
+#include "llm/engine_session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace llmq::llm {
+
+namespace {
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+EngineSession::EngineSession(const ServingEngine& engine,
+                             cache::PrefixCache& cache)
+    : engine_(engine), cache_(cache), stats_at_start_(cache.stats()) {
+  if (engine_.kv_pool_blocks() == 0)
+    throw std::runtime_error(
+        "ServingEngine: model does not fit on the configured GPU");
+}
+
+void EngineSession::submit(Request req) { pending_.push_back(std::move(req)); }
+
+std::size_t EngineSession::try_admit() {
+  const EngineConfig& config = engine_.config();
+  const std::size_t pool_blocks = engine_.kv_pool_blocks();
+  const std::size_t bs = config.block_size;
+  std::size_t admitted = 0;
+
+  while (!pending_.empty() && running_.size() < config.max_batch_size) {
+    Request& req = pending_.front();
+    const std::size_t prompt_len = req.prompt.size();
+    const std::size_t output_len = std::max<std::size_t>(1, req.output_tokens);
+
+    cache::CacheLease lease = cache_.lookup(req.prompt);
+    const std::size_t cached = lease.cached_tokens;
+
+    // Memory plan: full prompt blocks beyond the cached path move into
+    // the shared cache at admit(); the partial prompt tail plus all
+    // output tokens are private to this request.
+    const std::size_t new_shared =
+        config.cache_enabled ? cache_.blocks_needed(prompt_len, cached) : 0;
+    const std::size_t private_tokens =
+        (config.cache_enabled ? prompt_len % bs : prompt_len) + output_len;
+    const std::size_t private_blocks = ceil_div(private_tokens, bs);
+    const std::size_t needed = new_shared + private_blocks;
+
+    std::size_t used = cache_.resident_blocks() + private_in_use_;
+    if (used + needed > pool_blocks) {
+      const std::size_t shortfall = used + needed - pool_blocks;
+      cache_.evict(shortfall);
+      used = cache_.resident_blocks() + private_in_use_;
+    }
+    if (used + needed > pool_blocks) {
+      cache_.release(lease);
+      if (running_.empty())
+        throw std::runtime_error(
+            "ServingEngine: request cannot fit in KV memory even alone");
+      break;  // wait for completions to free memory
+    }
+
+    // Prefill the uncached suffix (quadratic attention against the cached
+    // context included).
+    const std::size_t uncached = prompt_len - cached;
+    const double pf = engine_.cost_model().prefill_seconds(uncached, cached);
+    now_ += pf;
+    metrics_.prefill_seconds += pf;
+    metrics_.prompt_tokens += prompt_len;
+    metrics_.cached_prompt_tokens += cached;
+    metrics_.computed_prompt_tokens += uncached;
+
+    if (config.cache_enabled) cache_.admit(req.prompt, lease);
+    private_in_use_ += private_blocks;
+
+    Running r;
+    r.req = std::move(req);
+    r.lease = std::move(lease);
+    r.cached = cached;
+    r.context_len = prompt_len;
+    r.private_blocks = private_blocks;
+    r.admit_time = now_;
+    running_.push_back(std::move(r));
+    pending_.pop_front();
+    ++admitted;
+  }
+  return admitted;
+}
+
+EngineSession::StepEvents EngineSession::step() {
+  StepEvents ev;
+  ev.admitted = try_admit();
+  if (running_.empty()) return ev;
+
+  // One decode step across the whole batch.
+  std::vector<std::size_t> ctx;
+  ctx.reserve(running_.size());
+  for (const auto& r : running_) ctx.push_back(r.context_len);
+  const double dt = engine_.cost_model().decode_step_seconds(ctx);
+  now_ += dt;
+  metrics_.decode_seconds += dt;
+  ++metrics_.decode_steps;
+  metrics_.sum_batch_size += static_cast<double>(running_.size());
+  metrics_.peak_batch_size =
+      std::max(metrics_.peak_batch_size, running_.size());
+  metrics_.output_tokens += running_.size();
+
+  // Advance and retire completed requests.
+  for (auto it = running_.begin(); it != running_.end();) {
+    ++it->generated;
+    ++it->context_len;
+    if (it->generated == 1) it->first_token_time = now_;
+    const std::size_t want = std::max<std::size_t>(1, it->req.output_tokens);
+    if (it->generated >= want) {
+      RequestResult res;
+      res.id = it->req.id;
+      res.row_tag = it->req.row_tag;
+      res.prompt_tokens = it->req.prompt.size();
+      res.cached_tokens = it->cached;
+      res.computed_tokens = res.prompt_tokens - it->cached;
+      res.output_tokens = it->generated;
+      res.admit_time = it->admit_time;
+      res.first_token_time = it->first_token_time;
+      res.finish_time = now_;
+      ev.completed.push_back(res);
+      cache_.release(it->lease);
+      private_in_use_ -= it->private_blocks;
+      it = running_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return ev;
+}
+
+std::vector<RequestResult> EngineSession::drain() {
+  std::vector<RequestResult> out;
+  while (has_work()) {
+    StepEvents ev = step();
+    out.insert(out.end(), ev.completed.begin(), ev.completed.end());
+  }
+  return out;
+}
+
+void EngineSession::advance_to(double t) {
+  if (has_work())
+    throw std::logic_error(
+        "EngineSession::advance_to: clock advances only through decode "
+        "steps while requests are in flight");
+  now_ = std::max(now_, t);
+}
+
+EngineMetrics EngineSession::metrics() const {
+  EngineMetrics m = metrics_;
+  m.total_seconds = now_;
+  // Per-session cache stats (delta against the cache's running totals).
+  m.cache = cache_.stats();
+  m.cache.lookups -= stats_at_start_.lookups;
+  m.cache.hit_tokens -= stats_at_start_.hit_tokens;
+  m.cache.lookup_tokens -= stats_at_start_.lookup_tokens;
+  m.cache.inserted_blocks -= stats_at_start_.inserted_blocks;
+  m.cache.evicted_blocks -= stats_at_start_.evicted_blocks;
+  return m;
+}
+
+}  // namespace llmq::llm

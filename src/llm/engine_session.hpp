@@ -1,0 +1,99 @@
+#pragma once
+// Incremental stepping interface to the serving engine.
+//
+// ServingEngine::run() executes a batch job whose request list is fully
+// known up front. Online serving (src/serve/) cannot use that shape:
+// arrivals trickle in over simulated time and must interleave with
+// execution. EngineSession exposes the same discrete-event mechanics as
+// one admit/step/drain state machine:
+//
+//   * submit()      — queue a request for admission (any time);
+//   * step()        — admit while memory and batch slots allow (advancing
+//                     the clock by prefill), then run ONE decode step and
+//                     retire completed requests;
+//   * drain()       — step until everything submitted has finished;
+//   * advance_to()  — move the clock forward across idle gaps between
+//                     arrivals (only legal when nothing is in flight).
+//
+// ServingEngine::run() is implemented on top of this class, so the batch
+// and online paths share one execution model; a whole-batch run is exactly
+// "submit everything, then drain".
+
+#include <deque>
+#include <vector>
+
+#include "llm/engine.hpp"
+
+namespace llmq::llm {
+
+class EngineSession {
+ public:
+  /// The cache must have been created compatible with the engine's block
+  /// size (see ServingEngine::make_session_cache) and outlive the session.
+  /// Throws if the model does not fit on the configured GPU.
+  EngineSession(const ServingEngine& engine, cache::PrefixCache& cache);
+
+  /// Queue a request for admission. Takes a copy: online requests are
+  /// materialized from a stream, not a caller-owned batch vector.
+  void submit(Request req);
+
+  /// Admit queued requests (in submit order) while KV memory and batch
+  /// slots allow. Each admission advances the clock by its prefill time.
+  /// Returns the number admitted. Throws if a request cannot fit in KV
+  /// memory even with an otherwise empty engine.
+  std::size_t try_admit();
+
+  struct StepEvents {
+    std::size_t admitted = 0;
+    std::vector<RequestResult> completed;  // retired by this step
+  };
+
+  /// try_admit(), then one decode step across the running batch (one token
+  /// per running request), then retire completed requests. A step with
+  /// nothing admitted and nothing running returns empty events and leaves
+  /// the clock untouched.
+  StepEvents step();
+
+  /// Step until all submitted requests have completed; returns their
+  /// results in completion order.
+  std::vector<RequestResult> drain();
+
+  bool has_work() const { return !pending_.empty() || !running_.empty(); }
+  std::size_t num_pending() const { return pending_.size(); }
+  std::size_t num_running() const { return running_.size(); }
+
+  /// Simulated seconds since the session started.
+  double now() const { return now_; }
+
+  /// Idle-wait: advance the clock to `t` (no-op when `t` is in the past).
+  /// Only legal when nothing is pending or in flight — time inside a batch
+  /// advances exclusively through decode steps.
+  void advance_to(double t);
+
+  /// Aggregate metrics since the session started. Cache stats are the
+  /// delta over the session (the caller's cache may have prior history).
+  EngineMetrics metrics() const;
+
+ private:
+  struct Running {
+    Request req;
+    cache::CacheLease lease;
+    std::size_t cached = 0;      // prompt tokens served from cache
+    std::size_t generated = 0;
+    std::size_t context_len = 0; // prompt + generated
+    std::size_t private_blocks = 0;
+    double admit_time = 0.0;
+    double first_token_time = 0.0;
+  };
+
+  const ServingEngine& engine_;
+  cache::PrefixCache& cache_;
+  cache::CacheStats stats_at_start_;
+  std::deque<Request> pending_;
+  std::vector<Running> running_;
+  std::size_t private_in_use_ = 0;
+  double now_ = 0.0;
+  EngineMetrics metrics_;
+};
+
+}  // namespace llmq::llm

@@ -24,7 +24,8 @@ struct RequestResult {
   std::size_t cached_tokens = 0;    // prompt tokens served from KV cache
   std::size_t computed_tokens = 0;  // prompt tokens actually prefilled
   std::size_t output_tokens = 0;
-  double admit_time = 0.0;          // simulated seconds
+  double admit_time = 0.0;          // simulated seconds (post-prefill)
+  double first_token_time = 0.0;    // end of the decode step emitting token 1
   double finish_time = 0.0;
 };
 

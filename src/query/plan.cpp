@@ -48,13 +48,8 @@ ExecConfig ExecConfig::standard(Method m, llm::ModelSpec model,
 }
 
 void ExecConfig::scale_kv_pool(double fraction) {
-  const llm::CostModel cm(model, gpu);
-  const auto derived = static_cast<double>(cm.kv_pool_blocks(engine.block_size));
-  // Floor: room for one long prompt (~2K tokens) plus slack, so admission
-  // of a single request never deadlocks on the benchmark datasets.
-  const std::size_t floor_blocks = 4096 / engine.block_size;
-  engine.kv_pool_blocks_override = std::max<std::size_t>(
-      floor_blocks, static_cast<std::size_t>(derived * fraction));
+  engine.kv_pool_blocks_override =
+      llm::scaled_kv_pool_blocks(model, gpu, engine.block_size, fraction);
 }
 
 double QueryRunResult::overall_phr() const {

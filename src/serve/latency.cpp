@@ -1,0 +1,48 @@
+#include "serve/latency.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace llmq::serve {
+
+LatencySummary summarize_latency(const std::vector<ServedRequest>& requests,
+                                 double ttft_slo_seconds) {
+  LatencySummary s;
+  s.ttft_slo = ttft_slo_seconds;
+  if (requests.empty()) return s;
+  s.count = requests.size();
+
+  std::vector<double> ttft, queue, e2e;
+  ttft.reserve(requests.size());
+  queue.reserve(requests.size());
+  e2e.reserve(requests.size());
+  double first_arrival = requests.front().arrival_time;
+  double last_finish = requests.front().finish_time;
+  std::size_t within_slo = 0;
+  for (const auto& r : requests) {
+    ttft.push_back(r.ttft());
+    queue.push_back(r.queue_delay());
+    e2e.push_back(r.e2e_latency());
+    first_arrival = std::min(first_arrival, r.arrival_time);
+    last_finish = std::max(last_finish, r.finish_time);
+    if (ttft_slo_seconds <= 0.0 || r.ttft() <= ttft_slo_seconds) ++within_slo;
+  }
+
+  s.mean_ttft = util::mean(ttft);
+  s.p50_ttft = util::percentile(ttft, 50.0);
+  s.p95_ttft = util::percentile(ttft, 95.0);
+  s.p99_ttft = util::percentile(ttft, 99.0);
+  s.mean_queue_delay = util::mean(queue);
+  s.p99_queue_delay = util::percentile(queue, 99.0);
+  s.p50_e2e = util::percentile(e2e, 50.0);
+  s.p99_e2e = util::percentile(e2e, 99.0);
+  s.makespan = last_finish - first_arrival;
+  if (s.makespan > 0.0) {
+    s.throughput_rps = static_cast<double>(s.count) / s.makespan;
+    s.goodput_rps = static_cast<double>(within_slo) / s.makespan;
+  }
+  return s;
+}
+
+}  // namespace llmq::serve

@@ -1,0 +1,65 @@
+#pragma once
+// Serving-latency metrics for the online subsystem.
+//
+// The batch benchmarks report job time and cache hit rate; a serving
+// endpoint is judged on per-request latency under load. Each served
+// request carries its full timeline — arrival (workload), dispatch
+// (scheduler window flush), admission/first token/finish (engine) — from
+// which the summary derives the quantities serving papers report:
+//
+//   * TTFT          — first token minus arrival (what the user feels;
+//                     includes scheduler buffering, queueing, prefill);
+//   * queueing delay— admission minus arrival (scheduling + memory waits);
+//   * end-to-end    — finish minus arrival;
+//   * goodput       — completed requests per second whose TTFT met the
+//                     SLO (equals throughput when no SLO is set).
+//
+// Percentiles use util::percentile (linear interpolation).
+
+#include <cstdint>
+#include <vector>
+
+namespace llmq::serve {
+
+/// One request's stitched timeline. Invariant once served:
+/// arrival <= dispatch <= admit <= first_token <= finish.
+struct ServedRequest {
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;
+  std::size_t row = 0;
+  double arrival_time = 0.0;
+  double dispatch_time = 0.0;
+  double admit_time = 0.0;        // post-prefill
+  double first_token_time = 0.0;
+  double finish_time = 0.0;
+  std::size_t prompt_tokens = 0;
+  std::size_t cached_tokens = 0;  // prompt tokens served from the KV cache
+  std::size_t output_tokens = 0;
+
+  double ttft() const { return first_token_time - arrival_time; }
+  double queue_delay() const { return admit_time - arrival_time; }
+  double e2e_latency() const { return finish_time - arrival_time; }
+};
+
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_ttft = 0.0;
+  double p50_ttft = 0.0;
+  double p95_ttft = 0.0;
+  double p99_ttft = 0.0;
+  double mean_queue_delay = 0.0;
+  double p99_queue_delay = 0.0;
+  double p50_e2e = 0.0;
+  double p99_e2e = 0.0;
+  double makespan = 0.0;         // last finish - first arrival
+  double throughput_rps = 0.0;   // completed / makespan
+  double goodput_rps = 0.0;      // completed within the TTFT SLO / makespan
+  double ttft_slo = 0.0;         // 0 = no SLO (goodput == throughput)
+};
+
+/// Aggregate a set of completed requests. `ttft_slo_seconds` = 0 disables
+/// the SLO cut. Empty input yields a zeroed summary.
+LatencySummary summarize_latency(const std::vector<ServedRequest>& requests,
+                                 double ttft_slo_seconds = 0.0);
+
+}  // namespace llmq::serve

@@ -1,0 +1,156 @@
+#include "serve/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/phc.hpp"
+#include "llm/cost_model.hpp"
+#include "llm/engine_session.hpp"
+
+namespace llmq::serve {
+
+void OnlineConfig::scale_kv_pool(double fraction) {
+  engine.kv_pool_blocks_override =
+      llm::scaled_kv_pool_blocks(model, gpu, engine.block_size, fraction);
+}
+
+namespace {
+
+struct InFlight {
+  Arrival arrival;
+  double dispatch_time = 0.0;
+};
+
+}  // namespace
+
+OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
+                           const std::vector<Arrival>& arrivals,
+                           const OnlineConfig& config) {
+  OnlineRunResult out;
+  if (arrivals.empty()) return out;
+
+  // id -> arrival index, for the emitted Ordering over the arrival table.
+  std::unordered_map<std::uint64_t, std::size_t> index_of;
+  index_of.reserve(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    if (i > 0 && arrivals[i].time < arrivals[i - 1].time)
+      throw std::invalid_argument("run_online: arrivals must be time-sorted");
+    if (arrivals[i].row >= t.num_rows())
+      throw std::invalid_argument("run_online: arrival row out of range");
+    if (!index_of.emplace(arrivals[i].id, i).second)
+      throw std::invalid_argument("run_online: arrival ids must be unique");
+  }
+
+  OnlineScheduler scheduler(t, fds, config.scheduler);
+  llm::ServingEngine engine(llm::CostModel(config.model, config.gpu),
+                            config.engine);
+  cache::PrefixCache cache = engine.make_session_cache();
+  llm::EngineSession session(engine, cache);
+  const llm::TaskModel task_model(config.model_profile);
+
+  // Per-tenant prompt encoders, built lazily: each tenant's instruction
+  // prefix differs, so rows share the instruction prefix only within a
+  // tenant — the structure that makes Tenant-GGR partitioning matter.
+  std::unordered_map<std::uint32_t, query::PromptEncoder> encoders;
+  const auto encoder_for = [&](std::uint32_t tenant) -> query::PromptEncoder& {
+    auto it = encoders.find(tenant);
+    if (it == encoders.end()) {
+      query::PromptTemplate tmpl = config.prompt;
+      tmpl.system_prompt += " [tenant " + std::to_string(tenant) + "]";
+      it = encoders.emplace(tenant, query::PromptEncoder(std::move(tmpl)))
+               .first;
+    }
+    return it->second;
+  };
+
+  std::unordered_map<std::uint64_t, InFlight> inflight;
+  std::vector<std::size_t> emitted_rows;
+  std::vector<std::vector<std::size_t>> emitted_fields;
+  emitted_rows.reserve(arrivals.size());
+  emitted_fields.reserve(arrivals.size());
+
+  const auto dispatch = [&](const Window& w) {
+    ++out.windows;
+    out.solve_seconds += w.solve_seconds;
+    for (std::size_t i = 0; i < w.arrivals.size(); ++i) {
+      const Arrival& a = w.arrivals[i];
+      const std::vector<std::size_t>& fo = w.field_orders[i];
+      llm::Request r;
+      r.id = a.id;
+      r.row_tag = a.row;
+      r.prompt = encoder_for(a.tenant).encode(t, a.row, fo);
+      const std::string key = std::to_string(a.tenant) + ":" +
+                              std::to_string(a.row) + ":" +
+                              std::to_string(a.id);
+      r.output_tokens =
+          task_model.output_tokens(key, config.avg_output_tokens);
+      session.submit(std::move(r));
+      inflight.emplace(a.id, InFlight{a, w.planned_at});
+      emitted_rows.push_back(index_of.at(a.id));
+      emitted_fields.push_back(fo);
+    }
+  };
+
+  const auto record = [&](const llm::RequestResult& res) {
+    const InFlight& f = inflight.at(res.id);
+    ServedRequest sr;
+    sr.id = res.id;
+    sr.tenant = f.arrival.tenant;
+    sr.row = f.arrival.row;
+    sr.arrival_time = f.arrival.time;
+    sr.dispatch_time = f.dispatch_time;
+    sr.admit_time = res.admit_time;
+    sr.first_token_time = res.first_token_time;
+    sr.finish_time = res.finish_time;
+    sr.prompt_tokens = res.prompt_tokens;
+    sr.cached_tokens = res.cached_tokens;
+    sr.output_tokens = res.output_tokens;
+    if (sr.tenant >= out.per_tenant.size())
+      out.per_tenant.resize(sr.tenant + 1, 0);
+    ++out.per_tenant[sr.tenant];
+    out.requests.push_back(sr);
+    inflight.erase(res.id);
+  };
+
+  // ---- Event loop over the session's simulated clock. ----
+  std::size_t next = 0;
+  const std::size_t n = arrivals.size();
+  while (next < n || scheduler.buffered() > 0 || session.has_work()) {
+    // 1. Feed arrivals that have occurred.
+    while (next < n && arrivals[next].time <= session.now())
+      scheduler.push(arrivals[next++]);
+    // 2. Dispatch every due window.
+    while (auto w = scheduler.pop_ready(session.now())) dispatch(*w);
+    // 3. Execute or advance time.
+    if (session.has_work()) {
+      const llm::EngineSession::StepEvents ev = session.step();
+      for (const llm::RequestResult& res : ev.completed) record(res);
+      continue;
+    }
+    double t_next = scheduler.next_deadline();
+    if (next < n) t_next = std::min(t_next, arrivals[next].time);
+    if (std::isfinite(t_next)) {
+      session.advance_to(t_next);
+    } else if (auto w = scheduler.flush(session.now())) {
+      // Stream over, no deadline pending: drain the partial window.
+      dispatch(*w);
+    } else {
+      break;  // defensive: no arrivals, no buffer, no work
+    }
+  }
+
+  out.engine = session.metrics();
+  out.latency = summarize_latency(out.requests, config.ttft_slo_seconds);
+  out.emitted =
+      core::Ordering(std::move(emitted_rows), std::move(emitted_fields));
+  std::vector<std::size_t> arrival_rows;
+  arrival_rows.reserve(arrivals.size());
+  for (const Arrival& a : arrivals) arrival_rows.push_back(a.row);
+  out.phc = core::phc(t.take_rows(arrival_rows), out.emitted,
+                      config.scheduler.ggr.measure);
+  return out;
+}
+
+}  // namespace llmq::serve

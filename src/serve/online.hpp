@@ -1,0 +1,75 @@
+#pragma once
+// Online serving driver: stream -> scheduler -> engine session.
+//
+// run_online() is the event loop that turns the paper's batch pipeline
+// into a serving scenario. It interleaves three components over one
+// simulated clock (the engine session's):
+//
+//   1. arrivals whose timestamp has passed are fed to the scheduler;
+//   2. due windows (row bound or wait deadline, see scheduler.hpp) are
+//      planned, materialized into prompts — each tenant gets its own
+//      instruction prefix, so cross-tenant prefix sharing is limited the
+//      way separate customers' prompts are — and submitted to the engine;
+//   3. the engine session advances one decode step at a time; when it is
+//      fully idle the clock jumps to the next arrival or deadline.
+//
+// The emitted schedule is also returned as a core::Ordering over the
+// arrival-ordered table, so the online result can be compared head-to-head
+// (order and exact PHC) against the offline planners — the equivalence
+// property tests/serve/ checks, and the bridge between the paper's batch
+// metric and the serving metrics reported here.
+
+#include <vector>
+
+#include "core/ordering.hpp"
+#include "llm/engine.hpp"
+#include "llm/task_model.hpp"
+#include "query/prompt.hpp"
+#include "serve/latency.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+
+namespace llmq::serve {
+
+struct OnlineConfig {
+  SchedulerOptions scheduler;
+  llm::EngineConfig engine;
+  llm::ModelSpec model = llm::llama3_8b();
+  llm::GpuSpec gpu = llm::l4();
+  /// Output-length channel (same deterministic model the batch executor
+  /// uses); only output_tokens() is consulted here.
+  llm::ModelProfile model_profile = llm::profile_llama3_8b();
+  /// Base prompt; tenant t serves with system_prompt + " [tenant t]".
+  query::PromptTemplate prompt;
+  double avg_output_tokens = 8.0;
+  /// TTFT SLO for goodput accounting; 0 = none.
+  double ttft_slo_seconds = 0.0;
+
+  /// Shrink the KV pool to `fraction` of the GPU-derived capacity — same
+  /// scaling contract as query::ExecConfig::scale_kv_pool, needed so
+  /// scaled-down streams still oversubscribe the cache.
+  void scale_kv_pool(double fraction);
+};
+
+struct OnlineRunResult {
+  std::vector<ServedRequest> requests;  // completion order
+  LatencySummary latency;
+  llm::EngineMetrics engine;            // includes prompt_cache_hit_rate()
+  std::size_t windows = 0;
+  double solve_seconds = 0.0;           // planner wall-clock across windows
+  /// Emission order as an Ordering over the arrival-ordered table
+  /// (t.take_rows of the arrivals' rows in arrival order); empty stream =
+  /// empty ordering.
+  core::Ordering emitted;
+  /// Exact PHC of `emitted` under the scheduler's length measure.
+  double phc = 0.0;
+  /// Completed requests per tenant id.
+  std::vector<std::size_t> per_tenant;
+};
+
+/// Serve `arrivals` (sorted by time, unique ids) drawn from rows of `t`.
+OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
+                           const std::vector<Arrival>& arrivals,
+                           const OnlineConfig& config);
+
+}  // namespace llmq::serve

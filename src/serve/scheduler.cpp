@@ -1,0 +1,121 @@
+#include "serve/scheduler.hpp"
+
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+namespace llmq::serve {
+
+std::string to_string(Policy p) {
+  switch (p) {
+    case Policy::Fifo: return "FIFO";
+    case Policy::WindowedGgr: return "Windowed-GGR";
+    case Policy::TenantGgr: return "Tenant-GGR";
+  }
+  return "?";
+}
+
+std::optional<Policy> policy_from_string(const std::string& name) {
+  if (name == "fifo" || name == "FIFO") return Policy::Fifo;
+  if (name == "ggr" || name == "windowed-ggr") return Policy::WindowedGgr;
+  if (name == "tenant-ggr" || name == "tenant") return Policy::TenantGgr;
+  return std::nullopt;
+}
+
+OnlineScheduler::OnlineScheduler(const table::Table& t,
+                                 const table::FdSet& fds,
+                                 SchedulerOptions options)
+    : table_(t), fds_(fds), opt_(std::move(options)) {}
+
+void OnlineScheduler::push(const Arrival& a) { buffer_.push_back(a); }
+
+double OnlineScheduler::next_deadline() const {
+  if (buffer_.empty() || opt_.max_wait_seconds <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  return buffer_.front().time + opt_.max_wait_seconds;
+}
+
+bool OnlineScheduler::ready(double now) const {
+  if (opt_.window_rows > 0 && buffer_.size() >= opt_.window_rows) return true;
+  return now >= next_deadline();
+}
+
+std::optional<Window> OnlineScheduler::pop_ready(double now) {
+  if (!ready(now)) return std::nullopt;
+  const bool full = opt_.window_rows > 0 && buffer_.size() >= opt_.window_rows;
+  // Row-bound windows take exactly window_rows (the rest keeps buffering);
+  // a deadline flush empties the buffer — everything in it is equally due.
+  const std::size_t take = full ? opt_.window_rows : buffer_.size();
+  std::vector<Arrival> batch(buffer_.begin(),
+                             buffer_.begin() + static_cast<long>(take));
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(take));
+  return plan_window(std::move(batch), now);
+}
+
+std::optional<Window> OnlineScheduler::flush(double now) {
+  if (buffer_.empty()) return std::nullopt;
+  std::vector<Arrival> batch(buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  return plan_window(std::move(batch), now);
+}
+
+Window OnlineScheduler::plan_window(std::vector<Arrival> batch,
+                                    double now) const {
+  Window w;
+  w.planned_at = now;
+  const std::size_t m = table_.num_cols();
+  std::vector<std::size_t> schema_order(m);
+  std::iota(schema_order.begin(), schema_order.end(), 0);
+
+  switch (opt_.policy) {
+    case Policy::Fifo: {
+      w.arrivals = std::move(batch);
+      w.field_orders.assign(w.arrivals.size(), schema_order);
+      break;
+    }
+    case Policy::WindowedGgr: {
+      std::vector<std::size_t> rows;
+      rows.reserve(batch.size());
+      for (const auto& a : batch) rows.push_back(a.row);
+      const table::Table sub = table_.take_rows(rows);
+      const core::GgrResult res = core::ggr(sub, fds_, opt_.ggr);
+      w.solve_seconds = res.solve_seconds;
+      w.arrivals.reserve(batch.size());
+      w.field_orders.reserve(batch.size());
+      for (std::size_t pos = 0; pos < res.ordering.num_rows(); ++pos) {
+        w.arrivals.push_back(batch[res.ordering.row_at(pos)]);
+        w.field_orders.push_back(res.ordering.fields_at(pos));
+      }
+      break;
+    }
+    case Policy::TenantGgr: {
+      // Partition by tenant in first-arrival order, GGR each partition.
+      std::vector<std::uint32_t> tenant_order;
+      std::unordered_map<std::uint32_t, std::vector<std::size_t>> groups;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        auto [it, inserted] = groups.try_emplace(batch[i].tenant);
+        if (inserted) tenant_order.push_back(batch[i].tenant);
+        it->second.push_back(i);
+      }
+      w.arrivals.reserve(batch.size());
+      w.field_orders.reserve(batch.size());
+      for (std::uint32_t tenant : tenant_order) {
+        const std::vector<std::size_t>& idx = groups[tenant];
+        std::vector<std::size_t> rows;
+        rows.reserve(idx.size());
+        for (std::size_t i : idx) rows.push_back(batch[i].row);
+        const table::Table sub = table_.take_rows(rows);
+        const core::GgrResult res = core::ggr(sub, fds_, opt_.ggr);
+        w.solve_seconds += res.solve_seconds;
+        for (std::size_t pos = 0; pos < res.ordering.num_rows(); ++pos) {
+          w.arrivals.push_back(batch[idx[res.ordering.row_at(pos)]]);
+          w.field_orders.push_back(res.ordering.fields_at(pos));
+        }
+      }
+      break;
+    }
+  }
+  return w;
+}
+
+}  // namespace llmq::serve

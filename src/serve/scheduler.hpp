@@ -1,0 +1,99 @@
+#pragma once
+// Cache-aware online request scheduler with windowed reordering.
+//
+// The scheduler buffers stream arrivals into bounded windows and decides
+// the order in which each window's requests reach the serving engine. A
+// window is dispatched when either bound trips:
+//
+//   * row bound   — `window_rows` arrivals are buffered (0 = unbounded);
+//   * wait bound  — the oldest buffered arrival has waited
+//                   `max_wait_seconds` (0 = no deadline).
+//
+// Per-window ordering policies (the online counterparts of the paper's
+// batch arms):
+//
+//   * Fifo        — arrival order, schema field order (online "Original");
+//   * WindowedGgr — GGR field+row reordering over the window, i.e. one
+//                   window of core/windowed.hpp run on demand;
+//   * TenantGgr   — partition the window by tenant (first-arrival order),
+//                   GGR within each partition. Tenant prompts carry
+//                   tenant-specific instruction prefixes, so keeping a
+//                   tenant's rows contiguous protects that shared prefix
+//                   from interleaved eviction.
+//
+// The scheduler never reorders *across* windows: concatenated window
+// emissions preserve the streaming constraint that core/windowed.hpp
+// formalizes, which is what makes the online schedule directly comparable
+// to offline windowed_ggr (see tests/serve/).
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ggr.hpp"
+#include "serve/workload.hpp"
+#include "table/fd.hpp"
+#include "table/table.hpp"
+
+namespace llmq::serve {
+
+enum class Policy { Fifo, WindowedGgr, TenantGgr };
+
+std::string to_string(Policy p);
+std::optional<Policy> policy_from_string(const std::string& name);
+
+struct SchedulerOptions {
+  Policy policy = Policy::WindowedGgr;
+  std::size_t window_rows = 64;   // dispatch threshold; 0 = unbounded
+  double max_wait_seconds = 0.0;  // oldest-arrival deadline; 0 = none
+  core::GgrOptions ggr;           // planner options for the GGR policies
+};
+
+/// One dispatched window: arrivals in emission (post-reordering) order and
+/// the per-request field order over the backing table's schema.
+struct Window {
+  std::vector<Arrival> arrivals;                       // emission order
+  std::vector<std::vector<std::size_t>> field_orders;  // parallel to arrivals
+  double planned_at = 0.0;   // simulated dispatch time
+  double solve_seconds = 0.0;  // planner wall-clock spent on this window
+};
+
+class OnlineScheduler {
+ public:
+  /// `t` backs the arrivals' row indices; both `t` and `fds` must outlive
+  /// the scheduler.
+  OnlineScheduler(const table::Table& t, const table::FdSet& fds,
+                  SchedulerOptions options);
+
+  /// Buffer one arrival. Arrivals must be pushed in time order.
+  void push(const Arrival& a);
+
+  std::size_t buffered() const { return buffer_.size(); }
+
+  /// Simulated time at which the wait bound next trips; +infinity when the
+  /// buffer is empty or no deadline is configured.
+  double next_deadline() const;
+
+  /// True when a window is due at simulated time `now`.
+  bool ready(double now) const;
+
+  /// Dispatch the next due window (row bound: exactly `window_rows`
+  /// arrivals; wait bound: the whole buffer). std::nullopt when not due.
+  std::optional<Window> pop_ready(double now);
+
+  /// Dispatch whatever is buffered regardless of bounds (stream drain).
+  std::optional<Window> flush(double now);
+
+  const SchedulerOptions& options() const { return opt_; }
+
+ private:
+  Window plan_window(std::vector<Arrival> batch, double now) const;
+
+  const table::Table& table_;
+  const table::FdSet& fds_;
+  SchedulerOptions opt_;
+  std::deque<Arrival> buffer_;
+};
+
+}  // namespace llmq::serve

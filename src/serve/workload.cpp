@@ -1,0 +1,115 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace llmq::serve {
+
+namespace {
+
+/// Advance `t` past the next arrival of an inhomogeneous Poisson process
+/// with the configured piecewise-constant rate: draw a unit-rate
+/// exponential and consume integrated intensity segment by segment.
+/// Segments are tracked with an integer cycle counter and entered by
+/// assignment (t = segment end), never by accumulation — `t += span` stops
+/// making progress once span drops below t's ulp near a phase boundary.
+double next_arrival_time(const WorkloadOptions& o, double t, util::Rng& rng) {
+  double needed = -std::log(1.0 - rng.next_double());  // Exp(1)
+  if (o.process == ArrivalProcess::Poisson) return t + needed / o.arrival_rate;
+
+  const double cycle = std::max(1e-9, o.cycle_seconds);
+  const double frac = std::clamp(o.burst_fraction, 0.0, 1.0);
+  const double on_rate = o.arrival_rate * o.burst_multiplier;
+  // Off-phase rate chosen so the cycle mean equals arrival_rate (floored
+  // at 0 when burst_fraction * burst_multiplier exceeds 1).
+  const double off_rate =
+      frac >= 1.0 ? on_rate
+                  : std::max(0.0, o.arrival_rate *
+                                      (1.0 - frac * o.burst_multiplier) /
+                                      (1.0 - frac));
+  if (on_rate <= 0.0 && off_rate <= 0.0)
+    throw std::invalid_argument("workload: bursty process has zero rate");
+
+  double k = std::floor(t / cycle);  // current cycle index
+  for (;;) {
+    const double on_end = (k + frac) * cycle;
+    const double cycle_end = (k + 1.0) * cycle;
+    const bool in_on = t < on_end;
+    const double seg_end = in_on ? on_end : cycle_end;
+    const double r = in_on ? on_rate : off_rate;
+    if (r > 0.0) {
+      const double available = (seg_end - t) * r;
+      if (available >= needed) return t + needed / r;
+      needed -= available;
+    }
+    t = seg_end;
+    if (!in_on) k += 1.0;
+  }
+}
+
+}  // namespace
+
+std::vector<Arrival> generate_arrivals(std::size_t n_rows,
+                                       const WorkloadOptions& options) {
+  if (n_rows == 0) return {};
+  if (options.arrival_rate <= 0.0)
+    throw std::invalid_argument("workload: arrival_rate must be > 0");
+  const std::size_t n =
+      options.n_requests ? options.n_requests : n_rows;
+
+  util::Rng rng(options.seed);
+  util::Rng tenant_rng = rng.fork(1);
+  util::Rng time_rng = rng.fork(2);
+
+  std::vector<std::size_t> visit(n_rows);
+  std::iota(visit.begin(), visit.end(), 0);
+  if (options.shuffle_rows) rng.shuffle(visit);
+
+  const std::size_t n_tenants = std::max<std::size_t>(1, options.n_tenants);
+  const util::Zipf zipf(n_tenants, options.tenant_skew);
+
+  std::vector<Arrival> out;
+  out.reserve(n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t = next_arrival_time(options, t, time_rng);
+    Arrival a;
+    a.id = i;
+    a.time = t;
+    a.row = visit[i % n_rows];
+    a.tenant = n_tenants == 1
+                   ? 0
+                   : static_cast<std::uint32_t>(zipf.sample(tenant_rng));
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Arrival> arrivals_from_trace(
+    const std::vector<double>& times, const std::vector<std::size_t>& rows,
+    const std::vector<std::uint32_t>& tenants) {
+  if (times.size() != rows.size())
+    throw std::invalid_argument("trace: times/rows length mismatch");
+  if (!tenants.empty() && tenants.size() != times.size())
+    throw std::invalid_argument("trace: tenants length mismatch");
+  std::vector<Arrival> out;
+  out.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (i > 0 && times[i] < times[i - 1])
+      throw std::invalid_argument("trace: timestamps must be non-decreasing");
+    Arrival a;
+    a.id = i;
+    a.time = times[i];
+    a.row = rows[i];
+    a.tenant = tenants.empty() ? 0 : tenants[i];
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace llmq::serve

@@ -1,0 +1,73 @@
+#pragma once
+// Timestamped request-arrival generation for the online serving subsystem.
+//
+// The paper's batch setting knows every request up front; a serving
+// endpoint sees a *stream*. The workload generator turns a benchmark table
+// into such a stream: each arrival names a table row, a tenant, and a
+// simulated arrival time. Supported processes:
+//
+//   * Poisson  — homogeneous arrivals at `arrival_rate` req/s, the
+//                standard open-loop serving model;
+//   * Bursty   — on/off modulated Poisson: within each cycle a burst
+//                phase of `burst_fraction` runs at `burst_multiplier`×
+//                the base rate and the off phase is slowed so the mean
+//                rate stays `arrival_rate` (diurnal / thundering-herd
+//                traffic in miniature);
+//   * traces   — arrivals_from_trace() wraps explicit timestamps so
+//                recorded workloads can be replayed.
+//
+// Multi-tenancy: tenants are drawn per-arrival from a Zipf distribution
+// over `n_tenants` ranks (util/zipf) — a few hot tenants dominate, the
+// realistic skew for shared serving endpoints. Everything is a pure
+// function of the seed.
+
+#include <cstdint>
+#include <vector>
+
+namespace llmq::serve {
+
+enum class ArrivalProcess { Poisson, Bursty };
+
+struct WorkloadOptions {
+  ArrivalProcess process = ArrivalProcess::Poisson;
+  double arrival_rate = 50.0;   // mean requests per simulated second
+
+  // Bursty process shape (ignored for Poisson). burst_fraction *
+  // burst_multiplier must be <= 1 for the off phase to keep the mean; the
+  // off-phase rate is floored at 0 otherwise.
+  double burst_fraction = 0.2;
+  double burst_multiplier = 4.0;
+  double cycle_seconds = 2.0;
+
+  std::size_t n_tenants = 1;
+  double tenant_skew = 1.0;     // Zipf exponent over tenant ranks
+
+  /// Arrivals to generate; 0 = one per table row. When it exceeds the row
+  /// count, the row visit order wraps (repeat traffic).
+  std::size_t n_requests = 0;
+  /// Visit rows in a seeded random permutation (true) or in table order
+  /// (false — useful for tests comparing against offline planners).
+  bool shuffle_rows = true;
+
+  std::uint64_t seed = 42;
+};
+
+struct Arrival {
+  std::uint64_t id = 0;     // unique per stream (sequence number)
+  double time = 0.0;        // simulated seconds since stream start
+  std::size_t row = 0;      // row of the backing table
+  std::uint32_t tenant = 0; // 0 is the hottest rank under Zipf skew
+};
+
+/// Generate a stream over a table of `n_rows` rows; arrivals are sorted by
+/// time (ids follow time order).
+std::vector<Arrival> generate_arrivals(std::size_t n_rows,
+                                       const WorkloadOptions& options = {});
+
+/// Trace-driven stream: explicit non-decreasing timestamps. `rows` must be
+/// the same length as `times`; `tenants` may be empty (all tenant 0).
+std::vector<Arrival> arrivals_from_trace(
+    const std::vector<double>& times, const std::vector<std::size_t>& rows,
+    const std::vector<std::uint32_t>& tenants = {});
+
+}  // namespace llmq::serve

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/baselines.hpp"
 #include "util/rng.hpp"
 
@@ -111,6 +113,46 @@ TEST(Windowed, CountersAggregate) {
 TEST(Windowed, EmptyTableThrows) {
   Table t(Schema::of_names({"a"}));
   EXPECT_THROW(windowed_ggr(t, {}, opts(8)), std::invalid_argument);
+}
+
+TEST(Windowed, WholeTableWindowPhcEqualsPlainGgr) {
+  // window_rows = 0 means "buffer everything": the result must be
+  // indistinguishable from plain GGR, PHC included.
+  util::Rng rng(28);
+  const auto t = random_table(rng, 35, 4, 3);
+  GgrOptions go;
+  go.measure = LengthMeasure::Unit;
+  EXPECT_DOUBLE_EQ(windowed_ggr(t, {}, opts(0)).phc, ggr(t, go).phc);
+  // A window covering the row count exactly behaves the same way.
+  EXPECT_DOUBLE_EQ(windowed_ggr(t, {}, opts(35)).phc, ggr(t, go).phc);
+}
+
+TEST(Windowed, WindowOfOneKeepsArrivalRowOrder) {
+  // window_rows = 1 degenerates to the original row order (each window
+  // holds a single row, so no row movement is possible) with stats-ranked
+  // fields; it must stay valid and self-consistent.
+  util::Rng rng(29);
+  const auto t = random_table(rng, 17, 3, 2);
+  const auto w = windowed_ggr(t, {}, opts(1));
+  EXPECT_EQ(w.windows, 17u);
+  for (std::size_t pos = 0; pos < t.num_rows(); ++pos)
+    EXPECT_EQ(w.ordering.row_at(pos), pos);
+  EXPECT_TRUE(w.ordering.validate(t.num_rows(), t.num_cols()));
+  EXPECT_DOUBLE_EQ(w.phc, phc(t, w.ordering, LengthMeasure::Unit));
+}
+
+TEST(Windowed, NonDividingWindowKeepsPartialTailWindow) {
+  // 23 rows with window 7: windows of 7,7,7 and a final partial window of
+  // 2 holding exactly the last two original rows.
+  util::Rng rng(30);
+  const auto t = random_table(rng, 23, 3, 2);
+  const auto w = windowed_ggr(t, {}, opts(7));
+  EXPECT_EQ(w.windows, 4u);
+  EXPECT_TRUE(w.ordering.validate(t.num_rows(), t.num_cols()));
+  std::vector<std::size_t> tail = {w.ordering.row_at(21),
+                                   w.ordering.row_at(22)};
+  std::sort(tail.begin(), tail.end());
+  EXPECT_EQ(tail, (std::vector<std::size_t>{21, 22}));
 }
 
 }  // namespace

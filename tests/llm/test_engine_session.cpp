@@ -1,0 +1,179 @@
+#include "llm/engine_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace llmq::llm {
+namespace {
+
+ModelSpec tiny_model() {
+  ModelSpec m;
+  m.name = "tiny";
+  m.params = 1e9;
+  m.n_layers = 8;
+  m.hidden_dim = 512;
+  m.n_heads = 8;
+  m.n_kv_heads = 8;
+  m.head_dim = 64;
+  m.dtype_bytes = 2;
+  return m;
+}
+
+ServingEngine make_engine(std::size_t pool_blocks = 4096,
+                          std::size_t max_batch = 8) {
+  EngineConfig ec;
+  ec.max_batch_size = max_batch;
+  ec.block_size = 16;
+  ec.kv_pool_blocks_override = pool_blocks;
+  return ServingEngine(CostModel(tiny_model(), l4()), ec);
+}
+
+std::vector<Request> random_requests(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Request> reqs;
+  for (std::size_t i = 0; i < n; ++i) {
+    Request r;
+    r.id = i;
+    r.row_tag = i;
+    const std::size_t len = 20 + rng.next_below(60);
+    // Shared 16-token stem so the prefix cache has something to find.
+    for (std::size_t k = 0; k < len; ++k)
+      r.prompt.push_back(
+          k < 16 ? static_cast<tokenizer::TokenId>(k)
+                 : static_cast<tokenizer::TokenId>(rng.next_below(1000)));
+    r.output_tokens = 1 + rng.next_below(6);
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+TEST(EngineSession, DrainMatchesBatchRunExactly) {
+  const ServingEngine engine = make_engine();
+  const auto reqs = random_requests(40, 99);
+
+  auto cache_a = engine.make_session_cache();
+  ServingEngine mutable_engine = engine;
+  const BatchRunResult batch = mutable_engine.run(reqs, cache_a);
+
+  auto cache_b = engine.make_session_cache();
+  EngineSession session(engine, cache_b);
+  for (const auto& r : reqs) session.submit(r);
+  const auto results = session.drain();
+  const EngineMetrics m = session.metrics();
+
+  ASSERT_EQ(results.size(), batch.results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].id, batch.results[i].id);
+    EXPECT_EQ(results[i].cached_tokens, batch.results[i].cached_tokens);
+    EXPECT_DOUBLE_EQ(results[i].admit_time, batch.results[i].admit_time);
+    EXPECT_DOUBLE_EQ(results[i].finish_time, batch.results[i].finish_time);
+    EXPECT_DOUBLE_EQ(results[i].first_token_time,
+                     batch.results[i].first_token_time);
+  }
+  EXPECT_DOUBLE_EQ(m.total_seconds, batch.metrics.total_seconds);
+  EXPECT_EQ(m.prompt_tokens, batch.metrics.prompt_tokens);
+  EXPECT_EQ(m.cached_prompt_tokens, batch.metrics.cached_prompt_tokens);
+  EXPECT_EQ(m.decode_steps, batch.metrics.decode_steps);
+  EXPECT_EQ(m.cache.hit_tokens, batch.metrics.cache.hit_tokens);
+}
+
+TEST(EngineSession, StepByStepLifecycle) {
+  const ServingEngine engine = make_engine();
+  auto cache = engine.make_session_cache();
+  EngineSession session(engine, cache);
+  EXPECT_FALSE(session.has_work());
+  EXPECT_DOUBLE_EQ(session.now(), 0.0);
+
+  Request r;
+  r.id = 42;
+  for (int k = 0; k < 30; ++k)
+    r.prompt.push_back(static_cast<tokenizer::TokenId>(k));
+  r.output_tokens = 3;
+  session.submit(r);
+  EXPECT_TRUE(session.has_work());
+  EXPECT_EQ(session.num_pending(), 1u);
+
+  // Step 1: admission (prefill advances the clock) + first token.
+  auto ev = session.step();
+  EXPECT_EQ(ev.admitted, 1u);
+  EXPECT_TRUE(ev.completed.empty());
+  EXPECT_EQ(session.num_running(), 1u);
+  EXPECT_GT(session.now(), 0.0);
+
+  // Two more decode steps finish the request.
+  ev = session.step();
+  EXPECT_TRUE(ev.completed.empty());
+  ev = session.step();
+  ASSERT_EQ(ev.completed.size(), 1u);
+  const RequestResult& res = ev.completed[0];
+  EXPECT_EQ(res.id, 42u);
+  EXPECT_EQ(res.output_tokens, 3u);
+  EXPECT_GT(res.admit_time, 0.0);
+  EXPECT_GT(res.first_token_time, res.admit_time);
+  EXPECT_GT(res.finish_time, res.first_token_time);
+  EXPECT_FALSE(session.has_work());
+
+  // A step with no work is a no-op.
+  const double t = session.now();
+  ev = session.step();
+  EXPECT_EQ(ev.admitted, 0u);
+  EXPECT_DOUBLE_EQ(session.now(), t);
+}
+
+TEST(EngineSession, AdvanceToOnlyWhenIdle) {
+  const ServingEngine engine = make_engine();
+  auto cache = engine.make_session_cache();
+  EngineSession session(engine, cache);
+  session.advance_to(5.0);
+  EXPECT_DOUBLE_EQ(session.now(), 5.0);
+  session.advance_to(3.0);  // never goes backwards
+  EXPECT_DOUBLE_EQ(session.now(), 5.0);
+
+  Request r;
+  r.id = 1;
+  for (int k = 0; k < 20; ++k)
+    r.prompt.push_back(static_cast<tokenizer::TokenId>(k));
+  session.submit(r);
+  EXPECT_THROW(session.advance_to(10.0), std::logic_error);
+  session.drain();
+  session.advance_to(100.0);
+  EXPECT_DOUBLE_EQ(session.now(), 100.0);
+}
+
+TEST(EngineSession, LateSubmissionsInterleaveWithExecution) {
+  // The capability run() cannot express: submit, execute a while, submit
+  // more, and the cache state carries over within one session.
+  const ServingEngine engine = make_engine();
+  auto cache = engine.make_session_cache();
+  EngineSession session(engine, cache);
+
+  Request a;
+  a.id = 1;
+  for (int k = 0; k < 64; ++k)
+    a.prompt.push_back(static_cast<tokenizer::TokenId>(k));
+  a.output_tokens = 4;
+  session.submit(a);
+  session.step();  // admit + 1 token
+
+  Request b = a;  // identical prompt: should hit the cache fully
+  b.id = 2;
+  session.submit(b);
+  auto results = session.drain();
+  ASSERT_EQ(results.size(), 2u);
+  const auto& rb = results[0].id == 2 ? results[0] : results[1];
+  EXPECT_EQ(rb.cached_tokens, 64u);  // whole (block-aligned) prompt cached
+  EXPECT_GT(session.metrics().cache.hit_tokens, 0u);
+}
+
+TEST(EngineSession, ThrowsWhenModelDoesNotFit) {
+  ModelSpec huge = tiny_model();
+  huge.params = 1e13;  // 20 TB of weights on a 24 GB card
+  EngineConfig ec;
+  ServingEngine engine(CostModel(huge, l4()), ec);
+  auto cache = engine.make_session_cache();
+  EXPECT_THROW(EngineSession(engine, cache), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace llmq::llm

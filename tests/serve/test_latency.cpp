@@ -1,0 +1,60 @@
+#include "serve/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llmq::serve {
+namespace {
+
+ServedRequest req(double arrival, double admit, double first_token,
+                  double finish) {
+  ServedRequest r;
+  r.arrival_time = arrival;
+  r.dispatch_time = arrival;
+  r.admit_time = admit;
+  r.first_token_time = first_token;
+  r.finish_time = finish;
+  return r;
+}
+
+TEST(Latency, EmptyInputYieldsZeros) {
+  const LatencySummary s = summarize_latency({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p99_ttft, 0.0);
+  EXPECT_DOUBLE_EQ(s.throughput_rps, 0.0);
+}
+
+TEST(Latency, DerivedQuantities) {
+  const ServedRequest r = req(1.0, 1.5, 1.7, 2.5);
+  EXPECT_DOUBLE_EQ(r.queue_delay(), 0.5);
+  EXPECT_DOUBLE_EQ(r.ttft(), 0.7);
+  EXPECT_DOUBLE_EQ(r.e2e_latency(), 1.5);
+}
+
+TEST(Latency, SummaryStatistics) {
+  std::vector<ServedRequest> rs;
+  // TTFTs 0.1, 0.2, ..., 1.0 over arrivals at t=0.
+  for (int i = 1; i <= 10; ++i)
+    rs.push_back(req(0.0, 0.05, 0.1 * i, 0.1 * i + 1.0));
+  const LatencySummary s = summarize_latency(rs);
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_NEAR(s.mean_ttft, 0.55, 1e-9);
+  EXPECT_NEAR(s.p50_ttft, 0.55, 1e-9);
+  EXPECT_GT(s.p99_ttft, 0.9);
+  EXPECT_LE(s.p99_ttft, 1.0 + 1e-9);
+  EXPECT_NEAR(s.makespan, 2.0, 1e-9);  // first arrival 0, last finish 2.0
+  EXPECT_NEAR(s.throughput_rps, 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.goodput_rps, s.throughput_rps);  // no SLO set
+}
+
+TEST(Latency, GoodputCountsOnlyWithinSlo) {
+  std::vector<ServedRequest> rs;
+  for (int i = 1; i <= 10; ++i)
+    rs.push_back(req(0.0, 0.05, 0.1 * i, 2.0));
+  // SLO at 0.55s: TTFTs 0.1..0.5 qualify (5 of 10).
+  const LatencySummary s = summarize_latency(rs, 0.55);
+  EXPECT_DOUBLE_EQ(s.ttft_slo, 0.55);
+  EXPECT_NEAR(s.goodput_rps, 0.5 * s.throughput_rps, 1e-9);
+}
+
+}  // namespace
+}  // namespace llmq::serve
