@@ -12,9 +12,11 @@ PrefixCache::PrefixCache(CacheConfig config)
 CacheLease PrefixCache::lookup(std::span<const TokenId> prompt) {
   ++clock_;
   CacheLease lease;
+  // A disabled cache must not register lookup traffic: the stats feed
+  // hit-rate denominators, and the "No Cache" ablation arm reads them.
+  if (!config_.enabled) return lease;
   ++stats_.lookups;
   stats_.lookup_tokens += prompt.size();
-  if (!config_.enabled) return lease;
   RadixTree::Match m = tree_.match(prompt);
   tree_.touch(m.path, clock_);
   tree_.pin(m.path);
@@ -22,6 +24,11 @@ CacheLease PrefixCache::lookup(std::span<const TokenId> prompt) {
   lease.cached_tokens = m.matched_tokens;
   stats_.hit_tokens += m.matched_tokens;
   return lease;
+}
+
+std::size_t PrefixCache::peek(std::span<const TokenId> prompt) const {
+  if (!config_.enabled) return 0;
+  return tree_.match(prompt).matched_tokens;
 }
 
 std::size_t PrefixCache::admit(std::span<const TokenId> prompt,

@@ -52,6 +52,13 @@ class PrefixCache {
   /// path and counts the hit. Advances the logical clock.
   CacheLease lookup(std::span<const TokenId> prompt);
 
+  /// Read-only probe: tokens of `prompt`'s longest cached block-aligned
+  /// prefix, with NO side effects — no LRU touch, no pin, no stats, no
+  /// clock advance. This is the router's cache-affinity probe contract: a
+  /// replica that merely loses a routing comparison must not have its
+  /// recency order or hit accounting perturbed. Always 0 when disabled.
+  std::size_t peek(std::span<const TokenId> prompt) const;
+
   /// After prefill: insert the prompt's full blocks, evicting LRU blocks
   /// as needed. Under memory pressure only the longest admissible prefix
   /// is kept (prefix-closed property preserved). Re-pins the lease to

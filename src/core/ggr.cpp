@@ -39,6 +39,7 @@ class GgrSolver {
             const CellLengths& lengths, const GgrOptions& opts,
             GgrCounters& counters)
       : t_(t), fds_(fds), lengths_(lengths), opts_(opts), counters_(counters) {
+    in_group_.assign(t.num_rows(), 0);
     // Precompute FD closures per column (against the full schema).
     closures_.resize(t.num_cols());
     if (opts_.use_fds) {
@@ -98,15 +99,16 @@ class GgrSolver {
       if (std::find(committed.begin(), committed.end(), c) == committed.end())
         b_cols.push_back(c);
 
-    // Sub-table A: remaining rows, all fields (row recursion).
+    // Sub-table A: remaining rows, all fields (row recursion). The
+    // membership scratch is a member reused across every recursion node —
+    // a fresh O(num_rows) vector here is O(N^2) allocation over the whole
+    // recursion. Marks are cleared before recursing, so reuse is safe.
     std::vector<std::uint32_t> a_rows;
     a_rows.reserve(rows.size() - best.rows.size());
-    {
-      std::vector<bool> in_group(t_.num_rows(), false);
-      for (auto r : best.rows) in_group[r] = true;
-      for (auto r : rows)
-        if (!in_group[r]) a_rows.push_back(r);
-    }
+    for (auto r : best.rows) in_group_[r] = 1;
+    for (auto r : rows)
+      if (!in_group_[r]) a_rows.push_back(r);
+    for (auto r : best.rows) in_group_[r] = 0;
 
     NodeResult b = solve(best.rows, b_cols, row_depth, col_depth + 1);
     NodeResult a;
@@ -244,6 +246,7 @@ class GgrSolver {
   const GgrOptions& opts_;
   GgrCounters& counters_;
   std::vector<std::vector<std::size_t>> closures_;
+  std::vector<char> in_group_;  // per-row membership scratch for solve()
 };
 
 }  // namespace

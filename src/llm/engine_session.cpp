@@ -17,7 +17,10 @@ EngineSession::EngineSession(const ServingEngine& engine,
         "ServingEngine: model does not fit on the configured GPU");
 }
 
-void EngineSession::submit(Request req) { pending_.push_back(std::move(req)); }
+void EngineSession::submit(Request req) {
+  outstanding_prompt_tokens_ += req.prompt.size();
+  pending_.push_back(std::move(req));
+}
 
 std::size_t EngineSession::try_admit() {
   const EngineConfig& config = engine_.config();
@@ -122,6 +125,7 @@ EngineSession::StepEvents EngineSession::step() {
       ev.completed.push_back(res);
       cache_.release(it->lease);
       private_in_use_ -= it->private_blocks;
+      outstanding_prompt_tokens_ -= res.prompt_tokens;
       it = running_.erase(it);
     } else {
       ++it;

@@ -62,6 +62,16 @@ class EngineSession {
   std::size_t num_pending() const { return pending_.size(); }
   std::size_t num_running() const { return running_.size(); }
 
+  /// Prompt tokens submitted but not yet finished (pending + running) —
+  /// the load signal replica routers balance on.
+  std::size_t outstanding_prompt_tokens() const {
+    return outstanding_prompt_tokens_;
+  }
+
+  /// The session's cache, exposed read-only so a router can probe it with
+  /// PrefixCache::peek() without being able to mutate LRU state.
+  const cache::PrefixCache& cache() const { return cache_; }
+
   /// Simulated seconds since the session started.
   double now() const { return now_; }
 
@@ -92,6 +102,7 @@ class EngineSession {
   std::deque<Request> pending_;
   std::vector<Running> running_;
   std::size_t private_in_use_ = 0;
+  std::size_t outstanding_prompt_tokens_ = 0;
   double now_ = 0.0;
   EngineMetrics metrics_;
 };

@@ -27,6 +27,7 @@ struct ServedRequest {
   std::uint64_t id = 0;
   std::uint32_t tenant = 0;
   std::size_t row = 0;
+  std::size_t replica = 0;  // replica the request was routed to (0 if single)
   double arrival_time = 0.0;
   double dispatch_time = 0.0;
   double admit_time = 0.0;        // post-prefill
@@ -54,11 +55,17 @@ struct LatencySummary {
   double makespan = 0.0;         // last finish - first arrival
   double throughput_rps = 0.0;   // completed / makespan
   double goodput_rps = 0.0;      // completed within the TTFT SLO / makespan
-  double ttft_slo = 0.0;         // 0 = no SLO (goodput == throughput)
+  /// The SLO the summary was computed with, echoed for reporting. Any
+  /// value <= 0 means "no SLO": every completed request counts as good, so
+  /// goodput_rps == throughput_rps — the sentinel disables the cut, it
+  /// does not zero the goodput.
+  double ttft_slo = 0.0;
 };
 
-/// Aggregate a set of completed requests. `ttft_slo_seconds` = 0 disables
-/// the SLO cut. Empty input yields a zeroed summary.
+/// Aggregate a set of completed requests. `ttft_slo_seconds <= 0` disables
+/// the SLO cut (goodput == throughput). Empty input yields a zeroed
+/// summary; a zero makespan (e.g. all timestamps identical) reports zero
+/// throughput/goodput rather than dividing by zero.
 LatencySummary summarize_latency(const std::vector<ServedRequest>& requests,
                                  double ttft_slo_seconds = 0.0);
 

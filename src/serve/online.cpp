@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -21,17 +22,13 @@ namespace {
 struct InFlight {
   Arrival arrival;
   double dispatch_time = 0.0;
+  std::size_t replica = 0;
 };
 
-}  // namespace
-
-OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
-                           const std::vector<Arrival>& arrivals,
-                           const OnlineConfig& config) {
-  OnlineRunResult out;
-  if (arrivals.empty()) return out;
-
-  // id -> arrival index, for the emitted Ordering over the arrival table.
+/// Validate the stream and build id -> arrival index (for the emitted
+/// Ordering over the arrival table).
+std::unordered_map<std::uint64_t, std::size_t> index_arrivals(
+    const table::Table& t, const std::vector<Arrival>& arrivals) {
   std::unordered_map<std::uint64_t, std::size_t> index_of;
   index_of.reserve(arrivals.size());
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
@@ -42,6 +39,124 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
     if (!index_of.emplace(arrivals[i].id, i).second)
       throw std::invalid_argument("run_online: arrival ids must be unique");
   }
+  return index_of;
+}
+
+/// Per-tenant prompt encoders, built lazily: each tenant's instruction
+/// prefix differs, so rows share the instruction prefix only within a
+/// tenant — the structure that makes Tenant-GGR partitioning (and
+/// tenant-affine routing) matter.
+class EncoderMap {
+ public:
+  explicit EncoderMap(const query::PromptTemplate& base) : base_(base) {}
+
+  query::PromptEncoder& for_tenant(std::uint32_t tenant) {
+    auto it = encoders_.find(tenant);
+    if (it == encoders_.end()) {
+      query::PromptTemplate tmpl = base_;
+      tmpl.system_prompt += " [tenant " + std::to_string(tenant) + "]";
+      it = encoders_.emplace(tenant, query::PromptEncoder(std::move(tmpl)))
+               .first;
+    }
+    return it->second;
+  }
+
+ private:
+  query::PromptTemplate base_;
+  std::unordered_map<std::uint32_t, query::PromptEncoder> encoders_;
+};
+
+llm::Request make_request(const Arrival& a, tokenizer::TokenSeq prompt,
+                          const llm::TaskModel& task_model,
+                          double avg_output_tokens) {
+  llm::Request r;
+  r.id = a.id;
+  r.row_tag = a.row;
+  r.prompt = std::move(prompt);
+  const std::string key = std::to_string(a.tenant) + ":" +
+                          std::to_string(a.row) + ":" + std::to_string(a.id);
+  r.output_tokens = task_model.output_tokens(key, avg_output_tokens);
+  return r;
+}
+
+ServedRequest stitch(const llm::RequestResult& res, const InFlight& f) {
+  ServedRequest sr;
+  sr.id = res.id;
+  sr.tenant = f.arrival.tenant;
+  sr.row = f.arrival.row;
+  sr.replica = f.replica;
+  sr.arrival_time = f.arrival.time;
+  sr.dispatch_time = f.dispatch_time;
+  sr.admit_time = res.admit_time;
+  sr.first_token_time = res.first_token_time;
+  sr.finish_time = res.finish_time;
+  sr.prompt_tokens = res.prompt_tokens;
+  sr.cached_tokens = res.cached_tokens;
+  sr.output_tokens = res.output_tokens;
+  return sr;
+}
+
+void count_tenant(std::vector<std::size_t>& per_tenant, std::uint32_t tenant) {
+  if (tenant >= per_tenant.size()) per_tenant.resize(tenant + 1, 0);
+  ++per_tenant[tenant];
+}
+
+/// Fleet-wide engine metrics: token/time counters sum across replicas;
+/// total_seconds and peak_batch_size are maxima (replicas run in
+/// parallel). For one replica this is that replica's metrics unchanged.
+llm::EngineMetrics aggregate_engines(const std::vector<ReplicaMetrics>& reps) {
+  llm::EngineMetrics agg;
+  for (const ReplicaMetrics& r : reps) {
+    const llm::EngineMetrics& m = r.engine;
+    agg.total_seconds = std::max(agg.total_seconds, m.total_seconds);
+    agg.prefill_seconds += m.prefill_seconds;
+    agg.decode_seconds += m.decode_seconds;
+    agg.prompt_tokens += m.prompt_tokens;
+    agg.cached_prompt_tokens += m.cached_prompt_tokens;
+    agg.computed_prompt_tokens += m.computed_prompt_tokens;
+    agg.output_tokens += m.output_tokens;
+    agg.decode_steps += m.decode_steps;
+    agg.sum_batch_size += m.sum_batch_size;
+    agg.peak_batch_size = std::max(agg.peak_batch_size, m.peak_batch_size);
+    agg.cache.lookups += m.cache.lookups;
+    agg.cache.hit_tokens += m.cache.hit_tokens;
+    agg.cache.lookup_tokens += m.cache.lookup_tokens;
+    agg.cache.inserted_blocks += m.cache.inserted_blocks;
+    agg.cache.evicted_blocks += m.cache.evicted_blocks;
+  }
+  return agg;
+}
+
+void finalize_emitted(OnlineRunResult& out, const table::Table& t,
+                      const std::vector<Arrival>& arrivals,
+                      const OnlineConfig& config,
+                      std::vector<std::size_t> emitted_rows,
+                      std::vector<std::vector<std::size_t>> emitted_fields) {
+  out.latency = summarize_latency(out.requests, config.ttft_slo_seconds);
+  out.emitted =
+      core::Ordering(std::move(emitted_rows), std::move(emitted_fields));
+  std::vector<std::size_t> arrival_rows;
+  arrival_rows.reserve(arrivals.size());
+  for (const Arrival& a : arrivals) arrival_rows.push_back(a.row);
+  out.phc = core::phc(t.take_rows(arrival_rows), out.emitted,
+                      config.scheduler.ggr.measure);
+}
+
+}  // namespace
+
+OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
+                           const std::vector<Arrival>& arrivals,
+                           const OnlineConfig& config) {
+  if (config.n_replicas == 0)
+    throw std::invalid_argument("run_online: n_replicas must be positive");
+  if (config.n_replicas > 1)
+    return run_online_replicated(t, fds, arrivals, config);
+
+  OnlineRunResult out;
+  out.replicas.resize(1);
+  if (arrivals.empty()) return out;
+
+  const auto index_of = index_arrivals(t, arrivals);
 
   OnlineScheduler scheduler(t, fds, config.scheduler);
   llm::ServingEngine engine(llm::CostModel(config.model, config.gpu),
@@ -49,21 +164,7 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
   cache::PrefixCache cache = engine.make_session_cache();
   llm::EngineSession session(engine, cache);
   const llm::TaskModel task_model(config.model_profile);
-
-  // Per-tenant prompt encoders, built lazily: each tenant's instruction
-  // prefix differs, so rows share the instruction prefix only within a
-  // tenant — the structure that makes Tenant-GGR partitioning matter.
-  std::unordered_map<std::uint32_t, query::PromptEncoder> encoders;
-  const auto encoder_for = [&](std::uint32_t tenant) -> query::PromptEncoder& {
-    auto it = encoders.find(tenant);
-    if (it == encoders.end()) {
-      query::PromptTemplate tmpl = config.prompt;
-      tmpl.system_prompt += " [tenant " + std::to_string(tenant) + "]";
-      it = encoders.emplace(tenant, query::PromptEncoder(std::move(tmpl)))
-               .first;
-    }
-    return it->second;
-  };
+  EncoderMap encoders(config.prompt);
 
   std::unordered_map<std::uint64_t, InFlight> inflight;
   std::vector<std::size_t> emitted_rows;
@@ -77,17 +178,12 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
     for (std::size_t i = 0; i < w.arrivals.size(); ++i) {
       const Arrival& a = w.arrivals[i];
       const std::vector<std::size_t>& fo = w.field_orders[i];
-      llm::Request r;
-      r.id = a.id;
-      r.row_tag = a.row;
-      r.prompt = encoder_for(a.tenant).encode(t, a.row, fo);
-      const std::string key = std::to_string(a.tenant) + ":" +
-                              std::to_string(a.row) + ":" +
-                              std::to_string(a.id);
-      r.output_tokens =
-          task_model.output_tokens(key, config.avg_output_tokens);
+      llm::Request r = make_request(
+          a, encoders.for_tenant(a.tenant).encode(t, a.row, fo), task_model,
+          config.avg_output_tokens);
+      out.replicas[0].routed_prompt_tokens += r.prompt.size();
       session.submit(std::move(r));
-      inflight.emplace(a.id, InFlight{a, w.planned_at});
+      inflight.emplace(a.id, InFlight{a, w.planned_at, 0});
       emitted_rows.push_back(index_of.at(a.id));
       emitted_fields.push_back(fo);
     }
@@ -95,21 +191,8 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
 
   const auto record = [&](const llm::RequestResult& res) {
     const InFlight& f = inflight.at(res.id);
-    ServedRequest sr;
-    sr.id = res.id;
-    sr.tenant = f.arrival.tenant;
-    sr.row = f.arrival.row;
-    sr.arrival_time = f.arrival.time;
-    sr.dispatch_time = f.dispatch_time;
-    sr.admit_time = res.admit_time;
-    sr.first_token_time = res.first_token_time;
-    sr.finish_time = res.finish_time;
-    sr.prompt_tokens = res.prompt_tokens;
-    sr.cached_tokens = res.cached_tokens;
-    sr.output_tokens = res.output_tokens;
-    if (sr.tenant >= out.per_tenant.size())
-      out.per_tenant.resize(sr.tenant + 1, 0);
-    ++out.per_tenant[sr.tenant];
+    ServedRequest sr = stitch(res, f);
+    count_tenant(out.per_tenant, sr.tenant);
     out.requests.push_back(sr);
     inflight.erase(res.id);
   };
@@ -141,15 +224,180 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
     }
   }
 
-  out.engine = session.metrics();
-  out.latency = summarize_latency(out.requests, config.ttft_slo_seconds);
-  out.emitted =
-      core::Ordering(std::move(emitted_rows), std::move(emitted_fields));
-  std::vector<std::size_t> arrival_rows;
-  arrival_rows.reserve(arrivals.size());
-  for (const Arrival& a : arrivals) arrival_rows.push_back(a.row);
-  out.phc = core::phc(t.take_rows(arrival_rows), out.emitted,
-                      config.scheduler.ggr.measure);
+  out.replicas[0].requests = out.requests.size();
+  out.replicas[0].engine = session.metrics();
+  out.engine = out.replicas[0].engine;
+  out.load_imbalance = 1.0;
+  finalize_emitted(out, t, arrivals, config, std::move(emitted_rows),
+                   std::move(emitted_fields));
+  return out;
+}
+
+namespace {
+
+/// One serving replica: its own engine, prefix cache, and session clock.
+struct Replica {
+  llm::ServingEngine engine;
+  cache::PrefixCache cache;
+  llm::EngineSession session;
+
+  explicit Replica(const OnlineConfig& config)
+      : engine(llm::CostModel(config.model, config.gpu), config.engine),
+        cache(engine.make_session_cache()),
+        session(engine, cache) {}
+};
+
+}  // namespace
+
+OnlineRunResult run_online_replicated(const table::Table& t,
+                                      const table::FdSet& fds,
+                                      const std::vector<Arrival>& arrivals,
+                                      const OnlineConfig& config) {
+  if (config.n_replicas == 0)
+    throw std::invalid_argument(
+        "run_online_replicated: n_replicas must be positive");
+  const std::size_t n_rep = config.n_replicas;
+
+  OnlineRunResult out;
+  out.replicas.resize(n_rep);
+  if (arrivals.empty()) return out;
+
+  const auto index_of = index_arrivals(t, arrivals);
+
+  OnlineScheduler scheduler(t, fds, config.scheduler);
+  std::vector<std::unique_ptr<Replica>> replicas;
+  replicas.reserve(n_rep);
+  for (std::size_t r = 0; r < n_rep; ++r)
+    replicas.push_back(std::make_unique<Replica>(config));
+  Router router(config.router, n_rep);
+  const llm::TaskModel task_model(config.model_profile);
+  EncoderMap encoders(config.prompt);
+
+  std::unordered_map<std::uint64_t, InFlight> inflight;
+  std::vector<std::size_t> emitted_rows;
+  std::vector<std::vector<std::size_t>> emitted_fields;
+  emitted_rows.reserve(arrivals.size());
+  emitted_fields.reserve(arrivals.size());
+  double imbalance_sum = 0.0;
+  std::size_t imbalance_samples = 0;
+
+  // The merged clock. Never behind any busy replica's execution frontier;
+  // catches up to the furthest replica when everything idles.
+  double now = 0.0;
+
+  const auto dispatch = [&](const Window& w) {
+    ++out.windows;
+    out.solve_seconds += w.solve_seconds;
+    std::vector<Router::ReplicaView> views(n_rep);
+    for (std::size_t i = 0; i < w.arrivals.size(); ++i) {
+      const Arrival& a = w.arrivals[i];
+      const std::vector<std::size_t>& fo = w.field_orders[i];
+      llm::Request req = make_request(
+          a, encoders.for_tenant(a.tenant).encode(t, a.row, fo), task_model,
+          config.avg_output_tokens);
+
+      for (std::size_t r = 0; r < n_rep; ++r) {
+        views[r].cache = &replicas[r]->session.cache();
+        views[r].outstanding_prompt_tokens =
+            replicas[r]->session.outstanding_prompt_tokens();
+      }
+      const std::size_t target = router.route(req.prompt, a.tenant, views);
+      Replica& rep = *replicas[target];
+      // An idle replica has been parked at its last activity; bring it to
+      // the dispatch instant so admission cannot happen in the past.
+      if (!rep.session.has_work()) rep.session.advance_to(now);
+
+      out.replicas[target].routed_prompt_tokens += req.prompt.size();
+      ++out.replicas[target].requests;
+      rep.session.submit(std::move(req));
+      inflight.emplace(a.id, InFlight{a, w.planned_at, target});
+      emitted_rows.push_back(index_of.at(a.id));
+      emitted_fields.push_back(fo);
+
+      // Outstanding-load imbalance, sampled after every routing decision.
+      std::size_t max_out = 0, sum_out = 0;
+      for (std::size_t r = 0; r < n_rep; ++r) {
+        const std::size_t o = replicas[r]->session.outstanding_prompt_tokens();
+        max_out = std::max(max_out, o);
+        sum_out += o;
+      }
+      const double mean_out =
+          static_cast<double>(sum_out) / static_cast<double>(n_rep);
+      imbalance_sum += static_cast<double>(max_out) / mean_out;
+      ++imbalance_samples;
+    }
+  };
+
+  const auto record = [&](const llm::RequestResult& res) {
+    const InFlight& f = inflight.at(res.id);
+    ServedRequest sr = stitch(res, f);
+    count_tenant(out.per_tenant, sr.tenant);
+    out.requests.push_back(sr);
+    inflight.erase(res.id);
+  };
+
+  const auto any_work = [&] {
+    for (const auto& r : replicas)
+      if (r->session.has_work()) return true;
+    return false;
+  };
+  // Busy replica with the earliest clock, or n_rep when all are idle.
+  const auto earliest_busy = [&] {
+    std::size_t best = n_rep;
+    for (std::size_t r = 0; r < n_rep; ++r) {
+      if (!replicas[r]->session.has_work()) continue;
+      if (best == n_rep ||
+          replicas[r]->session.now() < replicas[best]->session.now())
+        best = r;
+    }
+    return best;
+  };
+
+  // ---- Merged event loop over the replicas' virtual clocks. ----
+  std::size_t next = 0;
+  const std::size_t n = arrivals.size();
+  while (next < n || scheduler.buffered() > 0 || any_work()) {
+    // 0. Advance the merged clock to the execution frontier.
+    const std::size_t frontier = earliest_busy();
+    if (frontier < n_rep) {
+      now = std::max(now, replicas[frontier]->session.now());
+    } else {
+      for (const auto& r : replicas) now = std::max(now, r->session.now());
+    }
+    // 1. Feed arrivals that have occurred.
+    while (next < n && arrivals[next].time <= now)
+      scheduler.push(arrivals[next++]);
+    // 2. Dispatch every due window (routing each request).
+    while (auto w = scheduler.pop_ready(now)) dispatch(*w);
+    // 3. Execute: step the busy replica with the earliest clock.
+    const std::size_t busy = earliest_busy();
+    if (busy < n_rep) {
+      const llm::EngineSession::StepEvents ev = replicas[busy]->session.step();
+      for (const llm::RequestResult& res : ev.completed) record(res);
+      continue;
+    }
+    // 4. Everything idle: jump to the next arrival or deadline, or drain.
+    double t_next = scheduler.next_deadline();
+    if (next < n) t_next = std::min(t_next, arrivals[next].time);
+    if (std::isfinite(t_next)) {
+      now = std::max(now, t_next);
+    } else if (auto w = scheduler.flush(now)) {
+      // Stream over, no deadline pending: drain the partial window.
+      dispatch(*w);
+    } else {
+      break;  // defensive: no arrivals, no buffer, no work
+    }
+  }
+
+  for (std::size_t r = 0; r < n_rep; ++r)
+    out.replicas[r].engine = replicas[r]->session.metrics();
+  out.engine = aggregate_engines(out.replicas);
+  out.load_imbalance = imbalance_samples
+                           ? imbalance_sum /
+                                 static_cast<double>(imbalance_samples)
+                           : 1.0;
+  finalize_emitted(out, t, arrivals, config, std::move(emitted_rows),
+                   std::move(emitted_fields));
   return out;
 }
 

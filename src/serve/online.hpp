@@ -1,17 +1,29 @@
 #pragma once
-// Online serving driver: stream -> scheduler -> engine session.
+// Online serving driver: stream -> scheduler -> router -> engine replicas.
 //
 // run_online() is the event loop that turns the paper's batch pipeline
-// into a serving scenario. It interleaves three components over one
-// simulated clock (the engine session's):
+// into a serving scenario. It interleaves four components over simulated
+// time:
 //
 //   1. arrivals whose timestamp has passed are fed to the scheduler;
 //   2. due windows (row bound or wait deadline, see scheduler.hpp) are
 //      planned, materialized into prompts — each tenant gets its own
 //      instruction prefix, so cross-tenant prefix sharing is limited the
-//      way separate customers' prompts are — and submitted to the engine;
-//   3. the engine session advances one decode step at a time; when it is
-//      fully idle the clock jumps to the next arrival or deadline.
+//      way separate customers' prompts are;
+//   3. each request of a window is routed (router.hpp) to one of
+//      n_replicas independent engine+cache replicas and submitted there;
+//   4. replicas advance one decode step at a time; when everything is
+//      idle the clock jumps to the next arrival or deadline.
+//
+// Replica clock merge rule: every replica runs its own virtual clock (its
+// EngineSession's). The merged loop always steps the busy replica with the
+// earliest clock, and the global clock tracks that execution frontier —
+// min over busy replica clocks while any replica is busy, catching up to
+// the furthest replica clock when all go idle. Work dispatched at global
+// time t to a replica whose clock has already passed t queues at the
+// replica clock: the same step-boundary quantization a single engine has.
+// With n_replicas == 1 the merged loop reduces exactly — event for event —
+// to the single-engine loop (the equivalence tests/router/ checks).
 //
 // The emitted schedule is also returned as a core::Ordering over the
 // arrival-ordered table, so the online result can be compared head-to-head
@@ -26,6 +38,7 @@
 #include "llm/task_model.hpp"
 #include "query/prompt.hpp"
 #include "serve/latency.hpp"
+#include "serve/router.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/workload.hpp"
 
@@ -45,31 +58,77 @@ struct OnlineConfig {
   /// TTFT SLO for goodput accounting; 0 = none.
   double ttft_slo_seconds = 0.0;
 
+  /// Replication: number of independent engine+cache replicas. `engine`,
+  /// `model`, and `gpu` describe ONE replica (n_replicas doubles the
+  /// fleet's aggregate KV memory; divide the per-replica pool to hold the
+  /// total fixed). 1 = the classic single-engine path.
+  std::size_t n_replicas = 1;
+  /// How scheduled requests are assigned to replicas (see router.hpp).
+  RouterPolicy router = RouterPolicy::PrefixAffinity;
+
   /// Shrink the KV pool to `fraction` of the GPU-derived capacity — same
   /// scaling contract as query::ExecConfig::scale_kv_pool, needed so
-  /// scaled-down streams still oversubscribe the cache.
+  /// scaled-down streams still oversubscribe the cache. Applies per
+  /// replica.
   void scale_kv_pool(double fraction);
+};
+
+/// One replica's slice of a replicated run.
+struct ReplicaMetrics {
+  std::size_t requests = 0;                // requests routed here
+  std::uint64_t routed_prompt_tokens = 0;  // prompt tokens routed here
+  llm::EngineMetrics engine;               // this replica's engine + cache
+
+  double hit_rate() const { return engine.prompt_cache_hit_rate(); }
 };
 
 struct OnlineRunResult {
   std::vector<ServedRequest> requests;  // completion order
   LatencySummary latency;
-  llm::EngineMetrics engine;            // includes prompt_cache_hit_rate()
+  /// Aggregate over all replicas: token/time counters summed,
+  /// total_seconds and peak_batch_size maxed. For n_replicas == 1 this is
+  /// exactly the one engine's metrics (includes prompt_cache_hit_rate(),
+  /// which aggregates to fleet-wide hit tokens / prompt tokens).
+  llm::EngineMetrics engine;
   std::size_t windows = 0;
   double solve_seconds = 0.0;           // planner wall-clock across windows
   /// Emission order as an Ordering over the arrival-ordered table
   /// (t.take_rows of the arrivals' rows in arrival order); empty stream =
-  /// empty ordering.
+  /// empty ordering. Emission = dispatch order, which for a replicated run
+  /// is the order requests left the scheduler, not per-replica order.
   core::Ordering emitted;
   /// Exact PHC of `emitted` under the scheduler's length measure.
   double phc = 0.0;
   /// Completed requests per tenant id.
   std::vector<std::size_t> per_tenant;
+
+  /// Per-replica breakdown; size == n_replicas (size 1 for the single
+  /// path).
+  std::vector<ReplicaMetrics> replicas;
+  /// Load imbalance: mean over routing decisions of
+  /// max_r(outstanding prompt tokens) / mean_r(outstanding prompt tokens).
+  /// 1.0 = perfectly balanced at every decision; n_replicas = one replica
+  /// took everything. 1.0 when there were no decisions (empty stream).
+  double load_imbalance = 1.0;
 };
 
 /// Serve `arrivals` (sorted by time, unique ids) drawn from rows of `t`.
+/// Dispatches to the single-engine loop when n_replicas == 1 and to the
+/// replicated loop otherwise. Throws std::invalid_argument for
+/// n_replicas == 0.
 OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
                            const std::vector<Arrival>& arrivals,
                            const OnlineConfig& config);
+
+/// The replicated driver itself, callable for any n_replicas >= 1. At
+/// n_replicas == 1 it is equivalent to the single-engine run_online —
+/// same emitted ordering, PHC, hit rate, and timings (the property
+/// tests/router/ pins this down); run_online keeps the dedicated single
+/// path so that equivalence stays a checkable claim rather than a
+/// tautology.
+OnlineRunResult run_online_replicated(const table::Table& t,
+                                      const table::FdSet& fds,
+                                      const std::vector<Arrival>& arrivals,
+                                      const OnlineConfig& config);
 
 }  // namespace llmq::serve

@@ -1,0 +1,119 @@
+#include "serve/router.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace llmq::serve {
+
+std::string to_string(RouterPolicy p) {
+  switch (p) {
+    case RouterPolicy::RoundRobin: return "RoundRobin";
+    case RouterPolicy::LeastLoaded: return "LeastLoaded";
+    case RouterPolicy::TenantHash: return "TenantHash";
+    case RouterPolicy::PrefixAffinity: return "PrefixAffinity";
+  }
+  return "?";
+}
+
+std::optional<RouterPolicy> router_policy_from_string(const std::string& name) {
+  if (name == "round-robin" || name == "rr") return RouterPolicy::RoundRobin;
+  if (name == "least-loaded" || name == "ll") return RouterPolicy::LeastLoaded;
+  if (name == "tenant-hash" || name == "tenant")
+    return RouterPolicy::TenantHash;
+  if (name == "prefix-affinity" || name == "affinity")
+    return RouterPolicy::PrefixAffinity;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Tenant ids are small sequential integers, so a plain modulo would map
+/// tenants 0..n-1 to replicas 0..n-1 in lockstep — fine until tenant load
+/// is skewed (it is: Zipf), at which point the hot tenants all sit on the
+/// low replicas. Mix through the splitmix64 finalizer first.
+std::uint64_t mix_tenant(std::uint32_t tenant) { return util::hash64(tenant); }
+
+/// PrefixAffinity abandons locality for balance when the preferred
+/// replica's outstanding prompt tokens exceed this multiple of the
+/// least-loaded replica's (plus the routed prompt, so near-idle fleets
+/// don't spill on noise).
+constexpr std::size_t kSpillFactor = 2;
+
+}  // namespace
+
+Router::Router(RouterPolicy policy, std::size_t n_replicas)
+    : policy_(policy), n_(n_replicas) {
+  if (n_ == 0)
+    throw std::invalid_argument("Router: n_replicas must be positive");
+}
+
+std::size_t Router::route(std::span<const cache::TokenId> prompt,
+                          std::uint32_t tenant,
+                          const std::vector<ReplicaView>& views) {
+  if (views.size() != n_)
+    throw std::invalid_argument("Router::route: views.size() != n_replicas");
+  if (n_ == 1) return 0;
+
+  switch (policy_) {
+    case RouterPolicy::RoundRobin: {
+      const std::size_t r = rr_next_;
+      rr_next_ = (rr_next_ + 1) % n_;
+      return r;
+    }
+    case RouterPolicy::LeastLoaded: {
+      std::size_t best = 0;
+      for (std::size_t r = 1; r < n_; ++r)
+        if (views[r].outstanding_prompt_tokens <
+            views[best].outstanding_prompt_tokens)
+          best = r;
+      return best;
+    }
+    case RouterPolicy::TenantHash:
+      return static_cast<std::size_t>(mix_tenant(tenant) % n_);
+    case RouterPolicy::PrefixAffinity: {
+      // Longest cached prefix wins; among equals, least outstanding load;
+      // among those, the lowest index. A replica without a probe handle
+      // counts as a zero-length match.
+      std::size_t best = 0;
+      std::size_t best_match =
+          views[0].cache ? views[0].cache->peek(prompt) : 0;
+      std::size_t least = 0;
+      for (std::size_t r = 1; r < n_; ++r) {
+        const std::size_t match =
+            views[r].cache ? views[r].cache->peek(prompt) : 0;
+        if (match > best_match ||
+            (match == best_match &&
+             views[r].outstanding_prompt_tokens <
+                 views[best].outstanding_prompt_tokens)) {
+          best = r;
+          best_match = match;
+        }
+        if (views[r].outstanding_prompt_tokens <
+            views[least].outstanding_prompt_tokens)
+          least = r;
+      }
+      // Nothing cached anywhere: a load tie-break would deal a cold
+      // same-prefix burst (a whole window dispatches before any prefill
+      // admits blocks) across every replica, duplicating the prefix
+      // fleet-wide. Fall back to the tenant hash so cold bursts stay
+      // together and the first prefill creates affinity on one replica.
+      const std::size_t preferred =
+          best_match > 0 ? best
+                         : static_cast<std::size_t>(mix_tenant(tenant) % n_);
+      // Load guard (the usual cache-aware-router spill rule): pure
+      // affinity turns into a hotspot amplifier once one prefix's traffic
+      // exceeds a replica, so when the preferred replica's backlog tops
+      // kSpillFactor x the fleet minimum (+ this prompt), take the
+      // locality loss and spill to the least-loaded replica instead.
+      if (views[preferred].outstanding_prompt_tokens >
+          kSpillFactor *
+              (views[least].outstanding_prompt_tokens + prompt.size()))
+        return least;
+      return preferred;
+    }
+  }
+  return 0;
+}
+
+}  // namespace llmq::serve

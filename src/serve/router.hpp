@@ -1,0 +1,83 @@
+#pragma once
+// Replica router: dispatch scheduled requests across N serving replicas.
+//
+// A replica is an independent ServingEngine + PrefixCache + EngineSession;
+// nothing is shared between replicas, so where a request lands decides
+// which radix tree its prefix can hit. Naive routing (round-robin) deals
+// consecutive requests to different replicas — exactly the requests the
+// windowed-GGR scheduler just ordered to be prefix-adjacent — and so
+// destroys the locality the reordering created. Cache-affinity routing is
+// the serving-layer dual of the paper's reordering idea: reordering makes
+// prefix-sharing requests *temporally* adjacent, affinity routing keeps
+// them *spatially* together on the replica that already holds the prefix.
+//
+// Policies:
+//   * RoundRobin     — cycle replicas; the locality-oblivious baseline;
+//   * LeastLoaded    — fewest outstanding prompt tokens (join the
+//                      shortest queue, measured in work not requests);
+//   * TenantHash     — hash the tenant id; same tenant, same replica —
+//                      affinity without probing, blind to load and to
+//                      cross-tenant sharing;
+//   * PrefixAffinity — probe every replica's radix tree with the
+//                      read-only PrefixCache::peek() path and pick the
+//                      longest cached prefix, tie-breaking by load; when
+//                      nothing is cached anywhere it falls back to the
+//                      tenant hash (not load), so a cold same-prefix
+//                      burst lands on one replica instead of being dealt
+//                      across the fleet before its first prefill admits;
+//                      and when the preferred replica's backlog exceeds
+//                      2x the fleet minimum it spills to the
+//                      least-loaded replica — affinity with a load
+//                      guard, so a hot prefix cannot pin its whole
+//                      tenant to one overloaded replica.
+//
+// The probe contract: route() only ever calls the const peek() path — no
+// LRU touch, no pin, no stats. Losing a routing comparison must not
+// perturb a replica's cache, or the probes themselves would skew the
+// recency order they are probing.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/prefix_cache.hpp"
+
+namespace llmq::serve {
+
+enum class RouterPolicy { RoundRobin, LeastLoaded, TenantHash, PrefixAffinity };
+
+std::string to_string(RouterPolicy p);
+std::optional<RouterPolicy> router_policy_from_string(const std::string& name);
+
+class Router {
+ public:
+  /// What the router may see of a replica at routing time: a read-only
+  /// cache handle to probe and the replica's outstanding prompt tokens.
+  struct ReplicaView {
+    const cache::PrefixCache* cache = nullptr;  // nullptr = never probed
+    std::size_t outstanding_prompt_tokens = 0;
+  };
+
+  /// Throws std::invalid_argument when `n_replicas` is zero.
+  Router(RouterPolicy policy, std::size_t n_replicas);
+
+  RouterPolicy policy() const { return policy_; }
+  std::size_t n_replicas() const { return n_; }
+
+  /// Pick the replica for one request. `views.size()` must equal
+  /// n_replicas(). Deterministic: ties break toward the lower replica
+  /// index (PrefixAffinity breaks prefix-length ties by load first).
+  /// Only RoundRobin carries state (the cursor); the rest are pure.
+  std::size_t route(std::span<const cache::TokenId> prompt,
+                    std::uint32_t tenant,
+                    const std::vector<ReplicaView>& views);
+
+ private:
+  RouterPolicy policy_;
+  std::size_t n_;
+  std::size_t rr_next_ = 0;
+};
+
+}  // namespace llmq::serve

@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 #include <unordered_map>
 
 namespace llmq::serve {
@@ -25,7 +26,15 @@ std::optional<Policy> policy_from_string(const std::string& name) {
 OnlineScheduler::OnlineScheduler(const table::Table& t,
                                  const table::FdSet& fds,
                                  SchedulerOptions options)
-    : table_(t), fds_(fds), opt_(std::move(options)) {}
+    : table_(t), fds_(fds), opt_(std::move(options)) {
+  // With no row bound and no wait deadline, ready() can never fire and the
+  // whole stream silently degrades into one end-of-stream flush batch.
+  // That configuration is always a bug; reject it up front.
+  if (opt_.window_rows == 0 && opt_.max_wait_seconds <= 0.0)
+    throw std::invalid_argument(
+        "OnlineScheduler: window_rows == 0 with max_wait_seconds <= 0 would "
+        "never dispatch; set a row bound or a wait deadline");
+}
 
 void OnlineScheduler::push(const Arrival& a) { buffer_.push_back(a); }
 

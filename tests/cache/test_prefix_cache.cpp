@@ -52,6 +52,67 @@ TEST(PrefixCache, DisabledCacheNeverHits) {
   EXPECT_EQ(pc.resident_blocks(), 0u);
 }
 
+TEST(PrefixCache, DisabledCacheReportsNoLookupTraffic) {
+  // Regression: lookups/lookup_tokens used to be counted before the
+  // enabled check, so "No Cache" runs reported nonzero lookup traffic and
+  // skewed hit-rate denominators in the ablation benches.
+  PrefixCache pc(cfg(4, 0, /*on=*/false));
+  const auto p = iota_seq(16);
+  for (int i = 0; i < 3; ++i) {
+    auto lease = pc.lookup(p);
+    pc.admit(p, lease);
+    pc.release(lease);
+  }
+  EXPECT_EQ(pc.stats().lookups, 0u);
+  EXPECT_EQ(pc.stats().lookup_tokens, 0u);
+  EXPECT_EQ(pc.stats().hit_tokens, 0u);
+  EXPECT_DOUBLE_EQ(pc.stats().hit_rate(), 0.0);
+}
+
+TEST(PrefixCache, PeekMatchesLookupWithoutSideEffects) {
+  PrefixCache pc(cfg());
+  const auto p = iota_seq(16);
+  EXPECT_EQ(pc.peek(p), 0u);  // cold
+  auto lease = pc.lookup(p);
+  pc.admit(p, lease);
+  pc.release(lease);
+
+  const CacheStats before = pc.stats();
+  auto partial = iota_seq(16);
+  partial[12] = 999;  // last block diverges
+  EXPECT_EQ(pc.peek(p), 16u);
+  EXPECT_EQ(pc.peek(partial), 12u);
+  EXPECT_EQ(pc.peek(iota_seq(16, 500)), 0u);
+  // No stats movement, no pinning, no insertions.
+  EXPECT_EQ(pc.stats().lookups, before.lookups);
+  EXPECT_EQ(pc.stats().hit_tokens, before.hit_tokens);
+  EXPECT_EQ(pc.stats().lookup_tokens, before.lookup_tokens);
+  EXPECT_EQ(pc.resident_blocks(), 4u);
+
+  PrefixCache off(cfg(4, 0, /*on=*/false));
+  EXPECT_EQ(off.peek(p), 0u);
+}
+
+TEST(PrefixCache, PeekDoesNotTouchLruRecency) {
+  // A admitted before B; peeking A (however often) must not refresh its
+  // recency, so A's leaf is still the LRU eviction victim.
+  PrefixCache pc(cfg());
+  const auto a = iota_seq(8, 0);
+  const auto b = iota_seq(8, 100);
+  auto la = pc.lookup(a);
+  pc.admit(a, la);
+  pc.release(la);
+  auto lb = pc.lookup(b);
+  pc.admit(b, lb);
+  pc.release(lb);
+  ASSERT_EQ(pc.resident_blocks(), 4u);
+
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(pc.peek(a), 8u);
+  EXPECT_EQ(pc.evict(1), 1u);
+  EXPECT_EQ(pc.peek(a), 4u);  // A's leaf was evicted despite the peeks
+  EXPECT_EQ(pc.peek(b), 8u);
+}
+
 TEST(PrefixCache, SharedPrefixAcrossRequests) {
   PrefixCache pc(cfg());
   auto a = iota_seq(16);

@@ -47,9 +47,10 @@ TEST(BenchmarkSuite, StageFieldsExistInDataset) {
     const auto d = generate_dataset(q.dataset, o);
     for (const auto& f : q.stage1.fields)
       EXPECT_TRUE(d.table.schema().has(f)) << q.id << ": " << f;
-    if (q.stage2)
+    if (q.stage2) {
       for (const auto& f : q.stage2->fields)
         EXPECT_TRUE(d.table.schema().has(f)) << q.id << ": " << f;
+    }
   }
 }
 
@@ -81,9 +82,11 @@ TEST(BenchmarkSuite, OutputLengthsMatchTable1) {
 
 TEST(BenchmarkSuite, FeverHasStrongestPositionSensitivity) {
   const double fever = query_by_id("fever-rag").position_sensitivity;
-  for (const auto& q : benchmark_queries())
-    if (q.id != "fever-rag")
+  for (const auto& q : benchmark_queries()) {
+    if (q.id != "fever-rag") {
       EXPECT_LT(q.position_sensitivity, fever) << q.id;
+    }
+  }
 }
 
 TEST(BenchmarkSuite, SystemPromptShared) {

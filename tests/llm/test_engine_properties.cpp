@@ -90,7 +90,9 @@ TEST_P(EngineProperty, ConservationLaws) {
               run.metrics.prefill_seconds + run.metrics.decode_seconds, 1e-9);
 
   // No cache => no cached tokens.
-  if (!params.cache_on) EXPECT_EQ(run.metrics.cached_prompt_tokens, 0u);
+  if (!params.cache_on) {
+    EXPECT_EQ(run.metrics.cached_prompt_tokens, 0u);
+  }
 
   // Batch never exceeds the configured maximum.
   EXPECT_LE(run.metrics.peak_batch_size, cfg.max_batch_size);

@@ -48,6 +48,48 @@ std::vector<Request> random_requests(std::size_t n, std::uint64_t seed) {
   return reqs;
 }
 
+TEST(EngineSession, OutstandingPromptTokensTrackSubmitAndRetire) {
+  const ServingEngine engine = make_engine();
+  auto cache = engine.make_session_cache();
+  EngineSession session(engine, cache);
+  EXPECT_EQ(session.outstanding_prompt_tokens(), 0u);
+
+  const auto reqs = random_requests(6, 17);
+  std::size_t total = 0;
+  for (const auto& r : reqs) {
+    total += r.prompt.size();
+    session.submit(r);
+    EXPECT_EQ(session.outstanding_prompt_tokens(), total);
+  }
+  // Outstanding covers pending AND running: admission must not change it.
+  session.try_admit();
+  EXPECT_EQ(session.outstanding_prompt_tokens(), total);
+
+  std::size_t finished = 0;
+  while (session.has_work()) {
+    const auto ev = session.step();
+    for (const auto& res : ev.completed) finished += res.prompt_tokens;
+    EXPECT_EQ(session.outstanding_prompt_tokens(), total - finished);
+  }
+  EXPECT_EQ(session.outstanding_prompt_tokens(), 0u);
+}
+
+TEST(EngineSession, CacheAccessorExposesReadOnlyPeekPath) {
+  const ServingEngine engine = make_engine();
+  auto cache = engine.make_session_cache();
+  EngineSession session(engine, cache);
+  auto reqs = random_requests(1, 18);
+  const auto prompt = reqs[0].prompt;
+  session.submit(std::move(reqs[0]));
+  session.drain();
+  // The session's cache handle sees what the run admitted; peeking it is
+  // the router's affinity probe and must not move the stats.
+  const auto before = session.cache().stats();
+  const std::size_t full_blocks = prompt.size() / 16;
+  EXPECT_EQ(session.cache().peek(prompt), full_blocks * 16);
+  EXPECT_EQ(session.cache().stats().lookups, before.lookups);
+}
+
 TEST(EngineSession, DrainMatchesBatchRunExactly) {
   const ServingEngine engine = make_engine();
   const auto reqs = random_requests(40, 99);

@@ -78,7 +78,9 @@ TEST(TaskModel, PairedFlips) {
     const std::string key = "k" + std::to_string(i);
     const bool lo_ok = m.answer(key, "A", alts, 0.0, 0.3) == "A";
     const bool hi_ok = m.answer(key, "A", alts, 1.0, 0.3) == "A";
-    if (lo_ok) EXPECT_TRUE(hi_ok) << key;
+    if (lo_ok) {
+      EXPECT_TRUE(hi_ok) << key;
+    }
   }
 }
 

@@ -46,6 +46,51 @@ TEST(Latency, SummaryStatistics) {
   EXPECT_DOUBLE_EQ(s.goodput_rps, s.throughput_rps);  // no SLO set
 }
 
+TEST(Latency, SingleRequest) {
+  // Percentiles of one sample are that sample; throughput is 1/makespan.
+  const LatencySummary s = summarize_latency({req(1.0, 1.2, 1.4, 3.0)});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_ttft, 0.4);
+  EXPECT_DOUBLE_EQ(s.p50_ttft, 0.4);
+  EXPECT_DOUBLE_EQ(s.p99_ttft, 0.4);
+  EXPECT_DOUBLE_EQ(s.mean_queue_delay, 0.2);
+  EXPECT_DOUBLE_EQ(s.p50_e2e, 2.0);
+  EXPECT_DOUBLE_EQ(s.p99_e2e, 2.0);
+  EXPECT_DOUBLE_EQ(s.makespan, 2.0);
+  EXPECT_DOUBLE_EQ(s.throughput_rps, 0.5);
+  EXPECT_DOUBLE_EQ(s.goodput_rps, 0.5);
+}
+
+TEST(Latency, AllIdenticalTimestampsYieldZeroMakespanNotNan) {
+  // Degenerate but reachable (e.g. zero-latency stubs in tests): every
+  // timeline point equal. Zero makespan must report zero throughput and
+  // goodput, not a division by zero.
+  std::vector<ServedRequest> rs(3, req(5.0, 5.0, 5.0, 5.0));
+  const LatencySummary s = summarize_latency(rs, 1.0);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean_ttft, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99_e2e, 0.0);
+  EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(s.throughput_rps, 0.0);
+  EXPECT_DOUBLE_EQ(s.goodput_rps, 0.0);
+}
+
+TEST(Latency, NonPositiveSloDisablesTheCut) {
+  // ttft_slo <= 0 means "no SLO": goodput equals throughput (every request
+  // counts as good), never zero goodput. Documented in latency.hpp.
+  std::vector<ServedRequest> rs;
+  for (int i = 1; i <= 4; ++i) rs.push_back(req(0.0, 0.1, 10.0 * i, 50.0));
+  for (const double slo : {0.0, -3.0}) {
+    const LatencySummary s = summarize_latency(rs, slo);
+    EXPECT_DOUBLE_EQ(s.ttft_slo, slo);
+    EXPECT_GT(s.throughput_rps, 0.0);
+    EXPECT_DOUBLE_EQ(s.goodput_rps, s.throughput_rps);
+  }
+  // Sanity: a tiny positive SLO does cut.
+  const LatencySummary cut = summarize_latency(rs, 1e-6);
+  EXPECT_DOUBLE_EQ(cut.goodput_rps, 0.0);
+}
+
 TEST(Latency, GoodputCountsOnlyWithinSlo) {
   std::vector<ServedRequest> rs;
   for (int i = 1; i <= 10; ++i)

@@ -92,13 +92,15 @@ TEST(Online, EquivalenceSingleWindowMatchesOfflineGgr) {
   // The ISSUE property: single tenant, no deadline, one window spanning
   // all arrivals => the online emitted order and PHC equal offline
   // windowed_ggr with window_rows = 0 (i.e. plain GGR) over the
-  // arrival-ordered table.
+  // arrival-ordered table. The row bound equals the stream length, so the
+  // single window trips exactly when the last arrival lands (window_rows
+  // = 0 with no deadline is rejected by the scheduler).
   util::Rng rng(32);
   const Table t = groupy_table(rng, 36, 3, 2);
   const table::FdSet fds;
   OnlineConfig cfg = small_config();
   cfg.scheduler.policy = Policy::WindowedGgr;
-  cfg.scheduler.window_rows = 0;     // unbounded: one drain window
+  cfg.scheduler.window_rows = 36;    // one window spanning the stream
   cfg.scheduler.max_wait_seconds = 0.0;  // no deadline
 
   // Arrivals visit rows in table order so the arrival table == t.

@@ -190,6 +190,22 @@ TEST(Scheduler, TenantGgrPartitionsByTenant) {
   EXPECT_EQ(ids.size(), 24u);
 }
 
+TEST(Scheduler, RejectsConfigThatNeverDispatches) {
+  // window_rows == 0 with no wait deadline means ready() can never fire:
+  // the stream silently degrades to one end-of-stream flush batch. The
+  // constructor must reject it.
+  util::Rng rng(7);
+  const Table t = groupy_table(rng, 4, 2, 2);
+  const table::FdSet fds;
+  EXPECT_THROW(OnlineScheduler(t, fds, fifo_opts(0, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(OnlineScheduler(t, fds, fifo_opts(0, -1.0)),
+               std::invalid_argument);
+  // Either bound alone is a valid configuration.
+  EXPECT_NO_THROW(OnlineScheduler(t, fds, fifo_opts(4, 0.0)));
+  EXPECT_NO_THROW(OnlineScheduler(t, fds, fifo_opts(0, 1.0)));
+}
+
 TEST(Scheduler, PolicyNames) {
   EXPECT_EQ(to_string(Policy::Fifo), "FIFO");
   EXPECT_EQ(policy_from_string("fifo"), Policy::Fifo);

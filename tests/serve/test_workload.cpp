@@ -22,7 +22,9 @@ TEST(Workload, DeterministicAndTimeSorted) {
     EXPECT_EQ(a[i].row, b[i].row);
     EXPECT_EQ(a[i].tenant, b[i].tenant);
     EXPECT_EQ(a[i].id, i);  // ids follow time order
-    if (i > 0) EXPECT_GE(a[i].time, a[i - 1].time);
+    if (i > 0) {
+      EXPECT_GE(a[i].time, a[i - 1].time);
+    }
     EXPECT_GT(a[i].time, 0.0);
   }
 }

@@ -72,7 +72,9 @@ TEST_P(TokenizerProperty, TokenCountBounds) {
     bool all_space = true;
     for (char c : text)
       if (!std::isspace(static_cast<unsigned char>(c))) all_space = false;
-    if (!all_space) EXPECT_GE(n, 1u);
+    if (!all_space) {
+      EXPECT_GE(n, 1u);
+    }
   }
 }
 
