@@ -73,6 +73,26 @@ void PrefixCache::release(CacheLease& lease) {
   lease.cached_tokens = 0;
 }
 
+void PrefixCache::cancel_lookup(CacheLease& lease, std::size_t prompt_tokens) {
+  if (!config_.enabled) return;
+  --stats_.lookups;
+  stats_.lookup_tokens -= prompt_tokens;
+  stats_.hit_tokens -= lease.cached_tokens;
+  release(lease);
+}
+
+std::string PrefixCache::check_invariants() const {
+  std::string tree = tree_.check_invariants();
+  if (!tree.empty()) return "tree: " + tree;
+  if (tree_.num_blocks() != pool_.used())
+    return "pool usage out of sync with resident blocks";
+  if (stats_.inserted_blocks - stats_.evicted_blocks != tree_.num_blocks())
+    return "inserted - evicted does not equal resident blocks";
+  if (!pool_.unlimited() && pool_.used() > pool_.capacity())
+    return "pool over capacity";
+  return std::string();
+}
+
 std::size_t PrefixCache::blocks_needed(std::size_t n_tokens,
                                        std::size_t cached_tokens) const {
   const std::size_t full = n_tokens / config_.block_size;

@@ -68,6 +68,15 @@ class PrefixCache {
   /// Request finished: unpin its path.
   void release(CacheLease& lease);
 
+  /// Undo one lookup()'s stat side-effects when the looked-up request is
+  /// NOT admitted after all (engine deferred it for KV memory and will
+  /// look up again): decrements the lookup counters and unpins, so a
+  /// request that waits K steps for memory still counts as exactly one
+  /// lookup in the stats the hit-rate reports divide. `prompt_tokens`
+  /// must be the length passed to the paired lookup(). The LRU touch is
+  /// deliberately not undone — the prompt really was seen.
+  void cancel_lookup(CacheLease& lease, std::size_t prompt_tokens);
+
   /// Evict up to `n` unpinned blocks (LRU leaves first). Used by the
   /// serving engine, which owns the global KV budget across cached and
   /// per-request private blocks. Returns blocks actually evicted.
@@ -77,6 +86,13 @@ class PrefixCache {
   /// `cached_tokens` (full blocks only).
   std::size_t blocks_needed(std::size_t n_tokens,
                             std::size_t cached_tokens) const;
+
+  /// Property-test self-check: the radix tree's structural invariants
+  /// (RadixTree::check_invariants) plus the cache-level accounting that
+  /// ties tree, pool, and stats together — resident blocks equal pool
+  /// usage and equal inserted minus evicted. Empty string when everything
+  /// holds, else the first violation.
+  std::string check_invariants() const;
 
  private:
   CacheConfig config_;

@@ -130,6 +130,53 @@ std::size_t RadixTree::evict_lru(std::size_t want) {
   return evicted;
 }
 
+std::string RadixTree::check_invariants() const {
+  const auto fail = [](NodeId id, const char* what) {
+    return "node " + std::to_string(id) + ": " + what;
+  };
+  if (nodes_.empty() || !nodes_[0].alive || nodes_[0].parent != kNoNode ||
+      !nodes_[0].block.empty())
+    return "root: missing, dead, parented, or non-empty block";
+
+  std::size_t alive = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (!n.alive) continue;
+    if (id != 0) {
+      ++alive;
+      if (n.block.size() != block_size_) return fail(id, "block size mismatch");
+      if (n.parent >= nodes_.size() || !nodes_[n.parent].alive)
+        return fail(id, "dead or out-of-range parent");
+      const auto& sib = nodes_[n.parent].children;
+      if (std::count(sib.begin(), sib.end(), id) != 1)
+        return fail(id, "not exactly once in parent's child list");
+      if (n.parent != 0) {
+        // Touches and pins cover root-down path prefixes, so recency and
+        // pin counts are monotone down every path.
+        if (nodes_[n.parent].last_access < n.last_access)
+          return fail(id, "more recently used than its parent");
+        if (nodes_[n.parent].ref_count < n.ref_count)
+          return fail(id, "more pinned than its parent");
+      }
+    }
+    for (NodeId c : n.children) {
+      if (c >= nodes_.size() || !nodes_[c].alive || nodes_[c].parent != id)
+        return fail(id, "child dead, out of range, or mis-parented");
+    }
+    for (std::size_t a = 0; a < n.children.size(); ++a)
+      for (std::size_t b = a + 1; b < n.children.size(); ++b)
+        if (nodes_[n.children[a]].block == nodes_[n.children[b]].block)
+          return fail(id, "duplicate sibling blocks");
+  }
+  if (alive != num_blocks_) return "num_blocks out of sync with alive nodes";
+  if (free_list_.size() != nodes_.size() - 1 - alive)
+    return "free list does not cover the dead nodes";
+  for (NodeId id : free_list_)
+    if (id == 0 || id >= nodes_.size() || nodes_[id].alive)
+      return fail(id, "alive, root, or out-of-range node on the free list");
+  return std::string();
+}
+
 std::size_t RadixTree::pinned_blocks() const {
   std::size_t n = 0;
   for (NodeId id = 1; id < nodes_.size(); ++id)

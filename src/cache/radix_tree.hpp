@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "tokenizer/tokenizer.hpp"
@@ -63,6 +64,16 @@ class RadixTree {
 
   /// Total pinned nodes (diagnostics / tests).
   std::size_t pinned_blocks() const;
+
+  /// Structural self-check for the property tests: parent/child
+  /// consistency, alive/free-list partitioning, per-node block sizing,
+  /// sibling-block uniqueness, node-count accounting, and the path-prefix
+  /// monotonicity invariants — a node's parent is always at least as
+  /// recently used and at least as pinned as the node, because touches and
+  /// pins only ever cover root-down path prefixes. Returns an empty string
+  /// when every invariant holds, else a description of the first
+  /// violation.
+  std::string check_invariants() const;
 
  private:
   struct Node {

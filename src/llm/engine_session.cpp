@@ -53,7 +53,13 @@ std::size_t EngineSession::try_admit() {
       used = cache_.resident_blocks() + private_in_use_;
     }
     if (used + needed > pool_blocks) {
-      cache_.release(lease);
+      // The request is not admitted this step; the retry will look up
+      // again, so this lookup must not count (a request that waits K
+      // steps would otherwise register K+1 lookups and K+1 hit-token
+      // credits, inflating every cache-stats ratio under memory
+      // pressure — exactly the regime a session cache shared across
+      // multi-LLM stages is in when stage 2 starts against a full pool).
+      cache_.cancel_lookup(lease, prompt_len);
       if (running_.empty())
         throw std::runtime_error(
             "ServingEngine: request cannot fit in KV memory even alone");

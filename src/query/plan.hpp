@@ -55,6 +55,11 @@ struct StageMetrics {
   double solver_seconds = 0.0;
   double token_phr = 0.0;      // prompt-level cache hit rate for the stage
   std::size_t rows = 0;
+  /// Rows answered by the serving layer's exact-duplicate memo instead of
+  /// an engine (always 0 on the offline private-engine path; see
+  /// serve/query_client.hpp). Memo-served rows are excluded from `engine`
+  /// token counters, so token_phr keeps meaning KV-cache hits.
+  std::size_t dedup_hits = 0;
 };
 
 struct QueryRunResult {

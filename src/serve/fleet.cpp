@@ -1,0 +1,130 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "llm/cost_model.hpp"
+
+namespace llmq::serve {
+
+void FleetConfig::scale_kv_pool(double fraction) {
+  engine.kv_pool_blocks_override =
+      llm::scaled_kv_pool_blocks(model, gpu, engine.block_size, fraction);
+}
+
+llm::EngineMetrics aggregate_replica_engines(
+    const std::vector<ReplicaMetrics>& replicas) {
+  llm::EngineMetrics agg;
+  for (const ReplicaMetrics& r : replicas) {
+    const llm::EngineMetrics& m = r.engine;
+    agg.total_seconds = std::max(agg.total_seconds, m.total_seconds);
+    agg.prefill_seconds += m.prefill_seconds;
+    agg.decode_seconds += m.decode_seconds;
+    agg.prompt_tokens += m.prompt_tokens;
+    agg.cached_prompt_tokens += m.cached_prompt_tokens;
+    agg.computed_prompt_tokens += m.computed_prompt_tokens;
+    agg.output_tokens += m.output_tokens;
+    agg.decode_steps += m.decode_steps;
+    agg.sum_batch_size += m.sum_batch_size;
+    agg.peak_batch_size = std::max(agg.peak_batch_size, m.peak_batch_size);
+    agg.cache.lookups += m.cache.lookups;
+    agg.cache.hit_tokens += m.cache.hit_tokens;
+    agg.cache.lookup_tokens += m.cache.lookup_tokens;
+    agg.cache.inserted_blocks += m.cache.inserted_blocks;
+    agg.cache.evicted_blocks += m.cache.evicted_blocks;
+  }
+  return agg;
+}
+
+ReplicaFleet::ReplicaFleet(const FleetConfig& config)
+    : router_(config.router,
+              config.n_replicas ? config.n_replicas : 1) {
+  if (config.n_replicas == 0)
+    throw std::invalid_argument("ReplicaFleet: n_replicas must be positive");
+  replicas_.reserve(config.n_replicas);
+  for (std::size_t r = 0; r < config.n_replicas; ++r)
+    replicas_.push_back(std::make_unique<Replica>(config));
+  counters_.resize(config.n_replicas);
+}
+
+std::size_t ReplicaFleet::dispatch(llm::Request req, std::uint32_t tenant,
+                                   double now) {
+  const std::size_t n_rep = replicas_.size();
+  views_.resize(n_rep);  // member buffer: dispatch is the per-request hot path
+  for (std::size_t r = 0; r < n_rep; ++r) {
+    views_[r].cache = &replicas_[r]->session.cache();
+    views_[r].outstanding_prompt_tokens =
+        replicas_[r]->session.outstanding_prompt_tokens();
+  }
+  const std::size_t target = router_.route(req.prompt, tenant, views_);
+  Replica& rep = *replicas_[target];
+  // An idle replica has been parked at its last activity; bring it to the
+  // dispatch instant so admission cannot happen in the past.
+  if (!rep.session.has_work()) rep.session.advance_to(now);
+
+  counters_[target].routed_prompt_tokens += req.prompt.size();
+  ++counters_[target].requests;
+  rep.session.submit(std::move(req));
+
+  // Outstanding-load imbalance, sampled after every routing decision.
+  std::size_t max_out = 0, sum_out = 0;
+  for (std::size_t r = 0; r < n_rep; ++r) {
+    const std::size_t o = replicas_[r]->session.outstanding_prompt_tokens();
+    max_out = std::max(max_out, o);
+    sum_out += o;
+  }
+  const double mean_out =
+      static_cast<double>(sum_out) / static_cast<double>(n_rep);
+  imbalance_sum_ += static_cast<double>(max_out) / mean_out;
+  ++imbalance_samples_;
+  return target;
+}
+
+bool ReplicaFleet::any_work() const {
+  for (const auto& r : replicas_)
+    if (r->session.has_work()) return true;
+  return false;
+}
+
+std::size_t ReplicaFleet::earliest_busy() const {
+  const std::size_t n_rep = replicas_.size();
+  std::size_t best = n_rep;
+  for (std::size_t r = 0; r < n_rep; ++r) {
+    if (!replicas_[r]->session.has_work()) continue;
+    if (best == n_rep ||
+        replicas_[r]->session.now() < replicas_[best]->session.now())
+      best = r;
+  }
+  return best;
+}
+
+double ReplicaFleet::frontier(double now) const {
+  const std::size_t busy = earliest_busy();
+  if (busy < replicas_.size())
+    return std::max(now, replicas_[busy]->session.now());
+  for (const auto& r : replicas_) now = std::max(now, r->session.now());
+  return now;
+}
+
+ReplicaFleet::StepResult ReplicaFleet::step() {
+  StepResult out;
+  out.replica = earliest_busy();
+  llm::EngineSession::StepEvents ev = replicas_[out.replica]->session.step();
+  out.completed = std::move(ev.completed);
+  return out;
+}
+
+std::vector<ReplicaMetrics> ReplicaFleet::replica_metrics() const {
+  std::vector<ReplicaMetrics> out = counters_;
+  for (std::size_t r = 0; r < replicas_.size(); ++r)
+    out[r].engine = replicas_[r]->session.metrics();
+  return out;
+}
+
+double ReplicaFleet::load_imbalance() const {
+  return imbalance_samples_
+             ? imbalance_sum_ / static_cast<double>(imbalance_samples_)
+             : 1.0;
+}
+
+}  // namespace llmq::serve

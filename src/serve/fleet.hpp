@@ -1,0 +1,123 @@
+#pragma once
+// Replica fleet: N independent engine+cache replicas behind one router,
+// stepped on a merged virtual clock.
+//
+// Extracted from the run_online_replicated event loop so that two drivers
+// share one replicated execution core:
+//
+//   * the arrival-stream loop (online.cpp): scheduler windows dispatch
+//     requests into the fleet;
+//   * the query-serving client (query_client.hpp): concurrent relational
+//     queries submit their per-row invocations into the same fleet.
+//
+// The fleet owns routing, per-replica submission, the merged-clock frontier
+// rule, per-replica attribution counters, and the outstanding-load
+// imbalance sampling; drivers own arrival semantics (what to dispatch
+// when) and completion bookkeeping. The clock-merge rule is documented in
+// online.hpp and DESIGN.md §3.1 and is unchanged by the extraction — the
+// n_replicas == 1 bit-exact equivalence test in tests/router/ still pins
+// it.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "llm/engine.hpp"
+#include "llm/engine_session.hpp"
+#include "serve/router.hpp"
+
+namespace llmq::serve {
+
+/// One replica's configuration is `engine` + `model` + `gpu`; n_replicas
+/// scales the fleet (use scale_kv_pool to divide a fixed total budget).
+struct FleetConfig {
+  llm::EngineConfig engine;
+  llm::ModelSpec model = llm::llama3_8b();
+  llm::GpuSpec gpu = llm::l4();
+  std::size_t n_replicas = 1;
+  RouterPolicy router = RouterPolicy::PrefixAffinity;
+
+  /// Shrink each replica's KV pool to `fraction` of the GPU-derived
+  /// capacity (same scaling contract as query::ExecConfig::scale_kv_pool).
+  void scale_kv_pool(double fraction);
+};
+
+/// One replica's slice of a fleet run.
+struct ReplicaMetrics {
+  std::size_t requests = 0;                // requests routed here
+  std::uint64_t routed_prompt_tokens = 0;  // prompt tokens routed here
+  llm::EngineMetrics engine;               // this replica's engine + cache
+
+  double hit_rate() const { return engine.prompt_cache_hit_rate(); }
+};
+
+/// Fleet-wide engine metrics: token/time counters sum across replicas;
+/// total_seconds and peak_batch_size are maxima (replicas run in
+/// parallel). For one replica this is that replica's metrics unchanged.
+llm::EngineMetrics aggregate_replica_engines(
+    const std::vector<ReplicaMetrics>& replicas);
+
+class ReplicaFleet {
+ public:
+  /// Throws std::invalid_argument when config.n_replicas == 0.
+  explicit ReplicaFleet(const FleetConfig& config);
+
+  std::size_t n_replicas() const { return replicas_.size(); }
+
+  /// Route `req` and submit it to the chosen replica: builds the router's
+  /// read-only views, brings an idle target's clock to `now` (admission
+  /// cannot happen in the past), submits, and samples the
+  /// outstanding-load imbalance. Returns the chosen replica.
+  std::size_t dispatch(llm::Request req, std::uint32_t tenant, double now);
+
+  bool any_work() const;
+
+  /// Busy replica with the earliest clock; n_replicas() when all idle.
+  std::size_t earliest_busy() const;
+
+  /// Merged-clock frontier rule applied to a driver clock `now`: the
+  /// earliest busy replica clock while anything runs, the furthest
+  /// replica clock when all are idle; never moves `now` backwards.
+  double frontier(double now) const;
+
+  struct StepResult {
+    std::size_t replica = 0;
+    std::vector<llm::RequestResult> completed;
+  };
+  /// Step the busy replica with the earliest clock (one admission round +
+  /// one decode step). Precondition: any_work().
+  StepResult step();
+
+  /// Per-replica attribution with each replica's final engine metrics.
+  std::vector<ReplicaMetrics> replica_metrics() const;
+
+  /// Mean over routing decisions of max/mean outstanding prompt tokens
+  /// (1.0 = perfectly balanced at every decision; 1.0 when no decisions).
+  double load_imbalance() const;
+
+  /// Read-only replica session access (clock and cache probes in tests).
+  const llm::EngineSession& session(std::size_t r) const {
+    return replicas_[r]->session;
+  }
+
+ private:
+  struct Replica {
+    llm::ServingEngine engine;
+    cache::PrefixCache cache;
+    llm::EngineSession session;
+
+    explicit Replica(const FleetConfig& config)
+        : engine(llm::CostModel(config.model, config.gpu), config.engine),
+          cache(engine.make_session_cache()),
+          session(engine, cache) {}
+  };
+
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  Router router_;
+  std::vector<ReplicaMetrics> counters_;  // engine filled by replica_metrics
+  std::vector<Router::ReplicaView> views_;  // reused per-dispatch buffer
+  double imbalance_sum_ = 0.0;
+  std::size_t imbalance_samples_ = 0;
+};
+
+}  // namespace llmq::serve

@@ -36,6 +36,11 @@ struct ServedRequest {
   std::size_t prompt_tokens = 0;
   std::size_t cached_tokens = 0;  // prompt tokens served from the KV cache
   std::size_t output_tokens = 0;
+  /// Served by the exact-duplicate memo (query-over-serving only): the
+  /// completion was fanned out from an identical in-flight or finished
+  /// invocation; no replica executed it and cached_tokens is 0 — memo
+  /// savings are accounted in DedupStats, not as prefix hits.
+  bool deduped = false;
 
   double ttft() const { return first_token_time - arrival_time; }
   double queue_delay() const { return admit_time - arrival_time; }

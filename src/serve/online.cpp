@@ -17,6 +17,16 @@ void OnlineConfig::scale_kv_pool(double fraction) {
       llm::scaled_kv_pool_blocks(model, gpu, engine.block_size, fraction);
 }
 
+FleetConfig OnlineConfig::fleet() const {
+  FleetConfig f;
+  f.engine = engine;
+  f.model = model;
+  f.gpu = gpu;
+  f.n_replicas = n_replicas;
+  f.router = router;
+  return f;
+}
+
 namespace {
 
 struct InFlight {
@@ -99,32 +109,6 @@ ServedRequest stitch(const llm::RequestResult& res, const InFlight& f) {
 void count_tenant(std::vector<std::size_t>& per_tenant, std::uint32_t tenant) {
   if (tenant >= per_tenant.size()) per_tenant.resize(tenant + 1, 0);
   ++per_tenant[tenant];
-}
-
-/// Fleet-wide engine metrics: token/time counters sum across replicas;
-/// total_seconds and peak_batch_size are maxima (replicas run in
-/// parallel). For one replica this is that replica's metrics unchanged.
-llm::EngineMetrics aggregate_engines(const std::vector<ReplicaMetrics>& reps) {
-  llm::EngineMetrics agg;
-  for (const ReplicaMetrics& r : reps) {
-    const llm::EngineMetrics& m = r.engine;
-    agg.total_seconds = std::max(agg.total_seconds, m.total_seconds);
-    agg.prefill_seconds += m.prefill_seconds;
-    agg.decode_seconds += m.decode_seconds;
-    agg.prompt_tokens += m.prompt_tokens;
-    agg.cached_prompt_tokens += m.cached_prompt_tokens;
-    agg.computed_prompt_tokens += m.computed_prompt_tokens;
-    agg.output_tokens += m.output_tokens;
-    agg.decode_steps += m.decode_steps;
-    agg.sum_batch_size += m.sum_batch_size;
-    agg.peak_batch_size = std::max(agg.peak_batch_size, m.peak_batch_size);
-    agg.cache.lookups += m.cache.lookups;
-    agg.cache.hit_tokens += m.cache.hit_tokens;
-    agg.cache.lookup_tokens += m.cache.lookup_tokens;
-    agg.cache.inserted_blocks += m.cache.inserted_blocks;
-    agg.cache.evicted_blocks += m.cache.evicted_blocks;
-  }
-  return agg;
 }
 
 void finalize_emitted(OnlineRunResult& out, const table::Table& t,
@@ -233,22 +217,6 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
   return out;
 }
 
-namespace {
-
-/// One serving replica: its own engine, prefix cache, and session clock.
-struct Replica {
-  llm::ServingEngine engine;
-  cache::PrefixCache cache;
-  llm::EngineSession session;
-
-  explicit Replica(const OnlineConfig& config)
-      : engine(llm::CostModel(config.model, config.gpu), config.engine),
-        cache(engine.make_session_cache()),
-        session(engine, cache) {}
-};
-
-}  // namespace
-
 OnlineRunResult run_online_replicated(const table::Table& t,
                                       const table::FdSet& fds,
                                       const std::vector<Arrival>& arrivals,
@@ -265,11 +233,7 @@ OnlineRunResult run_online_replicated(const table::Table& t,
   const auto index_of = index_arrivals(t, arrivals);
 
   OnlineScheduler scheduler(t, fds, config.scheduler);
-  std::vector<std::unique_ptr<Replica>> replicas;
-  replicas.reserve(n_rep);
-  for (std::size_t r = 0; r < n_rep; ++r)
-    replicas.push_back(std::make_unique<Replica>(config));
-  Router router(config.router, n_rep);
+  ReplicaFleet fleet(config.fleet());
   const llm::TaskModel task_model(config.model_profile);
   EncoderMap encoders(config.prompt);
 
@@ -278,53 +242,25 @@ OnlineRunResult run_online_replicated(const table::Table& t,
   std::vector<std::vector<std::size_t>> emitted_fields;
   emitted_rows.reserve(arrivals.size());
   emitted_fields.reserve(arrivals.size());
-  double imbalance_sum = 0.0;
-  std::size_t imbalance_samples = 0;
 
   // The merged clock. Never behind any busy replica's execution frontier;
-  // catches up to the furthest replica when everything idles.
+  // catches up to the furthest replica when everything idles
+  // (ReplicaFleet::frontier).
   double now = 0.0;
 
   const auto dispatch = [&](const Window& w) {
     ++out.windows;
     out.solve_seconds += w.solve_seconds;
-    std::vector<Router::ReplicaView> views(n_rep);
     for (std::size_t i = 0; i < w.arrivals.size(); ++i) {
       const Arrival& a = w.arrivals[i];
       const std::vector<std::size_t>& fo = w.field_orders[i];
       llm::Request req = make_request(
           a, encoders.for_tenant(a.tenant).encode(t, a.row, fo), task_model,
           config.avg_output_tokens);
-
-      for (std::size_t r = 0; r < n_rep; ++r) {
-        views[r].cache = &replicas[r]->session.cache();
-        views[r].outstanding_prompt_tokens =
-            replicas[r]->session.outstanding_prompt_tokens();
-      }
-      const std::size_t target = router.route(req.prompt, a.tenant, views);
-      Replica& rep = *replicas[target];
-      // An idle replica has been parked at its last activity; bring it to
-      // the dispatch instant so admission cannot happen in the past.
-      if (!rep.session.has_work()) rep.session.advance_to(now);
-
-      out.replicas[target].routed_prompt_tokens += req.prompt.size();
-      ++out.replicas[target].requests;
-      rep.session.submit(std::move(req));
+      const std::size_t target = fleet.dispatch(std::move(req), a.tenant, now);
       inflight.emplace(a.id, InFlight{a, w.planned_at, target});
       emitted_rows.push_back(index_of.at(a.id));
       emitted_fields.push_back(fo);
-
-      // Outstanding-load imbalance, sampled after every routing decision.
-      std::size_t max_out = 0, sum_out = 0;
-      for (std::size_t r = 0; r < n_rep; ++r) {
-        const std::size_t o = replicas[r]->session.outstanding_prompt_tokens();
-        max_out = std::max(max_out, o);
-        sum_out += o;
-      }
-      const double mean_out =
-          static_cast<double>(sum_out) / static_cast<double>(n_rep);
-      imbalance_sum += static_cast<double>(max_out) / mean_out;
-      ++imbalance_samples;
     }
   };
 
@@ -336,44 +272,21 @@ OnlineRunResult run_online_replicated(const table::Table& t,
     inflight.erase(res.id);
   };
 
-  const auto any_work = [&] {
-    for (const auto& r : replicas)
-      if (r->session.has_work()) return true;
-    return false;
-  };
-  // Busy replica with the earliest clock, or n_rep when all are idle.
-  const auto earliest_busy = [&] {
-    std::size_t best = n_rep;
-    for (std::size_t r = 0; r < n_rep; ++r) {
-      if (!replicas[r]->session.has_work()) continue;
-      if (best == n_rep ||
-          replicas[r]->session.now() < replicas[best]->session.now())
-        best = r;
-    }
-    return best;
-  };
-
   // ---- Merged event loop over the replicas' virtual clocks. ----
   std::size_t next = 0;
   const std::size_t n = arrivals.size();
-  while (next < n || scheduler.buffered() > 0 || any_work()) {
+  while (next < n || scheduler.buffered() > 0 || fleet.any_work()) {
     // 0. Advance the merged clock to the execution frontier.
-    const std::size_t frontier = earliest_busy();
-    if (frontier < n_rep) {
-      now = std::max(now, replicas[frontier]->session.now());
-    } else {
-      for (const auto& r : replicas) now = std::max(now, r->session.now());
-    }
+    now = fleet.frontier(now);
     // 1. Feed arrivals that have occurred.
     while (next < n && arrivals[next].time <= now)
       scheduler.push(arrivals[next++]);
     // 2. Dispatch every due window (routing each request).
     while (auto w = scheduler.pop_ready(now)) dispatch(*w);
     // 3. Execute: step the busy replica with the earliest clock.
-    const std::size_t busy = earliest_busy();
-    if (busy < n_rep) {
-      const llm::EngineSession::StepEvents ev = replicas[busy]->session.step();
-      for (const llm::RequestResult& res : ev.completed) record(res);
+    if (fleet.any_work()) {
+      ReplicaFleet::StepResult st = fleet.step();
+      for (const llm::RequestResult& res : st.completed) record(res);
       continue;
     }
     // 4. Everything idle: jump to the next arrival or deadline, or drain.
@@ -389,13 +302,9 @@ OnlineRunResult run_online_replicated(const table::Table& t,
     }
   }
 
-  for (std::size_t r = 0; r < n_rep; ++r)
-    out.replicas[r].engine = replicas[r]->session.metrics();
-  out.engine = aggregate_engines(out.replicas);
-  out.load_imbalance = imbalance_samples
-                           ? imbalance_sum /
-                                 static_cast<double>(imbalance_samples)
-                           : 1.0;
+  out.replicas = fleet.replica_metrics();
+  out.engine = aggregate_replica_engines(out.replicas);
+  out.load_imbalance = fleet.load_imbalance();
   finalize_emitted(out, t, arrivals, config, std::move(emitted_rows),
                    std::move(emitted_fields));
   return out;

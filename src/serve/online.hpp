@@ -31,12 +31,14 @@
 // property tests/serve/ checks, and the bridge between the paper's batch
 // metric and the serving metrics reported here.
 
+#include <string>
 #include <vector>
 
 #include "core/ordering.hpp"
 #include "llm/engine.hpp"
 #include "llm/task_model.hpp"
 #include "query/prompt.hpp"
+#include "serve/fleet.hpp"
 #include "serve/latency.hpp"
 #include "serve/router.hpp"
 #include "serve/scheduler.hpp"
@@ -71,15 +73,50 @@ struct OnlineConfig {
   /// scaled-down streams still oversubscribe the cache. Applies per
   /// replica.
   void scale_kv_pool(double fraction);
+
+  /// The replica-fleet slice of this configuration (engine/model/gpu,
+  /// n_replicas, router) — what ReplicaFleet and the query-serving client
+  /// consume.
+  FleetConfig fleet() const;
 };
 
-/// One replica's slice of a replicated run.
-struct ReplicaMetrics {
-  std::size_t requests = 0;                // requests routed here
-  std::uint64_t routed_prompt_tokens = 0;  // prompt tokens routed here
-  llm::EngineMetrics engine;               // this replica's engine + cache
+// ReplicaMetrics (one replica's slice of a replicated run) lives in
+// serve/fleet.hpp with the extracted replica-fleet core.
 
-  double hit_rate() const { return engine.prompt_cache_hit_rate(); }
+/// One query's (lane's) slice of a shared-fleet run — the attribution a
+/// multi-tenant serving endpoint bills by. Engine-visible token counters
+/// cover only requests the fleet actually executed; completions served
+/// from the exact-duplicate memo are counted in the dedup_* fields
+/// instead, so summing a lane's engine-visible counters over all lanes
+/// reproduces the fleet aggregate exactly (a tests/serve/ property).
+struct QueryLaneMetrics {
+  std::string label;
+  std::size_t requests = 0;         // completions delivered to this query
+  std::size_t engine_requests = 0;  // executed on a replica (not memo-served)
+  std::uint64_t prompt_tokens = 0;         // engine-visible
+  std::uint64_t cached_prompt_tokens = 0;  // engine-visible prefix hits
+  std::uint64_t output_tokens = 0;         // engine-visible
+  std::size_t dedup_hits = 0;              // completions fanned out from memo
+  std::uint64_t dedup_saved_prompt_tokens = 0;
+  LatencySummary latency;  // over this query's completions
+
+  double hit_rate() const {
+    return prompt_tokens ? static_cast<double>(cached_prompt_tokens) /
+                               static_cast<double>(prompt_tokens)
+                         : 0.0;
+  }
+};
+
+/// Exact-duplicate memo accounting (paper §dedup): identical
+/// (prompt, output-length) invocations are executed once and fanned out.
+/// Kept strictly separate from prefix-hit accounting — a memo hit never
+/// touches a replica cache, so it inflates neither PHR numerator nor
+/// denominator.
+struct DedupStats {
+  std::size_t leaders = 0;  // unique invocations executed on the fleet
+  std::size_t hits = 0;     // completions served by fan-out from a leader
+  std::uint64_t saved_prompt_tokens = 0;  // prompt tokens never prefilled
+  std::uint64_t saved_output_tokens = 0;  // output tokens never decoded
 };
 
 struct OnlineRunResult {
@@ -105,6 +142,27 @@ struct OnlineRunResult {
   /// Per-replica breakdown; size == n_replicas (size 1 for the single
   /// path).
   std::vector<ReplicaMetrics> replicas;
+  /// Per-query attribution — filled by the query-serving client
+  /// (query_client.hpp); empty for arrival-stream runs, whose unit of
+  /// attribution is the tenant (per_tenant above).
+  std::vector<QueryLaneMetrics> per_query;
+  /// Exact-duplicate memo accounting; all zeros when dedup is off or the
+  /// run had no duplicate invocations.
+  DedupStats dedup;
+
+  /// Prompt tokens the fleet did not have to prefill, as a fraction of
+  /// all prompt tokens submitted: prefix hits + memo fan-outs. Equals
+  /// the engine PHR when nothing deduped — the two ledgers compose
+  /// additively because memo hits never touch cache stats. This is the
+  /// headline metric bench_concurrent_queries reports and the
+  /// concurrent-beats-serial acceptance test pins.
+  double effective_hit_fraction() const {
+    const double saved = static_cast<double>(engine.cached_prompt_tokens +
+                                             dedup.saved_prompt_tokens);
+    const double total = static_cast<double>(engine.prompt_tokens +
+                                             dedup.saved_prompt_tokens);
+    return total > 0.0 ? saved / total : 0.0;
+  }
   /// Load imbalance: mean over routing decisions of
   /// max_r(outstanding prompt tokens) / mean_r(outstanding prompt tokens).
   /// 1.0 = perfectly balanced at every decision; n_replicas = one replica

@@ -1,14 +1,17 @@
 #pragma once
-// Minimal JSON writer.
+// Minimal JSON writer and reader.
 //
 // The LLM operator serializes each row as a JSON object (paper §5: "We use
 // JSON formatting to encode row values"), so prompt construction needs a
-// small, exact, deterministic JSON emitter. Only writing is needed; the
-// library never parses JSON.
+// small, exact, deterministic JSON emitter. The reader exists for the
+// golden bench-schema tests: every bench emits a --json report, and the
+// test suite parses those reports back to pin their key/type schema.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace llmq::util {
@@ -27,6 +30,10 @@ class JsonWriter {
   JsonWriter& end_array();
   JsonWriter& key(std::string_view k);
   JsonWriter& value(std::string_view v);
+  /// String-literal overload: without it, `value("text")` silently picks
+  /// the bool overload (pointer->bool is a standard conversion and beats
+  /// the user-defined one to string_view).
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
   JsonWriter& value(std::int64_t v);
   JsonWriter& value(double v);
   JsonWriter& value(bool v);
@@ -44,5 +51,54 @@ class JsonWriter {
   std::vector<bool> needs_comma_;  // one per open scope
   bool after_key_ = false;
 };
+
+/// Parsed JSON value. Numbers are doubles (the writer emits nothing a
+/// double cannot round-trip); object members keep document order (a
+/// vector of pairs, not a map — JsonValue is incomplete at member
+/// declaration, and only the sequence containers support that).
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; throw std::logic_error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const Members& as_object() const;
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const JsonValue* find(const std::string& key) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(Members members);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  Members members_;
+};
+
+/// Parse a complete JSON document (objects, arrays, strings with the
+/// escapes json_escape produces plus \uXXXX, numbers, booleans, null).
+/// Returns std::nullopt on any syntax error or trailing garbage.
+std::optional<JsonValue> json_parse(std::string_view text);
 
 }  // namespace llmq::util

@@ -1,0 +1,201 @@
+// Golden JSON schema tests for the --json-capable bench binaries.
+//
+// Each bench's --json report feeds downstream perf-trajectory tooling;
+// a silently renamed key or retyped value breaks that tooling without
+// failing any test. This harness runs every JSON bench at trivial scale
+// and validates the report's shape with util::json_parse: the standard
+// envelope (bench / scale / seed / sections) plus, per section, the
+// required record keys and their types. Extra keys are allowed —
+// reports may grow — but required keys may not vanish or change type.
+//
+// The bench binary directory is compiled in (LLMQ_BIN_DIR, set by
+// CMakeLists.txt to the build root); when the binaries are absent (e.g.
+// a -DLLMQ_BUILD_BENCHES=OFF build) the tests skip rather than fail.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+#ifndef LLMQ_BIN_DIR
+#define LLMQ_BIN_DIR "."
+#endif
+
+namespace llmq {
+namespace {
+
+struct KeySpec {
+  const char* key;
+  util::JsonValue::Type type;
+};
+
+struct SectionSpec {
+  const char* name;
+  std::vector<KeySpec> keys;
+};
+
+struct BenchSpec {
+  const char* binary;
+  std::vector<SectionSpec> sections;
+};
+
+constexpr auto kNum = util::JsonValue::Type::Number;
+constexpr auto kStr = util::JsonValue::Type::String;
+
+const std::vector<BenchSpec>& bench_specs() {
+  static const std::vector<BenchSpec> specs = {
+      {"bench_table2_phr",
+       {{"phr",
+         {{"dataset", kStr},
+          {"rows", kNum},
+          {"original_phr", kNum},
+          {"ggr_phr", kNum},
+          {"paper_original_phr", kNum},
+          {"paper_ggr_phr", kNum}}}}},
+      {"bench_serving_online",
+       {{"rate_policy",
+         {{"policy", kStr},
+          {"rate", kNum},
+          {"phr", kNum},
+          {"phc", kNum},
+          {"windows", kNum},
+          {"p50_ttft_s", kNum},
+          {"p99_ttft_s", kNum},
+          {"mean_queue_delay_s", kNum},
+          {"goodput_rps", kNum}}},
+        {"deadline_sweep",
+         {{"policy", kStr},
+          {"deadline_s", kNum},
+          {"phr", kNum},
+          {"p50_ttft_s", kNum},
+          {"p99_ttft_s", kNum},
+          {"mean_window_rows", kNum}}},
+        {"burstiness",
+         {{"process", kStr},
+          {"phr", kNum},
+          {"p50_ttft_s", kNum},
+          {"p99_ttft_s", kNum},
+          {"peak_batch", kNum}}}}},
+      {"bench_serving_router",
+       {{"replicas_policy",
+         {{"replicas", kNum},
+          {"router", kStr},
+          {"rate", kNum},
+          {"agg_phr", kNum},
+          {"p50_ttft_s", kNum},
+          {"p99_ttft_s", kNum},
+          {"load_imbalance", kNum},
+          {"goodput_rps", kNum},
+          {"phc", kNum}}},
+        {"policy_rate",
+         {{"replicas", kNum},
+          {"router", kStr},
+          {"rate", kNum},
+          {"agg_phr", kNum},
+          {"load_imbalance", kNum},
+          {"goodput_rps", kNum}}}}},
+      {"bench_ablation_serving",
+       {{"kv_pool_sweep",
+         {{"pool_mult", kNum},
+          {"original_phr", kNum},
+          {"ggr_phr", kNum},
+          {"original_s", kNum},
+          {"ggr_s", kNum}}},
+        {"batch_size_sweep",
+         {{"max_batch", kNum}, {"original_s", kNum}, {"ggr_s", kNum}}},
+        {"block_size_sweep",
+         {{"block_tokens", kNum}, {"ggr_phr", kNum}, {"ggr_s", kNum}}}}},
+      {"bench_concurrent_queries",
+       {{"queries_router",
+         {{"queries", kNum},
+          {"router", kStr},
+          {"replicas", kNum},
+          {"serial_phr", kNum},
+          {"agg_phr", kNum},
+          {"effective_hit_fraction", kNum},
+          {"dedup_hits", kNum},
+          {"dedup_saved_prompt_tokens", kNum},
+          {"makespan_s", kNum},
+          {"speedup_vs_serial", kNum},
+          {"p50_ttft_s", kNum},
+          {"p99_ttft_s", kNum},
+          {"load_imbalance", kNum}}}}},
+  };
+  return specs;
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream f(path);
+  return f.good();
+}
+
+class BenchJsonSchema : public ::testing::TestWithParam<BenchSpec> {};
+
+TEST_P(BenchJsonSchema, TrivialRunEmitsRequiredKeysAndTypes) {
+  const BenchSpec& spec = GetParam();
+  const std::string binary = std::string(LLMQ_BIN_DIR) + "/" + spec.binary;
+  if (!file_exists(binary))
+    GTEST_SKIP() << binary << " not built (benches disabled?)";
+
+  const std::string out_path =
+      ::testing::TempDir() + "llmq_" + spec.binary + ".json";
+  const std::string cmd = binary + " --scale 0.01 --seed 7 --json " +
+                          out_path + " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  std::ifstream in(out_path);
+  ASSERT_TRUE(in.good()) << "bench wrote no JSON to " << out_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = util::json_parse(buf.str());
+  ASSERT_TRUE(doc.has_value()) << "bench emitted unparseable JSON";
+
+  // Envelope: bench name echoes the binary; scale/seed numeric.
+  ASSERT_TRUE(doc->is_object());
+  const util::JsonValue* name = doc->find("bench");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->as_string(), spec.binary);
+  ASSERT_NE(doc->find("scale"), nullptr);
+  EXPECT_TRUE(doc->find("scale")->is_number());
+  ASSERT_NE(doc->find("seed"), nullptr);
+  EXPECT_TRUE(doc->find("seed")->is_number());
+  const util::JsonValue* sections = doc->find("sections");
+  ASSERT_NE(sections, nullptr);
+  ASSERT_TRUE(sections->is_object());
+
+  for (const SectionSpec& sec : spec.sections) {
+    const util::JsonValue* records = sections->find(sec.name);
+    ASSERT_NE(records, nullptr) << "missing section " << sec.name;
+    ASSERT_TRUE(records->is_array()) << sec.name;
+    ASSERT_FALSE(records->as_array().empty()) << sec.name << " is empty";
+    std::size_t i = 0;
+    for (const util::JsonValue& rec : records->as_array()) {
+      ASSERT_TRUE(rec.is_object()) << sec.name << "[" << i << "]";
+      for (const KeySpec& k : sec.keys) {
+        const util::JsonValue* v = rec.find(k.key);
+        ASSERT_NE(v, nullptr)
+            << sec.name << "[" << i << "] lacks key " << k.key;
+        EXPECT_EQ(static_cast<int>(v->type()), static_cast<int>(k.type))
+            << sec.name << "[" << i << "]." << k.key << " changed type";
+      }
+      ++i;
+    }
+  }
+  std::remove(out_path.c_str());
+}
+
+std::string spec_name(const ::testing::TestParamInfo<BenchSpec>& info) {
+  return info.param.binary;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllJsonBenches, BenchJsonSchema,
+                         ::testing::ValuesIn(bench_specs()), spec_name);
+
+}  // namespace
+}  // namespace llmq

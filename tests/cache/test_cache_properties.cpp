@@ -165,5 +165,190 @@ TEST(CachePinning, DoubleReleaseIsSafeNoOp) {
   EXPECT_NO_THROW(cache.release(lease));
 }
 
+TEST(CacheStats, CancelLookupUndoesExactlyOneLookup) {
+  // The deferred-admission path: the engine looks up, cannot fit the
+  // request, cancels, and looks up again later. Stats must read as if
+  // only the final lookup happened.
+  PrefixCache cache(CacheConfig{4, 0, true});
+  tokenizer::TokenSeq p{1, 2, 3, 4, 5, 6, 7, 8};
+  auto first = cache.lookup(p);
+  cache.admit(p, first);
+  cache.release(first);
+  const CacheStats before = cache.stats();
+
+  for (int retry = 0; retry < 5; ++retry) {
+    auto lease = cache.lookup(p);
+    cache.cancel_lookup(lease, p.size());
+  }
+  EXPECT_EQ(cache.stats().lookups, before.lookups);
+  EXPECT_EQ(cache.stats().hit_tokens, before.hit_tokens);
+  EXPECT_EQ(cache.stats().lookup_tokens, before.lookup_tokens);
+  EXPECT_EQ(cache.check_invariants(), "");
+}
+
+// ---- Churn properties: randomized op interleavings. ----
+//
+// A seed-swept driver interleaves lookup/admit, release, evict, peek, and
+// the cancel_lookup path against one PrefixCache, walking the radix tree's
+// structural checker after every op: node/token accounting, alive vs
+// free-list partitioning, and the LRU/pin path-monotonicity invariants
+// (a node is never more recent or more pinned than its parent).
+
+struct ChurnParams {
+  std::size_t block;
+  std::size_t capacity;  // 0 = unbounded
+  std::uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const ChurnParams& p) {
+  return os << "b" << p.block << "c" << p.capacity << "s" << p.seed;
+}
+
+tokenizer::TokenSeq random_prompt(util::Rng& rng, std::size_t max_len,
+                                  std::size_t vocab) {
+  tokenizer::TokenSeq s(1 + rng.next_below(max_len));
+  for (auto& t : s)
+    t = static_cast<tokenizer::TokenId>(rng.next_below(vocab));
+  return s;
+}
+
+class CacheChurn : public ::testing::TestWithParam<ChurnParams> {};
+
+TEST_P(CacheChurn, InvariantsHoldUnderRandomInterleavings) {
+  const auto p = GetParam();
+  util::Rng rng(p.seed * 6151 + 7);
+  PrefixCache cache(CacheConfig{p.block, p.capacity, true});
+
+  std::vector<tokenizer::TokenSeq> prompts;  // shared-prefix-heavy pool
+  for (int i = 0; i < 12; ++i)
+    prompts.push_back(random_prompt(rng, 6 * p.block, 3));
+  std::vector<CacheLease> held;
+  std::vector<std::size_t> held_len;  // prompt length per held lease
+
+  for (int step = 0; step < 150; ++step) {
+    const auto& prompt = prompts[rng.next_below(prompts.size())];
+    switch (rng.next_below(6)) {
+      case 0:
+      case 1: {  // lookup + admit, keep the lease in flight
+        auto lease = cache.lookup(prompt);
+        EXPECT_LE(lease.cached_tokens, prompt.size());
+        cache.admit(prompt, lease);
+        held_len.push_back(prompt.size());
+        held.push_back(std::move(lease));
+        break;
+      }
+      case 2: {  // release a random in-flight lease
+        if (held.empty()) break;
+        const std::size_t i = rng.next_below(held.size());
+        cache.release(held[i]);
+        held[i] = std::move(held.back());
+        held_len[i] = held_len.back();
+        held.pop_back();
+        held_len.pop_back();
+        break;
+      }
+      case 3:  // background eviction pressure
+        cache.evict(1 + rng.next_below(4));
+        break;
+      case 4:  // read-only probe
+        EXPECT_LE(cache.peek(prompt), prompt.size());
+        break;
+      case 5: {  // the deferred-admission path
+        auto lease = cache.lookup(prompt);
+        cache.cancel_lookup(lease, prompt.size());
+        break;
+      }
+    }
+    ASSERT_EQ(cache.check_invariants(), "") << "step " << step;
+    EXPECT_LE(cache.stats().hit_tokens, cache.stats().lookup_tokens);
+    if (p.capacity) {
+      EXPECT_LE(cache.resident_blocks(), p.capacity);
+    }
+  }
+
+  // Drain: release everything, then the whole tree must be evictable.
+  for (auto& lease : held) cache.release(lease);
+  cache.evict(cache.resident_blocks());
+  EXPECT_EQ(cache.resident_blocks(), 0u);
+  EXPECT_EQ(cache.check_invariants(), "");
+}
+
+TEST_P(CacheChurn, PeekNeverChangesSubsequentLookupResults) {
+  // Two caches run the identical lookup/admit/release/evict script; one
+  // additionally absorbs a barrage of peeks. Every lookup must return the
+  // same hit length on both, and the final stats and residency must be
+  // identical — peek() has no observable side effect, ever.
+  const auto p = GetParam();
+  util::Rng ops(p.seed * 2693 + 29);
+  util::Rng peeks(p.seed * 353 + 101);
+  PrefixCache quiet(CacheConfig{p.block, p.capacity, true});
+  PrefixCache peeked(CacheConfig{p.block, p.capacity, true});
+
+  std::vector<tokenizer::TokenSeq> prompts;
+  for (int i = 0; i < 10; ++i)
+    prompts.push_back(random_prompt(ops, 5 * p.block, 3));
+  std::vector<CacheLease> quiet_held, peeked_held;
+
+  for (int step = 0; step < 120; ++step) {
+    // Peek barrage against one cache only.
+    const std::size_t n_peeks = 1 + peeks.next_below(3);
+    for (std::size_t k = 0; k < n_peeks; ++k)
+      peeked.peek(prompts[peeks.next_below(prompts.size())]);
+
+    const auto& prompt = prompts[ops.next_below(prompts.size())];
+    switch (ops.next_below(4)) {
+      case 0:
+      case 1: {
+        auto a = quiet.lookup(prompt);
+        auto b = peeked.lookup(prompt);
+        ASSERT_EQ(a.cached_tokens, b.cached_tokens) << "step " << step;
+        quiet.admit(prompt, a);
+        peeked.admit(prompt, b);
+        quiet_held.push_back(std::move(a));
+        peeked_held.push_back(std::move(b));
+        break;
+      }
+      case 2: {
+        if (quiet_held.empty()) break;
+        const std::size_t i = ops.next_below(quiet_held.size());
+        quiet.release(quiet_held[i]);
+        peeked.release(peeked_held[i]);
+        quiet_held[i] = std::move(quiet_held.back());
+        quiet_held.pop_back();
+        peeked_held[i] = std::move(peeked_held.back());
+        peeked_held.pop_back();
+        break;
+      }
+      case 3: {
+        const std::size_t n = 1 + ops.next_below(3);
+        ASSERT_EQ(quiet.evict(n), peeked.evict(n)) << "step " << step;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(quiet.resident_blocks(), peeked.resident_blocks());
+  EXPECT_EQ(quiet.stats().lookups, peeked.stats().lookups);
+  EXPECT_EQ(quiet.stats().hit_tokens, peeked.stats().hit_tokens);
+  EXPECT_EQ(quiet.stats().lookup_tokens, peeked.stats().lookup_tokens);
+  EXPECT_EQ(quiet.stats().inserted_blocks, peeked.stats().inserted_blocks);
+  EXPECT_EQ(quiet.stats().evicted_blocks, peeked.stats().evicted_blocks);
+  EXPECT_EQ(quiet.check_invariants(), "");
+  EXPECT_EQ(peeked.check_invariants(), "");
+}
+
+std::vector<ChurnParams> churn_sweep() {
+  std::vector<ChurnParams> out;
+  for (std::uint64_t seed = 1; seed <= 22; ++seed) {
+    const std::size_t blocks[] = {2, 4, 8};
+    const std::size_t caps[] = {0, 12, 24};  // unbounded / tight / roomy
+    out.push_back(
+        ChurnParams{blocks[(seed / 3) % 3], caps[seed % 3], seed});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CacheChurn,
+                         ::testing::ValuesIn(churn_sweep()));
+
 }  // namespace
 }  // namespace llmq::cache

@@ -208,6 +208,33 @@ TEST(EngineSession, LateSubmissionsInterleaveWithExecution) {
   EXPECT_GT(session.metrics().cache.hit_tokens, 0u);
 }
 
+TEST(EngineSession, DeferredAdmissionCountsExactlyOneLookupPerRequest) {
+  // Regression: a request that waits K steps for KV memory used to count
+  // K+1 lookups (each retry re-ran cache.lookup and kept its stats),
+  // inflating lookups / hit_tokens / lookup_tokens under memory pressure.
+  // With a pool sized so requests must queue, stats must still read one
+  // lookup per admitted request, and the cache-side hit accounting must
+  // equal the engine-side cached-token accounting.
+  const ServingEngine engine = make_engine(/*pool_blocks=*/12,
+                                           /*max_batch=*/8);
+  auto cache = engine.make_session_cache();
+  EngineSession session(engine, cache);
+
+  const auto reqs = random_requests(10, 23);
+  for (const auto& r : reqs) session.submit(r);
+  // Step one at a time so deferred requests retry try_admit repeatedly.
+  const auto results = session.drain();
+  ASSERT_EQ(results.size(), reqs.size());
+
+  const EngineMetrics m = session.metrics();
+  EXPECT_EQ(m.cache.lookups, reqs.size());
+  EXPECT_EQ(m.cache.hit_tokens, m.cached_prompt_tokens);
+  std::uint64_t prompt_total = 0;
+  for (const auto& r : reqs) prompt_total += r.prompt.size();
+  EXPECT_EQ(m.cache.lookup_tokens, prompt_total);
+  EXPECT_EQ(cache.check_invariants(), "");
+}
+
 TEST(EngineSession, ThrowsWhenModelDoesNotFit) {
   ModelSpec huge = tiny_model();
   huge.params = 1e13;  // 20 TB of weights on a 24 GB card

@@ -95,6 +95,31 @@ TEST(Executor, MultiLlmRunsTwoStages) {
               1e-9);
 }
 
+TEST(Executor, SessionCacheStatsAttributionAcrossStages) {
+  // Regression for the shared session-cache path (multi-LLM queries):
+  // each stage's cache stats must be that stage's *delta* — exactly one
+  // lookup per row, hit tokens equal to the engine's cached-token count,
+  // lookup tokens equal to the engine's prompt-token count — even with
+  // the KV pool oversubscribed, where stage-2 admissions stall against
+  // stage-1's resident blocks and retry. (Before the cancel_lookup fix,
+  // every retry re-counted the lookup, so stalled stages reported
+  // inflated lookup and hit-token stats.)
+  const auto d = data::generate_movies(small(200));
+  const auto& spec = data::query_by_id("movies-multi");
+  ExecConfig cfg = ExecConfig::standard(Method::CacheGgr);
+  cfg.scale_kv_pool(200.0 / static_cast<double>(data::paper_rows("movies")));
+  const auto r = run_query(d, spec, cfg);
+  ASSERT_EQ(r.stages.size(), 2u);
+  for (std::size_t s = 0; s < r.stages.size(); ++s) {
+    const auto& st = r.stages[s];
+    EXPECT_EQ(st.engine.cache.lookups, st.rows) << "stage " << s;
+    EXPECT_EQ(st.engine.cache.hit_tokens, st.engine.cached_prompt_tokens)
+        << "stage " << s;
+    EXPECT_EQ(st.engine.cache.lookup_tokens, st.engine.prompt_tokens)
+        << "stage " << s;
+  }
+}
+
 TEST(Executor, RagQueryRuns) {
   const auto d = data::generate_fever(small(150));
   const auto& spec = data::query_by_id("fever-rag");

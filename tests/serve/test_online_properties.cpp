@@ -1,0 +1,156 @@
+// Property tests: stream conservation over randomized online streams.
+//
+// For a seed-swept family of workloads x scheduler policies x replica
+// counts x routers, every run must satisfy the conservation invariants
+// the serving stack is built on:
+//
+//   * every admitted arrival completes exactly once (no loss, no
+//     duplication, no invention);
+//   * per-request timelines are causally ordered, and each replica's
+//     virtual clock is monotone (its completions retire in
+//     non-decreasing finish/admit order);
+//   * per-tenant and per-replica attribution sums to the aggregate —
+//     requests, prompt tokens, cached tokens, output tokens;
+//   * the emitted schedule is a valid ordering over the arrival table.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "serve/online.hpp"
+#include "util/rng.hpp"
+
+namespace llmq::serve {
+namespace {
+
+using table::Schema;
+using table::Table;
+
+Table random_table(util::Rng& rng, std::size_t n, std::size_t m,
+                   int alphabet) {
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < m; ++c) names.push_back("f" + std::to_string(c));
+  Table t(Schema::of_names(names));
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<std::string> row;
+    for (std::size_t c = 0; c < m; ++c)
+      row.push_back("value_" +
+                    std::string(1, static_cast<char>(
+                                       'a' + rng.next_below(alphabet))));
+    t.append_row(std::move(row));
+  }
+  return t;
+}
+
+class StreamConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamConservation, HoldsForRandomizedStreams) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed * 7919 + 13);
+
+  // Randomized-but-reproducible scenario drawn from the seed.
+  const std::size_t n_rows = 20 + rng.next_below(20);
+  const Table t = random_table(rng, n_rows, 2 + rng.next_below(3),
+                               2 + static_cast<int>(rng.next_below(3)));
+  const table::FdSet fds;
+
+  OnlineConfig cfg;
+  cfg.prompt.system_prompt = "You are a data analyst.";
+  cfg.prompt.user_prompt = "Classify the row.";
+  cfg.avg_output_tokens = 2.0;
+  cfg.scheduler.ggr.measure = core::LengthMeasure::Unit;
+  cfg.engine.kv_pool_blocks_override = 128 + rng.next_below(256);
+  const Policy policies[] = {Policy::Fifo, Policy::WindowedGgr,
+                             Policy::TenantGgr};
+  cfg.scheduler.policy = policies[rng.next_below(3)];
+  cfg.scheduler.window_rows = 4 + rng.next_below(13);
+  cfg.scheduler.max_wait_seconds = 0.25 + 0.25 * rng.next_below(4);
+  cfg.n_replicas = 1 + rng.next_below(4);
+  const RouterPolicy routers[] = {
+      RouterPolicy::RoundRobin, RouterPolicy::LeastLoaded,
+      RouterPolicy::TenantHash, RouterPolicy::PrefixAffinity};
+  cfg.router = routers[rng.next_below(4)];
+
+  WorkloadOptions w;
+  w.process =
+      rng.next_bool(0.5) ? ArrivalProcess::Poisson : ArrivalProcess::Bursty;
+  w.arrival_rate = 5.0 + static_cast<double>(rng.next_below(60));
+  w.n_tenants = 1 + rng.next_below(4);
+  w.n_requests = n_rows + rng.next_below(2 * n_rows);
+  w.seed = seed;
+  const auto arrivals = generate_arrivals(n_rows, w);
+
+  const auto r = run_online(t, fds, arrivals, cfg);
+
+  // ---- 1. Exactly-once completion. ----
+  ASSERT_EQ(r.requests.size(), arrivals.size());
+  std::set<std::uint64_t> expected, got;
+  std::map<std::uint64_t, double> arrival_time;
+  for (const auto& a : arrivals) {
+    expected.insert(a.id);
+    arrival_time[a.id] = a.time;
+  }
+  for (const auto& sr : r.requests) EXPECT_TRUE(got.insert(sr.id).second);
+  EXPECT_EQ(got, expected);
+
+  // ---- 2. Causal timelines; monotone per-replica virtual clocks. ----
+  std::vector<double> last_finish(cfg.n_replicas, 0.0);
+  for (const auto& sr : r.requests) {
+    EXPECT_DOUBLE_EQ(arrival_time.at(sr.id), sr.arrival_time);
+    EXPECT_LE(sr.arrival_time, sr.dispatch_time);
+    EXPECT_LE(sr.dispatch_time, sr.admit_time);
+    EXPECT_LE(sr.admit_time, sr.first_token_time);
+    EXPECT_LE(sr.first_token_time, sr.finish_time);
+    ASSERT_LT(sr.replica, cfg.n_replicas);
+    // A replica's clock only moves forward: its completions retire in
+    // non-decreasing finish order. (Admit times are NOT monotone in
+    // completion order — a long-output request admitted early can
+    // outlive a later short one.)
+    EXPECT_GE(sr.finish_time, last_finish[sr.replica]);
+    last_finish[sr.replica] = sr.finish_time;
+  }
+
+  // ---- 3. Attribution sums to the aggregate. ----
+  std::size_t tenant_sum = 0;
+  for (std::size_t c : r.per_tenant) tenant_sum += c;
+  EXPECT_EQ(tenant_sum, arrivals.size());
+
+  ASSERT_EQ(r.replicas.size(), cfg.n_replicas);
+  std::size_t replica_requests = 0;
+  std::uint64_t routed_tokens = 0, prompt_tokens = 0, cached_tokens = 0,
+                output_tokens = 0;
+  for (const auto& rep : r.replicas) {
+    replica_requests += rep.requests;
+    routed_tokens += rep.routed_prompt_tokens;
+    prompt_tokens += rep.engine.prompt_tokens;
+    cached_tokens += rep.engine.cached_prompt_tokens;
+    output_tokens += rep.engine.output_tokens;
+  }
+  EXPECT_EQ(replica_requests, arrivals.size());
+  EXPECT_EQ(routed_tokens, r.engine.prompt_tokens);
+  EXPECT_EQ(prompt_tokens, r.engine.prompt_tokens);
+  EXPECT_EQ(cached_tokens, r.engine.cached_prompt_tokens);
+  EXPECT_EQ(output_tokens, r.engine.output_tokens);
+
+  std::uint64_t req_prompt = 0, req_cached = 0, req_output = 0;
+  for (const auto& sr : r.requests) {
+    req_prompt += sr.prompt_tokens;
+    req_cached += sr.cached_tokens;
+    req_output += sr.output_tokens;
+  }
+  EXPECT_EQ(req_prompt, r.engine.prompt_tokens);
+  EXPECT_EQ(req_cached, r.engine.cached_prompt_tokens);
+  EXPECT_EQ(req_output, r.engine.output_tokens);
+
+  // ---- 4. The emitted schedule covers the stream. ----
+  EXPECT_TRUE(r.emitted.validate(arrivals.size(), t.num_cols()));
+  EXPECT_GE(r.phc, 0.0);
+  EXPECT_GE(r.load_imbalance, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, StreamConservation,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace llmq::serve

@@ -55,5 +55,64 @@ TEST(Json, TakeMovesBuffer) {
   EXPECT_EQ(w.take(), "[]");
 }
 
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json_parse("null")->is_null());
+  EXPECT_TRUE(json_parse("true")->as_bool());
+  EXPECT_FALSE(json_parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(json_parse("-7")->as_number(), -7.0);
+  EXPECT_DOUBLE_EQ(json_parse("2.5e2")->as_number(), 250.0);
+  EXPECT_EQ(json_parse("\"hi\\n\\u0041\"")->as_string(), "hi\nA");
+}
+
+TEST(JsonParse, StructuresAndLookup) {
+  const auto v = json_parse(
+      R"({"bench":"x","scale":0.1,"sections":{"a":[{"k":1},{"k":2}]}})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("bench")->as_string(), "x");
+  EXPECT_DOUBLE_EQ(v->find("scale")->as_number(), 0.1);
+  const JsonValue* a = v->find("sections")->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].find("k")->as_number(), 2.0);
+  EXPECT_EQ(v->find("absent"), nullptr);
+  // Member order preserved (the writer's insertion order is load-bearing
+  // for prompts; the reader keeps it for symmetry).
+  EXPECT_EQ(v->as_object()[0].first, "bench");
+  EXPECT_EQ(v->as_object()[2].first, "sections");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("line\nbreak \"quoted\" \\ tab\t\x01");
+  w.key("n").value(-0.125);
+  w.key("arr").begin_array().value(true).null().end_array();
+  w.end_object();
+  const auto v = json_parse(w.str());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("s")->as_string(), "line\nbreak \"quoted\" \\ tab\t\x01");
+  EXPECT_DOUBLE_EQ(v->find("n")->as_number(), -0.125);
+  ASSERT_EQ(v->find("arr")->as_array().size(), 2u);
+  EXPECT_TRUE(v->find("arr")->as_array()[1].is_null());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_FALSE(json_parse("").has_value());
+  EXPECT_FALSE(json_parse("{").has_value());
+  EXPECT_FALSE(json_parse("[1,]").has_value());
+  EXPECT_FALSE(json_parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(json_parse("\"unterminated").has_value());
+  EXPECT_FALSE(json_parse("12x").has_value());
+  EXPECT_FALSE(json_parse("1 2").has_value());
+  EXPECT_FALSE(json_parse("tru").has_value());
+  EXPECT_FALSE(json_parse("\"bad \\q escape\"").has_value());
+}
+
+TEST(JsonParse, TypeMismatchThrows) {
+  const auto v = json_parse("[1]");
+  EXPECT_THROW(v->as_object(), std::logic_error);
+  EXPECT_THROW(v->as_array()[0].as_string(), std::logic_error);
+}
+
 }  // namespace
 }  // namespace llmq::util
