@@ -9,21 +9,35 @@ PrefixCache::PrefixCache(CacheConfig config)
       tree_(config.block_size),
       pool_(config.capacity_blocks) {}
 
-CacheLease PrefixCache::lookup(std::span<const TokenId> prompt) {
-  ++clock_;
+CacheLease PrefixCache::pinning_match(std::span<const TokenId> prompt) {
   CacheLease lease;
-  // A disabled cache must not register lookup traffic: the stats feed
-  // hit-rate denominators, and the "No Cache" ablation arm reads them.
-  if (!config_.enabled) return lease;
-  ++stats_.lookups;
-  stats_.lookup_tokens += prompt.size();
   RadixTree::Match m = tree_.match(prompt);
   tree_.touch(m.path, clock_);
   tree_.pin(m.path);
+  outstanding_pins_ += m.path.size();
   lease.path = std::move(m.path);
   lease.cached_tokens = m.matched_tokens;
-  stats_.hit_tokens += m.matched_tokens;
   return lease;
+}
+
+CacheLease PrefixCache::lookup(std::span<const TokenId> prompt) {
+  ++clock_;
+  // A disabled cache must not register lookup traffic: the stats feed
+  // hit-rate denominators, and the "No Cache" ablation arm reads them.
+  if (!config_.enabled) return CacheLease{};
+  ++stats_.lookups;
+  stats_.lookup_tokens += prompt.size();
+  CacheLease lease = pinning_match(prompt);
+  stats_.hit_tokens += lease.cached_tokens;
+  return lease;
+}
+
+CacheLease PrefixCache::resume_lookup(std::span<const TokenId> prompt) {
+  ++clock_;
+  if (!config_.enabled) return CacheLease{};
+  // Pin + touch only: the resuming request's lookup stats were counted at
+  // first admission and must not count again.
+  return pinning_match(prompt);
 }
 
 std::size_t PrefixCache::peek(std::span<const TokenId> prompt) const {
@@ -50,10 +64,12 @@ std::size_t PrefixCache::admit(std::span<const TokenId> prompt,
   }
 
   tree_.unpin(lease.path);
+  outstanding_pins_ -= lease.path.size();
   RadixTree::InsertResult ins = tree_.insert(prompt, clock_, need);
   pool_.allocate(ins.new_blocks);
   stats_.inserted_blocks += ins.new_blocks;
   tree_.pin(ins.path);
+  outstanding_pins_ += ins.path.size();
   lease.cached_tokens = ins.path.size() * config_.block_size;
   lease.path = std::move(ins.path);
   return ins.new_blocks;
@@ -69,6 +85,7 @@ std::size_t PrefixCache::evict(std::size_t n) {
 void PrefixCache::release(CacheLease& lease) {
   if (!config_.enabled) return;
   tree_.unpin(lease.path);
+  outstanding_pins_ -= lease.path.size();
   lease.path.clear();
   lease.cached_tokens = 0;
 }
@@ -90,6 +107,8 @@ std::string PrefixCache::check_invariants() const {
     return "inserted - evicted does not equal resident blocks";
   if (!pool_.unlimited() && pool_.used() > pool_.capacity())
     return "pool over capacity";
+  if (tree_.total_ref_count() != outstanding_pins_)
+    return "tree pin count out of sync with outstanding leases";
   return std::string();
 }
 

@@ -52,6 +52,15 @@ class PrefixCache {
   /// path and counts the hit. Advances the logical clock.
   CacheLease lookup(std::span<const TokenId> prompt);
 
+  /// Re-admission probe for a PREEMPTED request resuming execution: pins
+  /// and touches the matched path exactly like lookup(), but counts NO
+  /// stats — the request already registered its one lookup (and its hit
+  /// credit) at first admission, and hit-rate ratios must stay
+  /// exactly-once per request across arbitrary preempt/resume cycles.
+  /// The matched tokens are what the cache still covers; the resume's
+  /// recompute cost is everything beyond them.
+  CacheLease resume_lookup(std::span<const TokenId> prompt);
+
   /// Read-only probe: tokens of `prompt`'s longest cached block-aligned
   /// prefix, with NO side effects — no LRU touch, no pin, no stats, no
   /// clock advance. This is the router's cache-affinity probe contract: a
@@ -90,16 +99,27 @@ class PrefixCache {
   /// Property-test self-check: the radix tree's structural invariants
   /// (RadixTree::check_invariants) plus the cache-level accounting that
   /// ties tree, pool, and stats together — resident blocks equal pool
-  /// usage and equal inserted minus evicted. Empty string when everything
-  /// holds, else the first violation.
+  /// usage and equal inserted minus evicted, and the tree's total pin
+  /// count equals the pin edges this cache handed out through leases
+  /// (lookup/resume_lookup/admit pin, release/cancel_lookup unpin). The
+  /// pin ledger is what makes "no pinned block is ever evicted" a walked
+  /// invariant: eviction refuses pinned nodes (RadixTree::remove_node
+  /// throws), so a lease whose pins went missing — or a pin left behind
+  /// by a preempted request — shows up here as a ledger mismatch. Empty
+  /// string when everything holds, else the first violation.
   std::string check_invariants() const;
 
  private:
+  CacheLease pinning_match(std::span<const TokenId> prompt);
+
   CacheConfig config_;
   RadixTree tree_;
   BlockPool pool_;
   CacheStats stats_;
   std::uint64_t clock_ = 0;
+  /// Outstanding (lease, node) pin edges — incremented when a lease pins
+  /// a path, decremented on release; mirrors the tree's total ref count.
+  std::uint64_t outstanding_pins_ = 0;
 };
 
 }  // namespace llmq::cache

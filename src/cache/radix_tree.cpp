@@ -44,6 +44,14 @@ NodeId RadixTree::add_child(NodeId node, std::span<const TokenId> block,
 
 void RadixTree::remove_node(NodeId id) {
   Node& n = nodes_[id];
+  // Eviction must never take a pinned block (an in-flight request's KV
+  // would dangle) or an inner node (the tree must stay prefix-closed).
+  // evict_lru filters for both; enforce here so any future caller that
+  // forgets fails loudly instead of corrupting leases.
+  if (n.ref_count > 0)
+    throw std::logic_error("RadixTree: removing a pinned node");
+  if (!n.children.empty())
+    throw std::logic_error("RadixTree: removing a non-leaf node");
   auto& siblings = nodes_[n.parent].children;
   siblings.erase(std::find(siblings.begin(), siblings.end(), id));
   n.alive = false;
@@ -175,6 +183,13 @@ std::string RadixTree::check_invariants() const {
     if (id == 0 || id >= nodes_.size() || nodes_[id].alive)
       return fail(id, "alive, root, or out-of-range node on the free list");
   return std::string();
+}
+
+std::uint64_t RadixTree::total_ref_count() const {
+  std::uint64_t n = 0;
+  for (NodeId id = 1; id < nodes_.size(); ++id)
+    if (nodes_[id].alive) n += nodes_[id].ref_count;
+  return n;
 }
 
 std::size_t RadixTree::pinned_blocks() const {

@@ -65,6 +65,11 @@ class RadixTree {
   /// Total pinned nodes (diagnostics / tests).
   std::size_t pinned_blocks() const;
 
+  /// Sum of ref_count over all alive nodes — the number of (lease, node)
+  /// pin edges outstanding. PrefixCache cross-checks this against its own
+  /// lease accounting in check_invariants().
+  std::uint64_t total_ref_count() const;
+
   /// Structural self-check for the property tests: parent/child
   /// consistency, alive/free-list partitioning, per-node block sizing,
   /// sibling-block uniqueness, node-count accounting, and the path-prefix

@@ -32,6 +32,19 @@ struct EngineConfig {
   bool cache_enabled = true;        // false = the "No Cache" arm
   /// Cap on KV pool blocks; 0 = derive from GPU memory minus weights.
   std::size_t kv_pool_blocks_override = 0;
+
+  /// Priority preemption (vLLM-style recompute mode): when the
+  /// highest-priority admissible request is blocked on KV blocks or batch
+  /// slots, the session may evict the lowest-effective-class running
+  /// request (strictly below the candidate's class), releasing its KV and
+  /// re-queueing it; resume replays prefill through the prefix cache.
+  /// Admission is ALWAYS strict-priority (ties FIFO) — with uniform
+  /// priorities that is plain FIFO, so this flag only gates eviction.
+  bool preemption = false;
+  /// Anti-starvation aging horizon (seconds of waiting per one-class
+  /// promotion; see llm::aged_class). 0 disables aging. Applies to both
+  /// admission order and preemption-victim selection.
+  double priority_aging_seconds = 0.0;
 };
 
 struct EngineMetrics {
@@ -45,6 +58,13 @@ struct EngineMetrics {
   std::uint64_t decode_steps = 0;
   double sum_batch_size = 0.0;  // over decode steps
   std::size_t peak_batch_size = 0;
+  /// Preemption accounting. prompt/cached/computed counters above stay
+  /// exactly-once per request (first admission); replay work after a
+  /// preemption is booked here instead, so
+  ///   total prefill work = computed_prompt_tokens + recompute_prefill_tokens.
+  std::uint64_t preemptions = 0;
+  std::uint64_t recompute_prefill_tokens = 0;
+  double recompute_prefill_seconds = 0.0;  // included in prefill_seconds
   cache::CacheStats cache;
 
   double prompt_cache_hit_rate() const {

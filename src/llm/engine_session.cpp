@@ -19,7 +19,111 @@ EngineSession::EngineSession(const ServingEngine& engine,
 
 void EngineSession::submit(Request req) {
   outstanding_prompt_tokens_ += req.prompt.size();
-  pending_.push_back(std::move(req));
+  Pending p;
+  p.req = std::move(req);
+  p.seq = next_seq_++;
+  p.submit_time = now_;
+  pending_.push_back(std::move(p));
+}
+
+PriorityClass EngineSession::effective_class(PriorityClass base,
+                                             double submit_time) const {
+  return aged_class(base, now_ - submit_time,
+                    engine_.config().priority_aging_seconds);
+}
+
+std::size_t EngineSession::pick_next() const {
+  // Strict priority, FIFO within a class: minimum (effective class, seq).
+  // The tie-break must be seq, not deque position — preempted victims
+  // re-queue via push_back, so the deque is NOT in seq order once
+  // preemption has fired, and an index tie-break would demote the oldest
+  // victim behind every younger same-class request each cycle. With
+  // uniform priorities and no preemption this picks index 0 — plain
+  // FIFO, exactly the pre-priority behavior.
+  std::size_t best = 0;
+  PriorityClass best_cls =
+      effective_class(pending_[0].req.priority, pending_[0].submit_time);
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    const PriorityClass cls =
+        effective_class(pending_[i].req.priority, pending_[i].submit_time);
+    if (cls < best_cls ||
+        (cls == best_cls && pending_[i].seq < pending_[best].seq)) {
+      best = i;
+      best_cls = cls;
+    }
+  }
+  return best;
+}
+
+EngineSession::Pending EngineSession::preempt_at(std::size_t idx) {
+  Running& r = running_[idx];
+  // Release the victim's KV: unpin its cached prefix path (the shared
+  // blocks stay resident until LRU eviction needs them — that residue is
+  // what makes resume cheap) and free its private blocks (prompt tail +
+  // generated tokens — the "uncached suffix" recompute must rebuild).
+  cache_.release(r.lease);
+  private_in_use_ -= r.private_blocks;
+  ++metrics_.preemptions;
+
+  Pending p;
+  p.req = std::move(r.req);
+  p.seq = r.seq;
+  p.submit_time = r.submit_time;
+  p.resumed = true;
+  p.generated = r.generated;
+  p.preemptions = r.preemptions + 1;
+  p.recomputed_tokens = r.recomputed_tokens;
+  p.first_cached = r.cached;
+  p.first_admit_time = r.admit_time;
+  p.first_token_time = r.first_token_time;
+  running_.erase(running_.begin() +
+                 static_cast<std::ptrdiff_t>(idx));
+  return p;
+}
+
+bool EngineSession::preempt_below(PriorityClass cls) {
+  // Victim: worst effective class strictly below `cls` (strictly — equal
+  // classes never preempt each other, which is what makes the
+  // preempt/resume cycle terminate); ties broken toward the most recent
+  // admission, which has decoded the least and so wastes the least work.
+  std::size_t victim = running_.size();
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    const PriorityClass c =
+        effective_class(running_[i].req.priority, running_[i].submit_time);
+    if (c <= cls) continue;
+    if (victim == running_.size()) {
+      victim = i;
+      continue;
+    }
+    const PriorityClass vc = effective_class(running_[victim].req.priority,
+                                             running_[victim].submit_time);
+    if (c > vc || (c == vc && running_[i].admit_seq >
+                                  running_[victim].admit_seq))
+      victim = i;
+  }
+  if (victim == running_.size()) return false;
+  ++last_step_preempted_;
+  pending_.push_back(preempt_at(victim));
+  return true;
+}
+
+bool EngineSession::preempt(std::uint64_t id) {
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    if (running_[i].req.id != id) continue;
+    parked_.push_back(preempt_at(i));
+    return true;
+  }
+  return false;
+}
+
+bool EngineSession::resume(std::uint64_t id) {
+  for (std::size_t i = 0; i < parked_.size(); ++i) {
+    if (parked_[i].req.id != id) continue;
+    pending_.push_back(std::move(parked_[i]));
+    parked_.erase(parked_.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+  return false;
 }
 
 std::size_t EngineSession::try_admit() {
@@ -27,18 +131,34 @@ std::size_t EngineSession::try_admit() {
   const std::size_t pool_blocks = engine_.kv_pool_blocks();
   const std::size_t bs = config.block_size;
   std::size_t admitted = 0;
+  last_step_preempted_ = 0;
 
-  while (!pending_.empty() && running_.size() < config.max_batch_size) {
-    Request& req = pending_.front();
+  while (!pending_.empty()) {
+    const std::size_t pick = pick_next();
+    const PriorityClass cls = effective_class(pending_[pick].req.priority,
+                                              pending_[pick].submit_time);
+    if (running_.size() >= config.max_batch_size) {
+      // Batch slots full. The head-of-line candidate may take a slot from
+      // a strictly lower class; otherwise admission is over this step.
+      if (!(config.preemption && preempt_below(cls))) break;
+      continue;  // a slot freed (victim re-queued); re-pick
+    }
+    Pending& p = pending_[pick];
+    Request& req = p.req;
     const std::size_t prompt_len = req.prompt.size();
     const std::size_t output_len = std::max<std::size_t>(1, req.output_tokens);
 
-    cache::CacheLease lease = cache_.lookup(req.prompt);
+    // A fresh request's lookup counts stats; a preemption resume pins the
+    // surviving prefix without recounting (exactly-once across cycles).
+    cache::CacheLease lease = p.resumed ? cache_.resume_lookup(req.prompt)
+                                        : cache_.lookup(req.prompt);
     const std::size_t cached = lease.cached_tokens;
 
     // Memory plan: full prompt blocks beyond the cached path move into
     // the shared cache at admit(); the partial prompt tail plus all
-    // output tokens are private to this request.
+    // output tokens are private to this request. (For a resume the same
+    // reservation covers already-generated tokens: they are part of the
+    // output budget.)
     const std::size_t new_shared =
         config.cache_enabled ? cache_.blocks_needed(prompt_len, cached) : 0;
     const std::size_t private_tokens =
@@ -53,13 +173,19 @@ std::size_t EngineSession::try_admit() {
       used = cache_.resident_blocks() + private_in_use_;
     }
     if (used + needed > pool_blocks) {
-      // The request is not admitted this step; the retry will look up
-      // again, so this lookup must not count (a request that waits K
+      // The request is not admitted this step; the retry will probe
+      // again, so this probe must not count (a request that waits K
       // steps would otherwise register K+1 lookups and K+1 hit-token
       // credits, inflating every cache-stats ratio under memory
-      // pressure — exactly the regime a session cache shared across
-      // multi-LLM stages is in when stage 2 starts against a full pool).
-      cache_.cancel_lookup(lease, prompt_len);
+      // pressure). A resumed request never counted its probe, so only
+      // its pins are returned — cancel_lookup would double-subtract.
+      if (p.resumed)
+        cache_.release(lease);
+      else
+        cache_.cancel_lookup(lease, prompt_len);
+      // Under priority preemption a blocked candidate may free memory by
+      // evicting a strictly lower-class running request, then retry.
+      if (config.preemption && preempt_below(cls)) continue;
       if (running_.empty())
         throw std::runtime_error(
             "ServingEngine: request cannot fit in KV memory even alone");
@@ -67,14 +193,23 @@ std::size_t EngineSession::try_admit() {
     }
 
     // Prefill the uncached suffix (quadratic attention against the cached
-    // context included).
+    // context included). A resume also replays its generated tokens —
+    // the recompute cost is exactly what the cache no longer covers.
     const std::size_t uncached = prompt_len - cached;
-    const double pf = engine_.cost_model().prefill_seconds(uncached, cached);
+    const std::size_t prefill_tokens = uncached + p.generated;
+    const double pf =
+        engine_.cost_model().prefill_seconds(prefill_tokens, cached);
     now_ += pf;
     metrics_.prefill_seconds += pf;
-    metrics_.prompt_tokens += prompt_len;
-    metrics_.cached_prompt_tokens += cached;
-    metrics_.computed_prompt_tokens += uncached;
+    if (p.resumed) {
+      metrics_.recompute_prefill_tokens += prefill_tokens;
+      metrics_.recompute_prefill_seconds += pf;
+      p.recomputed_tokens += prefill_tokens;
+    } else {
+      metrics_.prompt_tokens += prompt_len;
+      metrics_.cached_prompt_tokens += cached;
+      metrics_.computed_prompt_tokens += uncached;
+    }
 
     if (config.cache_enabled) cache_.admit(req.prompt, lease);
     private_in_use_ += private_blocks;
@@ -82,12 +217,19 @@ std::size_t EngineSession::try_admit() {
     Running r;
     r.req = std::move(req);
     r.lease = std::move(lease);
-    r.cached = cached;
-    r.context_len = prompt_len;
+    r.cached = p.resumed ? p.first_cached : cached;
+    r.generated = p.generated;
+    r.context_len = prompt_len + p.generated;
     r.private_blocks = private_blocks;
-    r.admit_time = now_;
+    r.admit_time = p.resumed ? p.first_admit_time : now_;
+    r.first_token_time = p.first_token_time;
+    r.seq = p.seq;
+    r.submit_time = p.submit_time;
+    r.admit_seq = next_admit_seq_++;
+    r.preemptions = p.preemptions;
+    r.recomputed_tokens = p.recomputed_tokens;
     running_.push_back(std::move(r));
-    pending_.pop_front();
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
     ++admitted;
   }
   return admitted;
@@ -96,6 +238,7 @@ std::size_t EngineSession::try_admit() {
 EngineSession::StepEvents EngineSession::step() {
   StepEvents ev;
   ev.admitted = try_admit();
+  ev.preempted = last_step_preempted_;
   if (running_.empty()) return ev;
 
   // One decode step across the whole batch.
@@ -115,7 +258,7 @@ EngineSession::StepEvents EngineSession::step() {
   for (auto it = running_.begin(); it != running_.end();) {
     ++it->generated;
     ++it->context_len;
-    if (it->generated == 1) it->first_token_time = now_;
+    if (it->first_token_time == 0.0) it->first_token_time = now_;
     const std::size_t want = std::max<std::size_t>(1, it->req.output_tokens);
     if (it->generated >= want) {
       RequestResult res;
@@ -128,6 +271,9 @@ EngineSession::StepEvents EngineSession::step() {
       res.admit_time = it->admit_time;
       res.first_token_time = it->first_token_time;
       res.finish_time = now_;
+      res.priority = it->req.priority;
+      res.preemptions = it->preemptions;
+      res.recomputed_tokens = it->recomputed_tokens;
       ev.completed.push_back(res);
       cache_.release(it->lease);
       private_in_use_ -= it->private_blocks;

@@ -13,7 +13,22 @@
 //                     retire completed requests;
 //   * drain()       — step until everything submitted has finished;
 //   * advance_to()  — move the clock forward across idle gaps between
-//                     arrivals (only legal when nothing is in flight).
+//                     arrivals (only legal when nothing is in flight);
+//   * preempt()/resume() — pause a running request (release its KV:
+//                     unpin the cached prefix, drop the private
+//                     uncached-suffix + generated blocks) and later
+//                     re-queue it for admission.
+//
+// Admission is strict-priority over PriorityClass (FIFO within a class,
+// optionally aged — see EngineConfig), which reduces to plain FIFO when
+// every request carries the default class. With EngineConfig::preemption
+// the admission loop preempts automatically: a blocked higher-class
+// candidate evicts the lowest-effective-class running request and the
+// victim re-queues itself (preempt + immediate resume). Resumed requests
+// replay prefill through the prefix cache — recompute cost is the prompt
+// suffix the cache no longer covers plus the tokens already generated —
+// and every per-request and cache-stat counter stays exactly-once across
+// arbitrary preempt/resume cycles (see EngineMetrics).
 //
 // ServingEngine::run() is implemented on top of this class, so the batch
 // and online paths share one execution model; a whole-batch run is exactly
@@ -37,14 +52,32 @@ class EngineSession {
   /// materialized from a stream, not a caller-owned batch vector.
   void submit(Request req);
 
-  /// Admit queued requests (in submit order) while KV memory and batch
-  /// slots allow. Each admission advances the clock by its prefill time.
-  /// Returns the number admitted. Throws if a request cannot fit in KV
-  /// memory even with an otherwise empty engine.
+  /// Admit queued requests (strict effective-priority order, FIFO within
+  /// a class) while KV memory and batch slots allow. Each admission
+  /// advances the clock by its prefill time. With preemption enabled, a
+  /// blocked candidate may evict strictly-lower-class running requests
+  /// (which re-queue for resume). Returns the number admitted. Throws if
+  /// a request cannot fit in KV memory even with an otherwise empty
+  /// engine.
   std::size_t try_admit();
+
+  /// Preempt the running request `id`: unpins its cached prefix path,
+  /// drops its private (prompt-tail + generated) KV blocks, and parks it.
+  /// Generated tokens are kept — resume replays them as prefill, it does
+  /// not re-decode them. Returns false when `id` is not running. Parked
+  /// requests do NOT count as work (has_work/drain ignore them): whoever
+  /// pauses owns calling resume().
+  bool preempt(std::uint64_t id);
+
+  /// Re-queue a parked request for admission. Its next admission runs
+  /// prefill through the cache (recompute = uncached prompt suffix +
+  /// generated tokens) and counts NO additional lookup stats. Returns
+  /// false when `id` is not parked.
+  bool resume(std::uint64_t id);
 
   struct StepEvents {
     std::size_t admitted = 0;
+    std::size_t preempted = 0;  // auto-preemptions during this admission
     std::vector<RequestResult> completed;  // retired by this step
   };
 
@@ -61,6 +94,7 @@ class EngineSession {
   bool has_work() const { return !pending_.empty() || !running_.empty(); }
   std::size_t num_pending() const { return pending_.size(); }
   std::size_t num_running() const { return running_.size(); }
+  std::size_t num_parked() const { return parked_.size(); }
 
   /// Prompt tokens submitted but not yet finished (pending + running) —
   /// the load signal replica routers balance on.
@@ -85,24 +119,62 @@ class EngineSession {
   EngineMetrics metrics() const;
 
  private:
+  /// A queued request plus the state that must survive preempt/resume
+  /// cycles. All carry-over fields are zero/initial on first submission.
+  struct Pending {
+    Request req;
+    std::uint64_t seq = 0;       // submission order: FIFO tie-break forever
+    double submit_time = 0.0;    // session clock at submit (aging base)
+    bool resumed = false;        // re-queued by a preemption
+    std::size_t generated = 0;   // tokens decoded before preemption
+    std::size_t preemptions = 0;
+    std::uint64_t recomputed_tokens = 0;
+    std::size_t first_cached = 0;     // cached tokens at FIRST admission
+    double first_admit_time = 0.0;    // FIRST admission (queue-delay base)
+    double first_token_time = 0.0;    // 0 = no token emitted yet
+  };
+
   struct Running {
     Request req;
     cache::CacheLease lease;
-    std::size_t cached = 0;      // prompt tokens served from cache
+    std::size_t cached = 0;      // prompt tokens served from cache (first)
     std::size_t generated = 0;
     std::size_t context_len = 0; // prompt + generated
     std::size_t private_blocks = 0;
-    double admit_time = 0.0;
+    double admit_time = 0.0;     // first admission
     double first_token_time = 0.0;
+    // Preempt/resume carry-over (mirrors Pending).
+    std::uint64_t seq = 0;
+    double submit_time = 0.0;
+    std::uint64_t admit_seq = 0;  // admission order: preemption tie-break
+    std::size_t preemptions = 0;
+    std::uint64_t recomputed_tokens = 0;
   };
+
+  /// Effective class under aging (EngineConfig::priority_aging_seconds).
+  PriorityClass effective_class(PriorityClass base, double submit_time) const;
+  /// Index into pending_ of the next admission candidate: minimum
+  /// (effective class, seq).
+  std::size_t pick_next() const;
+  /// Preempt the running request at `it` and return its re-queueable
+  /// state (caller decides pending vs parked).
+  Pending preempt_at(std::size_t idx);
+  /// Auto-preempt the worst running victim strictly below `cls` (ties:
+  /// most recently admitted, to minimize lost decode work); the victim
+  /// re-queues into pending. False when no such victim exists.
+  bool preempt_below(PriorityClass cls);
 
   const ServingEngine& engine_;
   cache::PrefixCache& cache_;
   cache::CacheStats stats_at_start_;
-  std::deque<Request> pending_;
+  std::deque<Pending> pending_;
   std::vector<Running> running_;
+  std::vector<Pending> parked_;  // preempted via preempt(), awaiting resume()
   std::size_t private_in_use_ = 0;
   std::size_t outstanding_prompt_tokens_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_admit_seq_ = 0;
+  std::size_t last_step_preempted_ = 0;
   double now_ = 0.0;
   EngineMetrics metrics_;
 };

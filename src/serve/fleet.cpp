@@ -27,6 +27,9 @@ llm::EngineMetrics aggregate_replica_engines(
     agg.decode_steps += m.decode_steps;
     agg.sum_batch_size += m.sum_batch_size;
     agg.peak_batch_size = std::max(agg.peak_batch_size, m.peak_batch_size);
+    agg.preemptions += m.preemptions;
+    agg.recompute_prefill_tokens += m.recompute_prefill_tokens;
+    agg.recompute_prefill_seconds += m.recompute_prefill_seconds;
     agg.cache.lookups += m.cache.lookups;
     agg.cache.hit_tokens += m.cache.hit_tokens;
     agg.cache.lookup_tokens += m.cache.lookup_tokens;
@@ -111,6 +114,7 @@ ReplicaFleet::StepResult ReplicaFleet::step() {
   out.replica = earliest_busy();
   llm::EngineSession::StepEvents ev = replicas_[out.replica]->session.step();
   out.completed = std::move(ev.completed);
+  out.preempted = ev.preempted;
   return out;
 }
 

@@ -82,6 +82,10 @@ class ReplicaFleet {
 
   struct StepResult {
     std::size_t replica = 0;
+    /// Automatic priority preemptions this step performed (victims are
+    /// re-queued inside the replica session — they surface again through
+    /// `completed` when they eventually finish).
+    std::size_t preempted = 0;
     std::vector<llm::RequestResult> completed;
   };
   /// Step the busy replica with the earliest clock (one admission round +

@@ -45,4 +45,24 @@ LatencySummary summarize_latency(const std::vector<ServedRequest>& requests,
   return s;
 }
 
+std::vector<PriorityClassMetrics> summarize_by_class(
+    const std::vector<ServedRequest>& requests, double ttft_slo_seconds) {
+  std::vector<std::vector<ServedRequest>> by_class(llm::kNumPriorityClasses);
+  for (const ServedRequest& r : requests)
+    by_class[static_cast<std::size_t>(r.priority)].push_back(r);
+
+  std::vector<PriorityClassMetrics> out(llm::kNumPriorityClasses);
+  for (std::size_t c = 0; c < llm::kNumPriorityClasses; ++c) {
+    PriorityClassMetrics& m = out[c];
+    m.priority = static_cast<llm::PriorityClass>(c);
+    m.requests = by_class[c].size();
+    for (const ServedRequest& r : by_class[c]) {
+      m.preemptions += r.preemptions;
+      m.recomputed_tokens += r.recomputed_tokens;
+    }
+    m.latency = summarize_latency(by_class[c], ttft_slo_seconds);
+  }
+  return out;
+}
+
 }  // namespace llmq::serve

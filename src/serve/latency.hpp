@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "llm/request.hpp"
+
 namespace llmq::serve {
 
 /// One request's stitched timeline. Invariant once served:
@@ -41,6 +43,12 @@ struct ServedRequest {
   /// invocation; no replica executed it and cached_tokens is 0 — memo
   /// savings are accounted in DedupStats, not as prefix hits.
   bool deduped = false;
+  /// Scheduling class the request was served under.
+  llm::PriorityClass priority = llm::PriorityClass::Standard;
+  /// Times the engine preempted this request (0 = ran to completion
+  /// uninterrupted) and the prefill tokens replayed across its resumes.
+  std::size_t preemptions = 0;
+  std::uint64_t recomputed_tokens = 0;
 
   double ttft() const { return first_token_time - arrival_time; }
   double queue_delay() const { return admit_time - arrival_time; }
@@ -73,5 +81,23 @@ struct LatencySummary {
 /// throughput/goodput rather than dividing by zero.
 LatencySummary summarize_latency(const std::vector<ServedRequest>& requests,
                                  double ttft_slo_seconds = 0.0);
+
+/// One priority class's slice of a run — the headline breakdown for
+/// preemptive scheduling: per-class goodput is what an operator actually
+/// sells (interactive TTFT under SLO, batch completion volume), where
+/// aggregate latency would average the classes into meaninglessness.
+struct PriorityClassMetrics {
+  llm::PriorityClass priority = llm::PriorityClass::Standard;
+  std::size_t requests = 0;
+  std::size_t preemptions = 0;  // preempt events suffered by this class
+  std::uint64_t recomputed_tokens = 0;
+  LatencySummary latency;  // over this class's completions only
+};
+
+/// Per-class breakdown, always kNumPriorityClasses entries in class order
+/// (Interactive, Standard, Batch); classes with no traffic have zeroed
+/// summaries.
+std::vector<PriorityClassMetrics> summarize_by_class(
+    const std::vector<ServedRequest>& requests, double ttft_slo_seconds = 0.0);
 
 }  // namespace llmq::serve

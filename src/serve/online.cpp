@@ -78,14 +78,18 @@ class EncoderMap {
 
 llm::Request make_request(const Arrival& a, tokenizer::TokenSeq prompt,
                           const llm::TaskModel& task_model,
-                          double avg_output_tokens) {
+                          const OnlineConfig& config) {
   llm::Request r;
   r.id = a.id;
   r.row_tag = a.row;
   r.prompt = std::move(prompt);
+  r.priority = a.priority;
   const std::string key = std::to_string(a.tenant) + ":" +
                           std::to_string(a.row) + ":" + std::to_string(a.id);
-  r.output_tokens = task_model.output_tokens(key, avg_output_tokens);
+  const double avg =
+      config.avg_output_tokens *
+      config.class_output_multiplier[static_cast<std::size_t>(a.priority)];
+  r.output_tokens = task_model.output_tokens(key, avg);
   return r;
 }
 
@@ -103,6 +107,9 @@ ServedRequest stitch(const llm::RequestResult& res, const InFlight& f) {
   sr.prompt_tokens = res.prompt_tokens;
   sr.cached_tokens = res.cached_tokens;
   sr.output_tokens = res.output_tokens;
+  sr.priority = f.arrival.priority;
+  sr.preemptions = res.preemptions;
+  sr.recomputed_tokens = res.recomputed_tokens;
   return sr;
 }
 
@@ -117,6 +124,7 @@ void finalize_emitted(OnlineRunResult& out, const table::Table& t,
                       std::vector<std::size_t> emitted_rows,
                       std::vector<std::vector<std::size_t>> emitted_fields) {
   out.latency = summarize_latency(out.requests, config.ttft_slo_seconds);
+  out.per_class = summarize_by_class(out.requests, config.ttft_slo_seconds);
   out.emitted =
       core::Ordering(std::move(emitted_rows), std::move(emitted_fields));
   std::vector<std::size_t> arrival_rows;
@@ -138,6 +146,7 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
 
   OnlineRunResult out;
   out.replicas.resize(1);
+  out.per_class = summarize_by_class({}, config.ttft_slo_seconds);
   if (arrivals.empty()) return out;
 
   const auto index_of = index_arrivals(t, arrivals);
@@ -164,7 +173,7 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
       const std::vector<std::size_t>& fo = w.field_orders[i];
       llm::Request r = make_request(
           a, encoders.for_tenant(a.tenant).encode(t, a.row, fo), task_model,
-          config.avg_output_tokens);
+          config);
       out.replicas[0].routed_prompt_tokens += r.prompt.size();
       session.submit(std::move(r));
       inflight.emplace(a.id, InFlight{a, w.planned_at, 0});
@@ -228,6 +237,7 @@ OnlineRunResult run_online_replicated(const table::Table& t,
 
   OnlineRunResult out;
   out.replicas.resize(n_rep);
+  out.per_class = summarize_by_class({}, config.ttft_slo_seconds);
   if (arrivals.empty()) return out;
 
   const auto index_of = index_arrivals(t, arrivals);
@@ -256,7 +266,7 @@ OnlineRunResult run_online_replicated(const table::Table& t,
       const std::vector<std::size_t>& fo = w.field_orders[i];
       llm::Request req = make_request(
           a, encoders.for_tenant(a.tenant).encode(t, a.row, fo), task_model,
-          config.avg_output_tokens);
+          config);
       const std::size_t target = fleet.dispatch(std::move(req), a.tenant, now);
       inflight.emplace(a.id, InFlight{a, w.planned_at, target});
       emitted_rows.push_back(index_of.at(a.id));

@@ -31,6 +31,7 @@
 // property tests/serve/ checks, and the bridge between the paper's batch
 // metric and the serving metrics reported here.
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,12 @@ struct OnlineConfig {
   /// Base prompt; tenant t serves with system_prompt + " [tenant t]".
   query::PromptTemplate prompt;
   double avg_output_tokens = 8.0;
+  /// Per-class decode-length multiplier over avg_output_tokens, indexed
+  /// by PriorityClass: interactive rows are typically short completions,
+  /// batch analytics generations long ones. All-ones = one shared output
+  /// model (the classic stream).
+  std::array<double, llm::kNumPriorityClasses> class_output_multiplier = {
+      1.0, 1.0, 1.0};
   /// TTFT SLO for goodput accounting; 0 = none.
   double ttft_slo_seconds = 0.0;
 
@@ -91,6 +98,8 @@ struct OnlineConfig {
 /// reproduces the fleet aggregate exactly (a tests/serve/ property).
 struct QueryLaneMetrics {
   std::string label;
+  /// Scheduling class this lane's invocations are served under.
+  llm::PriorityClass priority = llm::PriorityClass::Standard;
   std::size_t requests = 0;         // completions delivered to this query
   std::size_t engine_requests = 0;  // executed on a replica (not memo-served)
   std::uint64_t prompt_tokens = 0;         // engine-visible
@@ -142,6 +151,11 @@ struct OnlineRunResult {
   /// Per-replica breakdown; size == n_replicas (size 1 for the single
   /// path).
   std::vector<ReplicaMetrics> replicas;
+  /// Per-priority-class breakdown (always kNumPriorityClasses entries in
+  /// class order) — the headline view for preemptive scheduling: did
+  /// interactive TTFT hold under overload, and what did batch pay for it
+  /// (preemptions, recompute, degraded latency)?
+  std::vector<PriorityClassMetrics> per_class;
   /// Per-query attribution — filled by the query-serving client
   /// (query_client.hpp); empty for arrival-stream runs, whose unit of
   /// attribution is the tenant (per_tenant above).

@@ -23,6 +23,7 @@ struct QueryClient::Meta {
   std::uint64_t internal_id = 0;
   std::size_t row = 0;             // caller's row_tag
   std::size_t prompt_tokens = 0;
+  llm::PriorityClass priority = llm::PriorityClass::Standard;
   double submit_time = 0.0;        // the caller's timestamp (arrival)
   double dispatch_time = 0.0;      // when the client processed it
   std::size_t replica = 0;
@@ -55,6 +56,7 @@ std::string memo_key(const tokenizer::TokenSeq& prompt,
 
 void QuerySession::submit(double time, llm::Request req,
                           Completion on_complete) {
+  req.priority = priority_;  // the lane's class, not the caller's field
   client_.heap_.push_back(QueryClient::Submission{
       std::max(time, client_.now_), client_.next_seq_++, lane_,
       std::move(req), std::move(on_complete)});
@@ -67,11 +69,13 @@ QueryClient::QueryClient(const FleetConfig& fleet, Options options)
 
 QueryClient::~QueryClient() = default;
 
-QuerySession& QueryClient::open_session(std::string label) {
+QuerySession& QueryClient::open_session(std::string label,
+                                        llm::PriorityClass priority) {
   const auto lane = static_cast<std::uint32_t>(sessions_.size());
-  sessions_.emplace_back(new QuerySession(*this, lane, label));
+  sessions_.emplace_back(new QuerySession(*this, lane, label, priority));
   lanes_.emplace_back();
   lanes_.back().label = std::move(label);
+  lanes_.back().priority = priority;
   return *sessions_.back();
 }
 
@@ -81,6 +85,7 @@ void QueryClient::process(Submission s) {
   meta->internal_id = next_id_++;
   meta->row = s.req.row_tag;
   meta->prompt_tokens = s.req.prompt.size();
+  meta->priority = s.req.priority;
   meta->submit_time = s.time;
   meta->dispatch_time = now_;
   meta->done = std::move(s.done);
@@ -152,6 +157,9 @@ void QueryClient::on_engine_complete(const llm::RequestResult& res,
   sr.prompt_tokens = res.prompt_tokens;
   sr.cached_tokens = res.cached_tokens;
   sr.output_tokens = res.output_tokens;
+  sr.priority = meta->priority;
+  sr.preemptions = res.preemptions;
+  sr.recomputed_tokens = res.recomputed_tokens;
   record(sr, meta->done);
 
   if (meta->entry) {
@@ -193,6 +201,7 @@ void QueryClient::complete_from_memo(Meta meta, const MemoEntry& entry) {
   sr.cached_tokens = 0;  // memo savings are NOT prefix hits
   sr.output_tokens = entry.leader.output_tokens;
   sr.deduped = true;
+  sr.priority = meta.priority;  // the follower's own lane class
 
   ++dedup_.hits;
   dedup_.saved_prompt_tokens += meta.prompt_tokens;
@@ -230,6 +239,7 @@ OnlineRunResult QueryClient::result() const {
   OnlineRunResult out;
   out.requests = requests_;
   out.latency = summarize_latency(requests_, options_.ttft_slo_seconds);
+  out.per_class = summarize_by_class(requests_, options_.ttft_slo_seconds);
   out.replicas = fleet_.replica_metrics();
   out.engine = aggregate_replica_engines(out.replicas);
   out.load_imbalance = fleet_.load_imbalance();
@@ -259,7 +269,7 @@ class ServedQuery {
   ServedQuery(QueryClient& client, const ServedQuerySpec& qs)
       : client_(client),
         qs_(qs),
-        session_(client.open_session(qs.query->id)) {
+        session_(client.open_session(qs.query->id, qs.priority)) {
     result_.query_id = qs.query->id;
     last_finish_ = qs.start_time;
     submit_stage(qs.query->stage1, qs.dataset->table,

@@ -55,14 +55,20 @@ class QuerySession {
 
   std::uint32_t lane() const { return lane_; }
   const std::string& label() const { return label_; }
+  llm::PriorityClass priority() const { return priority_; }
 
  private:
   friend class QueryClient;
-  QuerySession(QueryClient& client, std::uint32_t lane, std::string label)
-      : client_(client), lane_(lane), label_(std::move(label)) {}
+  QuerySession(QueryClient& client, std::uint32_t lane, std::string label,
+               llm::PriorityClass priority)
+      : client_(client),
+        lane_(lane),
+        label_(std::move(label)),
+        priority_(priority) {}
   QueryClient& client_;
   std::uint32_t lane_;
   std::string label_;
+  llm::PriorityClass priority_;
 };
 
 /// QueryClient knobs. A namespace-scope type (not nested) so `= {}`
@@ -83,8 +89,15 @@ class QueryClient {
   QueryClient& operator=(const QueryClient&) = delete;
 
   /// Open a lane; the lane index (== the tenant tag used for routing) is
-  /// assignment order.
-  QuerySession& open_session(std::string label);
+  /// assignment order. `priority` is the scheduling class every
+  /// invocation submitted on this lane is served under — the query lane
+  /// is the unit that maps onto priority classes (an interactive
+  /// dashboard query vs a batch analytics scan), and with
+  /// FleetConfig::engine.preemption enabled an interactive lane's rows
+  /// may preempt a batch lane's running rows on the shared replicas.
+  QuerySession& open_session(
+      std::string label,
+      llm::PriorityClass priority = llm::PriorityClass::Standard);
 
   /// Drive the merged event loop until every submitted request has
   /// completed. Completion callbacks run inside and may submit more
@@ -153,6 +166,8 @@ struct ServedQuerySpec {
   /// (engine/model/gpu) is ignored — execution happens on the shared
   /// fleet.
   query::ExecConfig config;
+  /// Scheduling class of this query's lane (see QueryClient::open_session).
+  llm::PriorityClass priority = llm::PriorityClass::Standard;
   /// Virtual time the query arrives at the endpoint.
   double start_time = 0.0;
   /// Pacing between consecutive row submissions (0 = the whole stage

@@ -72,14 +72,40 @@ Window OnlineScheduler::plan_window(std::vector<Arrival> batch,
                                     double now) const {
   Window w;
   w.planned_at = now;
+  w.arrivals.reserve(batch.size());
+  w.field_orders.reserve(batch.size());
+  if (!opt_.priority_order) {
+    plan_into(w, std::move(batch));
+    return w;
+  }
+  // Strict-priority emission: stable-partition by effective class at plan
+  // time (aging promotes overdue arrivals), plan each class with the
+  // configured policy, emit Interactive first. Reordering happens only
+  // within a class, so the per-class FIFO order — which the engine's
+  // tie-breaking relies on for the aging guarantee — is preserved.
+  for (std::size_t c = 0; c < llm::kNumPriorityClasses; ++c) {
+    std::vector<Arrival> part;
+    for (const Arrival& a : batch) {
+      if (static_cast<std::size_t>(llm::aged_class(
+              a.priority, now - a.time, opt_.aging_seconds)) == c)
+        part.push_back(a);
+    }
+    if (!part.empty()) plan_into(w, std::move(part));
+  }
+  return w;
+}
+
+void OnlineScheduler::plan_into(Window& w, std::vector<Arrival> batch) const {
   const std::size_t m = table_.num_cols();
   std::vector<std::size_t> schema_order(m);
   std::iota(schema_order.begin(), schema_order.end(), 0);
 
   switch (opt_.policy) {
     case Policy::Fifo: {
-      w.arrivals = std::move(batch);
-      w.field_orders.assign(w.arrivals.size(), schema_order);
+      for (const Arrival& a : batch) {
+        w.arrivals.push_back(a);
+        w.field_orders.push_back(schema_order);
+      }
       break;
     }
     case Policy::WindowedGgr: {
@@ -88,9 +114,7 @@ Window OnlineScheduler::plan_window(std::vector<Arrival> batch,
       for (const auto& a : batch) rows.push_back(a.row);
       const table::Table sub = table_.take_rows(rows);
       const core::GgrResult res = core::ggr(sub, fds_, opt_.ggr);
-      w.solve_seconds = res.solve_seconds;
-      w.arrivals.reserve(batch.size());
-      w.field_orders.reserve(batch.size());
+      w.solve_seconds += res.solve_seconds;
       for (std::size_t pos = 0; pos < res.ordering.num_rows(); ++pos) {
         w.arrivals.push_back(batch[res.ordering.row_at(pos)]);
         w.field_orders.push_back(res.ordering.fields_at(pos));
@@ -106,8 +130,6 @@ Window OnlineScheduler::plan_window(std::vector<Arrival> batch,
         if (inserted) tenant_order.push_back(batch[i].tenant);
         it->second.push_back(i);
       }
-      w.arrivals.reserve(batch.size());
-      w.field_orders.reserve(batch.size());
       for (std::uint32_t tenant : tenant_order) {
         const std::vector<std::size_t>& idx = groups[tenant];
         std::vector<std::size_t> rows;
@@ -124,7 +146,6 @@ Window OnlineScheduler::plan_window(std::vector<Arrival> batch,
       break;
     }
   }
-  return w;
 }
 
 }  // namespace llmq::serve

@@ -51,6 +51,19 @@ struct SchedulerOptions {
   std::size_t window_rows = 64;   // dispatch threshold; 0 = unbounded
   double max_wait_seconds = 0.0;  // oldest-arrival deadline; 0 = none
   core::GgrOptions ggr;           // planner options for the GGR policies
+
+  /// Strict-priority emission: partition each window by the arrivals'
+  /// effective class at plan time (aged by `aging_seconds`, see
+  /// llm::aged_class) and run `policy` within each partition, emitting
+  /// Interactive first. Off = classic single-class planning (bit-exact
+  /// with the pre-priority scheduler). The engine applies the same
+  /// strict-priority rule at admission, so this mainly shortens the
+  /// dispatch-to-admission gap for urgent rows inside large windows.
+  bool priority_order = false;
+  /// Aging horizon for the effective class (0 = no aging). Use the same
+  /// value as EngineConfig::priority_aging_seconds so the scheduler and
+  /// the engine agree on what "overdue" means.
+  double aging_seconds = 0.0;
 };
 
 /// One dispatched window: arrivals in emission (post-reordering) order and
@@ -92,6 +105,9 @@ class OnlineScheduler {
 
  private:
   Window plan_window(std::vector<Arrival> batch, double now) const;
+  /// Run the configured policy over one (sub-)batch, appending its
+  /// emission to `w`.
+  void plan_into(Window& w, std::vector<Arrival> batch) const;
 
   const table::Table& table_;
   const table::FdSet& fds_;

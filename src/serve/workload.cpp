@@ -85,6 +85,9 @@ std::vector<Arrival> generate_arrivals(std::size_t n_rows,
     a.tenant = n_tenants == 1
                    ? 0
                    : static_cast<std::uint32_t>(zipf.sample(tenant_rng));
+    if (!options.tenant_classes.empty())
+      a.priority = options.tenant_classes[a.tenant %
+                                          options.tenant_classes.size()];
     out.push_back(a);
   }
   return out;

@@ -24,6 +24,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "llm/request.hpp"
+
 namespace llmq::serve {
 
 enum class ArrivalProcess { Poisson, Bursty };
@@ -42,6 +44,13 @@ struct WorkloadOptions {
   std::size_t n_tenants = 1;
   double tenant_skew = 1.0;     // Zipf exponent over tenant ranks
 
+  /// Priority lane per tenant: tenant t gets tenant_classes[t % size()].
+  /// Empty = every arrival is Standard (the classic single-class stream).
+  /// This is the "derivable per tenant" mapping of DESIGN.md §5 — a
+  /// tenant is an interactive product surface, a standard API key, or a
+  /// batch analytics pipeline.
+  std::vector<llm::PriorityClass> tenant_classes;
+
   /// Arrivals to generate; 0 = one per table row. When it exceeds the row
   /// count, the row visit order wraps (repeat traffic).
   std::size_t n_requests = 0;
@@ -57,6 +66,8 @@ struct Arrival {
   double time = 0.0;        // simulated seconds since stream start
   std::size_t row = 0;      // row of the backing table
   std::uint32_t tenant = 0; // 0 is the hottest rank under Zipf skew
+  /// Scheduling class (WorkloadOptions::tenant_classes or caller-set).
+  llm::PriorityClass priority = llm::PriorityClass::Standard;
 };
 
 /// Generate a stream over a table of `n_rows` rows; arrivals are sorted by

@@ -111,6 +111,25 @@ const std::vector<BenchSpec>& bench_specs() {
          {{"max_batch", kNum}, {"original_s", kNum}, {"ggr_s", kNum}}},
         {"block_size_sweep",
          {{"block_tokens", kNum}, {"ggr_phr", kNum}, {"ggr_s", kNum}}}}},
+      {"bench_priority_preemption",
+       {{"overload",
+         {{"rate_mult", kNum},
+          {"rate_rps", kNum},
+          {"preemption", kStr},
+          {"interactive_p99_ttft_s", kNum},
+          {"standard_p99_ttft_s", kNum},
+          {"batch_p99_e2e_s", kNum},
+          {"interactive_goodput_rps", kNum},
+          {"batch_completed", kNum},
+          {"preemptions", kNum},
+          {"recompute_tokens", kNum},
+          {"agg_phr", kNum}}},
+        {"aging_sweep",
+         {{"aging_s", kNum},
+          {"interactive_p99_ttft_s", kNum},
+          {"batch_p99_e2e_s", kNum},
+          {"batch_completed", kNum},
+          {"preemptions", kNum}}}}},
       {"bench_concurrent_queries",
        {{"queries_router",
          {{"queries", kNum},

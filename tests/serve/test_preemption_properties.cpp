@@ -1,0 +1,288 @@
+// Preemption conservation properties over seed-swept interleavings.
+//
+// For randomized overloaded streams with mixed priority classes, a
+// preemption-enabled run must conserve everything the no-preemption run
+// delivers:
+//
+//   * exactly-once answer delivery (same id set, no loss/duplication);
+//   * token totals equal the no-preemption run — prompt and output
+//     counters are exactly-once per request — plus the separately
+//     measured recompute (recompute_prefill_tokens), which is the only
+//     place replay work may appear;
+//   * cache stats stay exactly-once: one counted lookup per request
+//     regardless of defer/preempt/resume cycles, hit credits equal to
+//     engine-side cached tokens;
+//   * no pinned block is ever evicted: PrefixCache::check_invariants
+//     walks the pin ledger (lease pins == tree ref counts) and
+//     RadixTree::remove_node throws on any pinned eviction — exercised
+//     here by randomized preempt/resume churn against a tight pool;
+//   * aging bounds starvation: every batch-class request completes, with
+//     a sane preemption count (no preempt/resume livelock).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "serve/online.hpp"
+#include "util/rng.hpp"
+
+namespace llmq::serve {
+namespace {
+
+using table::Schema;
+using table::Table;
+
+Table random_table(util::Rng& rng, std::size_t n, std::size_t m,
+                   int alphabet) {
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < m; ++c) names.push_back("f" + std::to_string(c));
+  Table t(Schema::of_names(names));
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<std::string> row;
+    for (std::size_t c = 0; c < m; ++c)
+      row.push_back("value_" +
+                    std::string(1, static_cast<char>(
+                                       'a' + rng.next_below(alphabet))));
+    t.append_row(std::move(row));
+  }
+  return t;
+}
+
+class PreemptionConservation
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PreemptionConservation, TokensAndAnswersConserved) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed * 6271 + 7);
+
+  const std::size_t n_rows = 20 + rng.next_below(20);
+  const Table t = random_table(rng, n_rows, 2 + rng.next_below(3),
+                               2 + static_cast<int>(rng.next_below(3)));
+  const table::FdSet fds;
+
+  OnlineConfig cfg;
+  cfg.prompt.system_prompt = "You are a data analyst.";
+  cfg.prompt.user_prompt = "Classify the row.";
+  cfg.avg_output_tokens = 3.0;
+  cfg.class_output_multiplier = {0.5, 1.0, 2.0 + rng.next_below(4)};
+  cfg.scheduler.ggr.measure = core::LengthMeasure::Unit;
+  cfg.scheduler.window_rows = 4 + rng.next_below(13);
+  cfg.scheduler.max_wait_seconds = 0.25 + 0.25 * rng.next_below(4);
+  cfg.scheduler.priority_order = rng.next_bool(0.5);
+  cfg.scheduler.aging_seconds = 2.0;
+  const Policy policies[] = {Policy::Fifo, Policy::WindowedGgr,
+                             Policy::TenantGgr};
+  cfg.scheduler.policy = policies[rng.next_below(3)];
+  // Tight memory + small batch: the regime where preemption fires.
+  cfg.engine.max_batch_size = 2 + rng.next_below(4);
+  cfg.engine.kv_pool_blocks_override = 48 + rng.next_below(64);
+  cfg.engine.priority_aging_seconds = 2.0;
+  cfg.n_replicas = 1 + rng.next_below(4);
+  const RouterPolicy routers[] = {
+      RouterPolicy::RoundRobin, RouterPolicy::LeastLoaded,
+      RouterPolicy::TenantHash, RouterPolicy::PrefixAffinity};
+  cfg.router = routers[rng.next_below(4)];
+
+  WorkloadOptions w;
+  w.arrival_rate = 20.0 + static_cast<double>(rng.next_below(60));
+  w.n_tenants = 3;
+  w.tenant_classes = {llm::PriorityClass::Batch,
+                      llm::PriorityClass::Interactive,
+                      llm::PriorityClass::Standard};
+  w.n_requests = n_rows + rng.next_below(2 * n_rows);
+  w.seed = seed;
+  const auto arrivals = generate_arrivals(n_rows, w);
+
+  OnlineConfig cfg_off = cfg;
+  cfg_off.engine.preemption = false;
+  OnlineConfig cfg_on = cfg;
+  cfg_on.engine.preemption = true;
+  const OnlineRunResult off = run_online(t, fds, arrivals, cfg_off);
+  const OnlineRunResult on = run_online(t, fds, arrivals, cfg_on);
+
+  // ---- 1. Exactly-once delivery, both arms, identical id sets. ----
+  ASSERT_EQ(off.requests.size(), arrivals.size());
+  ASSERT_EQ(on.requests.size(), arrivals.size());
+  std::set<std::uint64_t> expected, got_on;
+  for (const auto& a : arrivals) expected.insert(a.id);
+  for (const auto& sr : on.requests)
+    EXPECT_TRUE(got_on.insert(sr.id).second) << "duplicate completion";
+  EXPECT_EQ(got_on, expected);
+
+  // ---- 2. Token totals match the no-preemption run... ----
+  EXPECT_EQ(on.engine.prompt_tokens, off.engine.prompt_tokens);
+  EXPECT_EQ(on.engine.output_tokens, off.engine.output_tokens);
+  EXPECT_EQ(off.engine.preemptions, 0u);
+  EXPECT_EQ(off.engine.recompute_prefill_tokens, 0u);
+
+  // ---- ...plus measured recompute, the only place replay work lives.
+  std::uint64_t recomputed = 0, preempts = 0;
+  for (const auto& sr : on.requests) {
+    recomputed += sr.recomputed_tokens;
+    preempts += sr.preemptions;
+    EXPECT_EQ(sr.cached_tokens + (sr.prompt_tokens - sr.cached_tokens),
+              sr.prompt_tokens);
+    if (sr.preemptions == 0) {
+      EXPECT_EQ(sr.recomputed_tokens, 0u);
+    }
+  }
+  EXPECT_EQ(recomputed, on.engine.recompute_prefill_tokens);
+  EXPECT_EQ(preempts, on.engine.preemptions);
+  // Prefill-work decomposition: first-admission computed tokens plus
+  // recompute is everything the engine prefilled.
+  EXPECT_EQ(on.engine.cached_prompt_tokens + on.engine.computed_prompt_tokens,
+            on.engine.prompt_tokens);
+
+  // ---- 3. Cache stats exactly-once across defer/preempt/resume. ----
+  for (const OnlineRunResult* r : {&off, &on}) {
+    EXPECT_EQ(r->engine.cache.lookups, arrivals.size());
+    EXPECT_EQ(r->engine.cache.hit_tokens, r->engine.cached_prompt_tokens);
+    EXPECT_EQ(r->engine.cache.lookup_tokens, r->engine.prompt_tokens);
+  }
+
+  // ---- 4. Per-class attribution sums to the aggregate. ----
+  ASSERT_EQ(on.per_class.size(), llm::kNumPriorityClasses);
+  std::size_t class_requests = 0;
+  std::uint64_t class_preempts = 0, class_recompute = 0;
+  for (const auto& pc : on.per_class) {
+    class_requests += pc.requests;
+    class_preempts += pc.preemptions;
+    class_recompute += pc.recomputed_tokens;
+  }
+  EXPECT_EQ(class_requests, arrivals.size());
+  EXPECT_EQ(class_preempts, on.engine.preemptions);
+  EXPECT_EQ(class_recompute, on.engine.recompute_prefill_tokens);
+
+  // ---- 5. Aging bounds starvation: batch all complete, no livelock. ----
+  for (const auto& sr : on.requests)
+    EXPECT_LE(sr.preemptions, 50u) << "preempt/resume thrash for " << sr.id;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, PreemptionConservation,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// At least one seed of the sweep must actually preempt, or the suite
+// pins nothing; checked once here against a deliberately hostile config.
+TEST(PreemptionConservation, SweepExercisesPreemption) {
+  util::Rng rng(99);
+  const Table t = random_table(rng, 30, 3, 3);
+  const table::FdSet fds;
+
+  OnlineConfig cfg;
+  cfg.prompt.system_prompt = "You are a data analyst.";
+  cfg.prompt.user_prompt = "Classify the row.";
+  cfg.avg_output_tokens = 4.0;
+  cfg.class_output_multiplier = {0.5, 1.0, 8.0};
+  cfg.scheduler.ggr.measure = core::LengthMeasure::Unit;
+  cfg.scheduler.window_rows = 8;
+  cfg.scheduler.max_wait_seconds = 0.5;
+  cfg.engine.max_batch_size = 2;
+  cfg.engine.kv_pool_blocks_override = 48;
+  cfg.engine.preemption = true;
+  cfg.engine.priority_aging_seconds = 2.0;
+
+  WorkloadOptions w;
+  w.arrival_rate = 60.0;
+  w.n_tenants = 2;
+  w.tenant_classes = {llm::PriorityClass::Batch,
+                      llm::PriorityClass::Interactive};
+  w.n_requests = 60;
+  w.seed = 5;
+  const auto arrivals = generate_arrivals(30, w);
+  const OnlineRunResult r = run_online(t, fds, arrivals, cfg);
+  EXPECT_GT(r.engine.preemptions, 0u);
+  EXPECT_GT(r.engine.recompute_prefill_tokens, 0u);
+  EXPECT_EQ(r.requests.size(), arrivals.size());
+}
+
+// Randomized pause/evict/resume churn against one session with a tight
+// pool: the pin ledger (no pinned block ever evicted, no pin leaked) must
+// hold after every operation, and every request must still complete
+// exactly once with its full output.
+class PreemptResumeChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PreemptResumeChurn, PinLedgerHoldsUnderRandomOps) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed * 31 + 11);
+
+  llm::ModelSpec spec;
+  spec.name = "tiny";
+  spec.params = 1e9;
+  spec.n_layers = 8;
+  spec.hidden_dim = 512;
+  spec.n_heads = 8;
+  spec.n_kv_heads = 8;
+  spec.head_dim = 64;
+  spec.dtype_bytes = 2;
+  llm::EngineConfig ec;
+  ec.max_batch_size = 2 + rng.next_below(3);
+  ec.block_size = 16;
+  ec.kv_pool_blocks_override = 24 + rng.next_below(24);
+  ec.preemption = rng.next_bool(0.5);
+  ec.priority_aging_seconds = 1.0;
+  const llm::ServingEngine engine(llm::CostModel(spec, llm::l4()), ec);
+  auto cache = engine.make_session_cache();
+  llm::EngineSession session(engine, cache);
+
+  const std::size_t n = 12 + rng.next_below(12);
+  std::vector<std::uint64_t> parked;
+  std::set<std::uint64_t> completed;
+  std::size_t submitted = 0;
+
+  const auto submit_one = [&] {
+    llm::Request r;
+    r.id = submitted;
+    r.priority = static_cast<llm::PriorityClass>(rng.next_below(3));
+    const std::size_t len = 17 + rng.next_below(60);
+    for (std::size_t k = 0; k < len; ++k)
+      r.prompt.push_back(static_cast<tokenizer::TokenId>(
+          k < 16 ? k : rng.next_below(200)));
+    r.output_tokens = 1 + rng.next_below(8);
+    session.submit(std::move(r));
+    ++submitted;
+  };
+
+  submit_one();
+  for (std::size_t op = 0; op < 400 && completed.size() < n; ++op) {
+    const std::size_t kind = rng.next_below(10);
+    if (kind < 3 && submitted < n) {
+      submit_one();
+    } else if (kind == 3 && session.num_running() > 0) {
+      // Preempt a random running request (probe ids until one hits).
+      for (std::uint64_t id = 0; id < submitted; ++id) {
+        const std::uint64_t pick = (id + rng.next_below(submitted)) % submitted;
+        if (session.preempt(pick)) {
+          parked.push_back(pick);
+          break;
+        }
+      }
+    } else if (kind == 4 && !parked.empty()) {
+      const std::size_t i = rng.next_below(parked.size());
+      ASSERT_TRUE(session.resume(parked[i]));
+      parked.erase(parked.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      for (const auto& res : session.step().completed)
+        EXPECT_TRUE(completed.insert(res.id).second)
+            << "duplicate completion " << res.id;
+    }
+    ASSERT_EQ(cache.check_invariants(), "") << "after op " << op;
+  }
+  // Resume everything parked, finish the stream, verify exactly-once.
+  for (std::uint64_t id : parked) ASSERT_TRUE(session.resume(id));
+  while (submitted < n) submit_one();
+  for (const auto& res : session.drain())
+    EXPECT_TRUE(completed.insert(res.id).second);
+  EXPECT_EQ(completed.size(), n);
+  EXPECT_EQ(session.num_parked(), 0u);
+  EXPECT_EQ(session.outstanding_prompt_tokens(), 0u);
+  EXPECT_EQ(cache.check_invariants(), "");
+  // Every counted lookup is a real request, exactly once.
+  EXPECT_EQ(session.metrics().cache.lookups, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, PreemptResumeChurn,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace llmq::serve

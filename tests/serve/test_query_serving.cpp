@@ -194,6 +194,68 @@ TEST(QueryServing, IdenticalConcurrentQueriesDedupAndBeatSerialPhr) {
   EXPECT_GT(shared.serving.effective_hit_fraction(), serial.overall_phr());
 }
 
+TEST(QueryServing, PriorityLanesPreemptWithoutBreakingAnswersOrStats) {
+  // Preempt-during-defer audit at the query-serving level: an interactive
+  // lane sharing a memory-tight preemption-enabled fleet with a batch
+  // lane will preempt the batch lane's rows while other rows sit in
+  // deferred admission — the exact interleaving where a stats bug would
+  // double-count lookups (each deferral retries, each resume re-probes).
+  // Answers must stay order-independent and cache stats exactly-once:
+  // one counted lookup per engine-executed request.
+  const auto d = data::generate_movies(small(80));
+  // Long-decode projection rows occupy slots for many steps — the shape
+  // whose running requests an interactive arrival must evict, not wait
+  // out.
+  const auto& batch_spec = data::query_by_id("movies-projection");
+  const auto& inter_spec = data::query_by_id("movies-filter");
+  const auto cfg = query::ExecConfig::standard(query::Method::CacheGgr);
+  const auto offline_batch = query::run_query(d, batch_spec, cfg);
+  const auto offline_inter = query::run_query(d, inter_spec, cfg);
+
+  ServedQuerySpec batch = one_query(d, batch_spec, cfg);
+  batch.priority = llm::PriorityClass::Batch;
+  ServedQuerySpec interactive = one_query(d, inter_spec, cfg);
+  interactive.priority = llm::PriorityClass::Interactive;
+  interactive.start_time = 0.5;  // arrives while batch occupies the fleet
+  interactive.request_interval = 0.002;
+
+  FleetConfig fleet = fleet_from_exec(cfg);
+  fleet.engine.max_batch_size = 4;
+  fleet.engine.kv_pool_blocks_override = 160;  // tight: defer + preempt
+  fleet.engine.preemption = true;
+  fleet.engine.priority_aging_seconds = 5.0;
+
+  QueryClient::Options opt;
+  opt.dedup_exact = false;  // every completion is engine-executed
+  const auto served =
+      run_queries_served({batch, interactive}, fleet, opt);
+
+  // Order independence survives preemption.
+  EXPECT_EQ(served.queries[0].answers, offline_batch.answers);
+  EXPECT_EQ(served.queries[1].answers, offline_inter.answers);
+
+  // The scenario actually preempts, and the preempted rows are batch's.
+  const auto& s = served.serving;
+  EXPECT_GT(s.engine.preemptions, 0u);
+  ASSERT_EQ(s.per_class.size(), llm::kNumPriorityClasses);
+  EXPECT_EQ(s.per_class[0].preemptions, 0u);  // interactive never evicted
+  EXPECT_GT(
+      s.per_class[static_cast<std::size_t>(llm::PriorityClass::Batch)]
+          .preemptions,
+      0u);
+
+  // Exactly-once stats across defer/preempt/resume: one lookup per
+  // engine-executed request, hit credits equal engine-side cached tokens.
+  EXPECT_EQ(s.engine.cache.lookups, s.requests.size());
+  EXPECT_EQ(s.engine.cache.hit_tokens, s.engine.cached_prompt_tokens);
+  EXPECT_EQ(s.engine.cache.lookup_tokens, s.engine.prompt_tokens);
+
+  // Lane priorities are reported on the lane metrics.
+  ASSERT_EQ(s.per_query.size(), 2u);
+  EXPECT_EQ(s.per_query[0].priority, llm::PriorityClass::Batch);
+  EXPECT_EQ(s.per_query[1].priority, llm::PriorityClass::Interactive);
+}
+
 TEST(QueryServing, RejectsNullSpecs) {
   EXPECT_THROW(run_queries_served({ServedQuerySpec{}}, FleetConfig{}),
                std::invalid_argument);

@@ -1,0 +1,188 @@
+// Deterministic replay: the online serving stack is a pure function of
+// (seed, config). Two runs with identical inputs must produce
+// bit-identical OnlineRunResult — every counter, per-replica metric, and
+// per-request attribution — for n_replicas in {1, 4} and preemption both
+// off and on. Preemption adds new event types (evict, re-queue, resume)
+// to the merged virtual clock; any hidden nondeterminism they introduce
+// (iteration over an unordered container, address-dependent tie-break,
+// uninitialized field) shows up here as a diverging replay.
+
+#include <gtest/gtest.h>
+
+#include "serve/online.hpp"
+
+namespace llmq::serve {
+namespace {
+
+using table::Schema;
+using table::Table;
+
+Table tiny_table(std::size_t n) {
+  Table t(Schema::of_names({"category", "region", "status"}));
+  for (std::size_t r = 0; r < n; ++r)
+    t.append_row({"cat_" + std::to_string(r % 3),
+                  "region_" + std::to_string(r % 4),
+                  r % 2 ? "active" : "archived"});
+  return t;
+}
+
+void expect_latency_identical(const LatencySummary& a,
+                              const LatencySummary& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.mean_ttft, b.mean_ttft);
+  EXPECT_EQ(a.p50_ttft, b.p50_ttft);
+  EXPECT_EQ(a.p95_ttft, b.p95_ttft);
+  EXPECT_EQ(a.p99_ttft, b.p99_ttft);
+  EXPECT_EQ(a.mean_queue_delay, b.mean_queue_delay);
+  EXPECT_EQ(a.p99_queue_delay, b.p99_queue_delay);
+  EXPECT_EQ(a.p50_e2e, b.p50_e2e);
+  EXPECT_EQ(a.p99_e2e, b.p99_e2e);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.throughput_rps, b.throughput_rps);
+  EXPECT_EQ(a.goodput_rps, b.goodput_rps);
+}
+
+void expect_engine_identical(const llm::EngineMetrics& a,
+                             const llm::EngineMetrics& b) {
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.prefill_seconds, b.prefill_seconds);
+  EXPECT_EQ(a.decode_seconds, b.decode_seconds);
+  EXPECT_EQ(a.prompt_tokens, b.prompt_tokens);
+  EXPECT_EQ(a.cached_prompt_tokens, b.cached_prompt_tokens);
+  EXPECT_EQ(a.computed_prompt_tokens, b.computed_prompt_tokens);
+  EXPECT_EQ(a.output_tokens, b.output_tokens);
+  EXPECT_EQ(a.decode_steps, b.decode_steps);
+  EXPECT_EQ(a.sum_batch_size, b.sum_batch_size);
+  EXPECT_EQ(a.peak_batch_size, b.peak_batch_size);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.recompute_prefill_tokens, b.recompute_prefill_tokens);
+  EXPECT_EQ(a.recompute_prefill_seconds, b.recompute_prefill_seconds);
+  EXPECT_EQ(a.cache.lookups, b.cache.lookups);
+  EXPECT_EQ(a.cache.hit_tokens, b.cache.hit_tokens);
+  EXPECT_EQ(a.cache.lookup_tokens, b.cache.lookup_tokens);
+  EXPECT_EQ(a.cache.inserted_blocks, b.cache.inserted_blocks);
+  EXPECT_EQ(a.cache.evicted_blocks, b.cache.evicted_blocks);
+}
+
+void expect_identical(const OnlineRunResult& a, const OnlineRunResult& b) {
+  // Per-request attribution, in completion order.
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    const ServedRequest& x = a.requests[i];
+    const ServedRequest& y = b.requests[i];
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.tenant, y.tenant);
+    EXPECT_EQ(x.row, y.row);
+    EXPECT_EQ(x.replica, y.replica);
+    EXPECT_EQ(x.arrival_time, y.arrival_time);
+    EXPECT_EQ(x.dispatch_time, y.dispatch_time);
+    EXPECT_EQ(x.admit_time, y.admit_time);
+    EXPECT_EQ(x.first_token_time, y.first_token_time);
+    EXPECT_EQ(x.finish_time, y.finish_time);
+    EXPECT_EQ(x.prompt_tokens, y.prompt_tokens);
+    EXPECT_EQ(x.cached_tokens, y.cached_tokens);
+    EXPECT_EQ(x.output_tokens, y.output_tokens);
+    EXPECT_EQ(x.priority, y.priority);
+    EXPECT_EQ(x.preemptions, y.preemptions);
+    EXPECT_EQ(x.recomputed_tokens, y.recomputed_tokens);
+  }
+
+  expect_latency_identical(a.latency, b.latency);
+  expect_engine_identical(a.engine, b.engine);
+
+  EXPECT_EQ(a.windows, b.windows);
+  EXPECT_EQ(a.phc, b.phc);
+  EXPECT_EQ(a.per_tenant, b.per_tenant);
+  EXPECT_EQ(a.load_imbalance, b.load_imbalance);
+  ASSERT_EQ(a.emitted.num_rows(), b.emitted.num_rows());
+  for (std::size_t i = 0; i < a.emitted.num_rows(); ++i) {
+    EXPECT_EQ(a.emitted.row_at(i), b.emitted.row_at(i));
+    EXPECT_EQ(a.emitted.fields_at(i), b.emitted.fields_at(i));
+  }
+
+  ASSERT_EQ(a.replicas.size(), b.replicas.size());
+  for (std::size_t r = 0; r < a.replicas.size(); ++r) {
+    EXPECT_EQ(a.replicas[r].requests, b.replicas[r].requests);
+    EXPECT_EQ(a.replicas[r].routed_prompt_tokens,
+              b.replicas[r].routed_prompt_tokens);
+    expect_engine_identical(a.replicas[r].engine, b.replicas[r].engine);
+  }
+
+  ASSERT_EQ(a.per_class.size(), b.per_class.size());
+  for (std::size_t c = 0; c < a.per_class.size(); ++c) {
+    EXPECT_EQ(a.per_class[c].priority, b.per_class[c].priority);
+    EXPECT_EQ(a.per_class[c].requests, b.per_class[c].requests);
+    EXPECT_EQ(a.per_class[c].preemptions, b.per_class[c].preemptions);
+    EXPECT_EQ(a.per_class[c].recomputed_tokens,
+              b.per_class[c].recomputed_tokens);
+    expect_latency_identical(a.per_class[c].latency, b.per_class[c].latency);
+  }
+}
+
+struct ReplayCase {
+  std::size_t n_replicas;
+  bool preemption;
+};
+
+class ReplayDeterminism : public ::testing::TestWithParam<ReplayCase> {};
+
+TEST_P(ReplayDeterminism, SameSeedSameConfigIsBitIdentical) {
+  const ReplayCase rc = GetParam();
+  const std::size_t n_rows = 60;
+  const Table t = tiny_table(n_rows);
+  const table::FdSet fds;
+
+  OnlineConfig cfg;
+  cfg.prompt.system_prompt = "You are a serving assistant.";
+  cfg.prompt.user_prompt = "Classify the row.";
+  cfg.avg_output_tokens = 6.0;
+  cfg.class_output_multiplier = {0.5, 1.0, 4.0};
+  cfg.ttft_slo_seconds = 5.0;
+  cfg.scheduler.policy = Policy::WindowedGgr;
+  cfg.scheduler.window_rows = 16;
+  cfg.scheduler.max_wait_seconds = 1.0;
+  cfg.scheduler.priority_order = true;
+  cfg.scheduler.aging_seconds = 4.0;
+  cfg.scheduler.ggr.measure = core::LengthMeasure::Unit;
+  cfg.engine.max_batch_size = 4;
+  cfg.engine.kv_pool_blocks_override = 96;  // tight: defer + preempt traffic
+  cfg.engine.preemption = rc.preemption;
+  cfg.engine.priority_aging_seconds = 4.0;
+  cfg.n_replicas = rc.n_replicas;
+  cfg.router = RouterPolicy::PrefixAffinity;
+
+  WorkloadOptions w;
+  w.arrival_rate = 40.0;
+  w.n_tenants = 3;
+  w.tenant_classes = {llm::PriorityClass::Batch,
+                      llm::PriorityClass::Interactive,
+                      llm::PriorityClass::Standard};
+  w.n_requests = 2 * n_rows;
+  w.seed = 1234;
+  const auto arrivals = generate_arrivals(n_rows, w);
+
+  const OnlineRunResult run1 = run_online(t, fds, arrivals, cfg);
+  const OnlineRunResult run2 = run_online(t, fds, arrivals, cfg);
+  expect_identical(run1, run2);
+
+  // The preemption-on arms must actually exercise preemption, otherwise
+  // this replay pins nothing new.
+  if (rc.preemption) {
+    EXPECT_GT(run1.engine.preemptions, 0u);
+  }
+}
+
+std::string case_name(const ::testing::TestParamInfo<ReplayCase>& info) {
+  return "replicas" + std::to_string(info.param.n_replicas) +
+         (info.param.preemption ? "_preempt" : "_nopreempt");
+}
+
+INSTANTIATE_TEST_SUITE_P(ReplicasXPreemption, ReplayDeterminism,
+                         ::testing::Values(ReplayCase{1, false},
+                                           ReplayCase{1, true},
+                                           ReplayCase{4, false},
+                                           ReplayCase{4, true}),
+                         case_name);
+
+}  // namespace
+}  // namespace llmq::serve
