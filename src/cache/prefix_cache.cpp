@@ -4,6 +4,32 @@
 
 namespace llmq::cache {
 
+// Tripwire: growing CacheStats without extending the accumulate/delta
+// helpers below makes the new counter silently disappear from every
+// per-session and fleet-aggregate report. If this assert fires, add the
+// field to BOTH operators (and to the coverage test in tests/cache),
+// then update the expected size.
+static_assert(sizeof(CacheStats) == 5 * sizeof(std::uint64_t),
+              "CacheStats changed: update operator+=/-= and tests/cache");
+
+CacheStats& CacheStats::operator+=(const CacheStats& o) {
+  lookups += o.lookups;
+  hit_tokens += o.hit_tokens;
+  lookup_tokens += o.lookup_tokens;
+  inserted_blocks += o.inserted_blocks;
+  evicted_blocks += o.evicted_blocks;
+  return *this;
+}
+
+CacheStats& CacheStats::operator-=(const CacheStats& o) {
+  lookups -= o.lookups;
+  hit_tokens -= o.hit_tokens;
+  lookup_tokens -= o.lookup_tokens;
+  inserted_blocks -= o.inserted_blocks;
+  evicted_blocks -= o.evicted_blocks;
+  return *this;
+}
+
 PrefixCache::PrefixCache(CacheConfig config)
     : config_(config),
       tree_(config.block_size),

@@ -32,7 +32,22 @@ struct CacheStats {
                                static_cast<double>(lookup_tokens)
                          : 0.0;
   }
+
+  /// Field-wise accumulate / delta. Every consumer that needs "stats over
+  /// an interval" (per-session deltas, fleet aggregation) MUST go through
+  /// these instead of hand-listing fields: a counter added to CacheStats
+  /// but missed here silently vanishes from every derived report, which
+  /// is why the definitions carry a sizeof tripwire (prefix_cache.cpp)
+  /// and a field-coverage test (tests/cache).
+  CacheStats& operator+=(const CacheStats& o);
+  CacheStats& operator-=(const CacheStats& o);
 };
+
+/// a - b, field-wise — the "stats since `b` was sampled" delta.
+inline CacheStats operator-(CacheStats a, const CacheStats& b) {
+  a -= b;
+  return a;
+}
 
 /// Handle for an in-flight request's pinned prefix path.
 struct CacheLease {

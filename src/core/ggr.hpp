@@ -15,7 +15,7 @@
 // values repeat whenever the chosen value repeats, if the FD holds), and
 // the closure is excluded from deeper recursion, shrinking the search.
 //
-// Algorithm 1 fidelity notes (see DESIGN.md §5): line 29's emitted list is
+// Algorithm 1 fidelity notes (see DESIGN.md §7): line 29's emitted list is
 // implemented as [group rows (value + FD fields first)] ++ [other rows];
 // HITCOUNT squares inferred-column lengths by default so the score is in
 // PHC units (set `square_inferred_lengths=false` for the literal line 6).

@@ -14,7 +14,7 @@
 // serialize "field_name": "value" pairs, so two positions only share bytes
 // when both the field and the value agree. The default MatchMode therefore
 // requires (field, value) equality; ValueOnly implements the literal
-// equation and is kept for analysis (see DESIGN.md §5).
+// equation and is kept for analysis (see DESIGN.md §7).
 
 #include <cstdint>
 #include <vector>

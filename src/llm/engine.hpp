@@ -45,6 +45,24 @@ struct EngineConfig {
   /// promotion; see llm::aged_class). 0 disables aging. Applies to both
   /// admission order and preemption-victim selection.
   double priority_aging_seconds = 0.0;
+
+  /// Chunked prefill (Sarathi/vLLM-style continuous batching). 0 =
+  /// monolithic admission prefill: an admission runs its ENTIRE uncached
+  /// prompt prefill before the next decode step, so every running
+  /// request's next token stalls behind it — bit-exactly the historical
+  /// behavior. > 0 = an admission enters a prefill phase instead and each
+  /// step() interleaves prefill chunks of at most this many tokens with
+  /// one decode token for decode-phase requests, bounding the stall any
+  /// decode sits through. Newly completed chunks admit() into the prefix
+  /// cache at block-aligned boundaries, so a long prompt becomes reusable
+  /// by followers while it is still prefilling.
+  std::size_t prefill_chunk_tokens = 0;
+  /// Total prefill tokens step() may spend across ALL prefill-phase
+  /// requests per step (each request still capped at
+  /// prefill_chunk_tokens, one chunk per request per step). 0 = same as
+  /// prefill_chunk_tokens, i.e. one chunk per step. Ignored when
+  /// prefill_chunk_tokens == 0.
+  std::size_t step_token_budget = 0;
 };
 
 struct EngineMetrics {
@@ -56,7 +74,9 @@ struct EngineMetrics {
   std::uint64_t computed_prompt_tokens = 0;
   std::uint64_t output_tokens = 0;
   std::uint64_t decode_steps = 0;
-  double sum_batch_size = 0.0;  // over decode steps
+  double sum_batch_size = 0.0;  // decode-phase requests, over decode steps
+  /// Peak concurrent admitted requests (includes prefill-phase requests
+  /// under chunking; equals the peak decode batch when chunking is off).
   std::size_t peak_batch_size = 0;
   /// Preemption accounting. prompt/cached/computed counters above stay
   /// exactly-once per request (first admission); replay work after a
@@ -65,6 +85,22 @@ struct EngineMetrics {
   std::uint64_t preemptions = 0;
   std::uint64_t recompute_prefill_tokens = 0;
   double recompute_prefill_seconds = 0.0;  // included in prefill_seconds
+  /// Chunked-prefill accounting: chunk executions and the tokens they
+  /// processed. Each chunk's tokens split by prompt position: positions
+  /// prefilled for the first time book computed_prompt_tokens (exactly
+  /// once per position across preempt/resume cycles, so
+  /// cached + computed == prompt holds even under preemption); re-covered
+  /// positions and generated-token replay book the recompute counters.
+  /// chunked_prefill_tokens is the union, so with chunking on:
+  ///   chunked_prefill_tokens ==
+  ///       computed_prompt_tokens + recompute_prefill_tokens.
+  std::uint64_t prefill_chunks = 0;
+  std::uint64_t chunked_prefill_tokens = 0;
+  /// Longest clock advance a decode-phase request sat through in one
+  /// step() — the worst gap between two consecutive tokens of any running
+  /// request. Monolithic admission prefill shows up here as multi-second
+  /// stalls under long-prompt traffic; chunking bounds it.
+  double max_decode_stall_seconds = 0.0;
   cache::CacheStats cache;
 
   double prompt_cache_hit_rate() const {

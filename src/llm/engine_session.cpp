@@ -1,6 +1,7 @@
 #include "llm/engine_session.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 namespace llmq::llm {
@@ -23,7 +24,7 @@ void EngineSession::submit(Request req) {
   p.req = std::move(req);
   p.seq = next_seq_++;
   p.submit_time = now_;
-  pending_.push_back(std::move(p));
+  enqueue_pending(std::move(p));
 }
 
 PriorityClass EngineSession::effective_class(PriorityClass base,
@@ -32,23 +33,44 @@ PriorityClass EngineSession::effective_class(PriorityClass base,
                     engine_.config().priority_aging_seconds);
 }
 
-std::size_t EngineSession::pick_next() const {
+void EngineSession::enqueue_pending(Pending p) {
+  auto& q = pending_[static_cast<std::size_t>(p.req.priority)];
+  // Fresh submissions carry the globally newest seq — O(1) append. Only
+  // preemption re-queues (old seq, FIFO position reclaimed) pay the
+  // sorted insert, and those are bounded by preemption traffic, not by
+  // backlog depth.
+  if (q.empty() || q.back().seq < p.seq) {
+    q.push_back(std::move(p));
+    return;
+  }
+  const auto it = std::upper_bound(
+      q.begin(), q.end(), p.seq,
+      [](std::uint64_t seq, const Pending& x) { return seq < x.seq; });
+  q.insert(it, std::move(p));
+}
+
+std::size_t EngineSession::pick_queue() const {
   // Strict priority, FIFO within a class: minimum (effective class, seq).
-  // The tie-break must be seq, not deque position — preempted victims
-  // re-queue via push_back, so the deque is NOT in seq order once
-  // preemption has fired, and an index tie-break would demote the oldest
-  // victim behind every younger same-class request each cycle. With
-  // uniform priorities and no preemption this picks index 0 — plain
-  // FIFO, exactly the pre-priority behavior.
-  std::size_t best = 0;
-  PriorityClass best_cls =
-      effective_class(pending_[0].req.priority, pending_[0].submit_time);
-  for (std::size_t i = 1; i < pending_.size(); ++i) {
+  // Each base-class queue is seq-sorted, and seq order is submit-time
+  // order, so aging promotes the front at least as far as anything behind
+  // it — the front holds its queue's minimum (effective class, seq) and
+  // comparing the <= kNumPriorityClasses fronts finds the global minimum.
+  // The tie-break must be seq, not queue position: preempted victims
+  // re-queue with their ORIGINAL seq (sorted insert), so the oldest
+  // victim keeps its FIFO slot instead of being demoted behind every
+  // younger same-class request each cycle. With uniform priorities and no
+  // preemption this picks the single queue's front — plain FIFO, exactly
+  // the pre-priority behavior.
+  std::size_t best = kNumPriorityClasses;
+  PriorityClass best_cls = PriorityClass::Batch;
+  for (std::size_t b = 0; b < kNumPriorityClasses; ++b) {
+    const auto& q = pending_[b];
+    if (q.empty()) continue;
     const PriorityClass cls =
-        effective_class(pending_[i].req.priority, pending_[i].submit_time);
-    if (cls < best_cls ||
-        (cls == best_cls && pending_[i].seq < pending_[best].seq)) {
-      best = i;
+        effective_class(q.front().req.priority, q.front().submit_time);
+    if (best == kNumPriorityClasses || cls < best_cls ||
+        (cls == best_cls && q.front().seq < pending_[best].front().seq)) {
+      best = b;
       best_cls = cls;
     }
   }
@@ -60,9 +82,13 @@ EngineSession::Pending EngineSession::preempt_at(std::size_t idx) {
   // Release the victim's KV: unpin its cached prefix path (the shared
   // blocks stay resident until LRU eviction needs them — that residue is
   // what makes resume cheap) and free its private blocks (prompt tail +
-  // generated tokens — the "uncached suffix" recompute must rebuild).
+  // generated tokens — the "uncached suffix" recompute must rebuild). A
+  // victim caught mid-prefill also returns the headroom its remaining
+  // chunks had reserved; chunk progress already admitted into the cache
+  // survives (block-aligned) and its next resume_lookup re-finds it.
   cache_.release(r.lease);
   private_in_use_ -= r.private_blocks;
+  reserved_shared_ -= r.shared_reserved;
   ++metrics_.preemptions;
 
   Pending p;
@@ -76,6 +102,7 @@ EngineSession::Pending EngineSession::preempt_at(std::size_t idx) {
   p.first_cached = r.cached;
   p.first_admit_time = r.admit_time;
   p.first_token_time = r.first_token_time;
+  p.max_prefilled = r.max_prefilled;
   running_.erase(running_.begin() +
                  static_cast<std::ptrdiff_t>(idx));
   return p;
@@ -103,7 +130,7 @@ bool EngineSession::preempt_below(PriorityClass cls) {
   }
   if (victim == running_.size()) return false;
   ++last_step_preempted_;
-  pending_.push_back(preempt_at(victim));
+  enqueue_pending(preempt_at(victim));
   return true;
 }
 
@@ -119,7 +146,7 @@ bool EngineSession::preempt(std::uint64_t id) {
 bool EngineSession::resume(std::uint64_t id) {
   for (std::size_t i = 0; i < parked_.size(); ++i) {
     if (parked_[i].req.id != id) continue;
-    pending_.push_back(std::move(parked_[i]));
+    enqueue_pending(std::move(parked_[i]));
     parked_.erase(parked_.begin() + static_cast<std::ptrdiff_t>(i));
     return true;
   }
@@ -130,20 +157,22 @@ std::size_t EngineSession::try_admit() {
   const EngineConfig& config = engine_.config();
   const std::size_t pool_blocks = engine_.kv_pool_blocks();
   const std::size_t bs = config.block_size;
+  const bool chunked = config.prefill_chunk_tokens > 0;
   std::size_t admitted = 0;
   last_step_preempted_ = 0;
 
-  while (!pending_.empty()) {
-    const std::size_t pick = pick_next();
-    const PriorityClass cls = effective_class(pending_[pick].req.priority,
-                                              pending_[pick].submit_time);
+  for (;;) {
+    const std::size_t qi = pick_queue();
+    if (qi == kNumPriorityClasses) break;
+    const PriorityClass cls = effective_class(
+        pending_[qi].front().req.priority, pending_[qi].front().submit_time);
     if (running_.size() >= config.max_batch_size) {
       // Batch slots full. The head-of-line candidate may take a slot from
       // a strictly lower class; otherwise admission is over this step.
       if (!(config.preemption && preempt_below(cls))) break;
       continue;  // a slot freed (victim re-queued); re-pick
     }
-    Pending& p = pending_[pick];
+    Pending& p = pending_[qi].front();
     Request& req = p.req;
     const std::size_t prompt_len = req.prompt.size();
     const std::size_t output_len = std::max<std::size_t>(1, req.output_tokens);
@@ -155,8 +184,11 @@ std::size_t EngineSession::try_admit() {
     const std::size_t cached = lease.cached_tokens;
 
     // Memory plan: full prompt blocks beyond the cached path move into
-    // the shared cache at admit(); the partial prompt tail plus all
-    // output tokens are private to this request. (For a resume the same
+    // the shared cache — at admit() under monolithic prefill, or
+    // incrementally at chunk boundaries under chunked prefill (which is
+    // why the reservation for not-yet-admitted shared blocks counts
+    // toward `used` below). The partial prompt tail plus all output
+    // tokens are private to this request. (For a resume the same
     // reservation covers already-generated tokens: they are part of the
     // output budget.)
     const std::size_t new_shared =
@@ -166,11 +198,12 @@ std::size_t EngineSession::try_admit() {
     const std::size_t private_blocks = ceil_div(private_tokens, bs);
     const std::size_t needed = new_shared + private_blocks;
 
-    std::size_t used = cache_.resident_blocks() + private_in_use_;
+    std::size_t used =
+        cache_.resident_blocks() + private_in_use_ + reserved_shared_;
     if (used + needed > pool_blocks) {
       const std::size_t shortfall = used + needed - pool_blocks;
       cache_.evict(shortfall);
-      used = cache_.resident_blocks() + private_in_use_;
+      used = cache_.resident_blocks() + private_in_use_ + reserved_shared_;
     }
     if (used + needed > pool_blocks) {
       // The request is not admitted this step; the retry will probe
@@ -192,26 +225,45 @@ std::size_t EngineSession::try_admit() {
       break;  // wait for completions to free memory
     }
 
-    // Prefill the uncached suffix (quadratic attention against the cached
-    // context included). A resume also replays its generated tokens —
-    // the recompute cost is exactly what the cache no longer covers.
+    // The uncached suffix to prefill (quadratic attention against the
+    // cached context included). A resume also replays its generated
+    // tokens — the recompute cost is exactly what the cache no longer
+    // covers.
     const std::size_t uncached = prompt_len - cached;
     const std::size_t prefill_tokens = uncached + p.generated;
-    const double pf =
-        engine_.cost_model().prefill_seconds(prefill_tokens, cached);
-    now_ += pf;
-    metrics_.prefill_seconds += pf;
-    if (p.resumed) {
-      metrics_.recompute_prefill_tokens += prefill_tokens;
-      metrics_.recompute_prefill_seconds += pf;
-      p.recomputed_tokens += prefill_tokens;
+    if (!chunked) {
+      // Monolithic: the whole prefill runs here, inside admission, and
+      // the clock (hence every running decode) waits for it.
+      const double pf =
+          engine_.cost_model().prefill_seconds(prefill_tokens, cached);
+      now_ += pf;
+      metrics_.prefill_seconds += pf;
+      if (p.resumed) {
+        metrics_.recompute_prefill_tokens += prefill_tokens;
+        metrics_.recompute_prefill_seconds += pf;
+        p.recomputed_tokens += prefill_tokens;
+      } else {
+        metrics_.prompt_tokens += prompt_len;
+        metrics_.cached_prompt_tokens += cached;
+        metrics_.computed_prompt_tokens += uncached;
+      }
+      if (config.cache_enabled) cache_.admit(req.prompt, lease);
     } else {
-      metrics_.prompt_tokens += prompt_len;
-      metrics_.cached_prompt_tokens += cached;
-      metrics_.computed_prompt_tokens += uncached;
+      // Chunked: admission only reserves memory and books the
+      // first-admission-only prompt counters; the prefill itself runs as
+      // step()-budgeted chunks (computed/recompute book per chunk there).
+      if (!p.resumed) {
+        metrics_.prompt_tokens += prompt_len;
+        metrics_.cached_prompt_tokens += cached;
+      } else if (cached > p.max_prefilled) {
+        // While the victim was parked, a prefix-sharing request filled
+        // the cache past its prefill line: those positions are served
+        // from cache and will never be computed by this request, so the
+        // hit must be booked (once — the line advances below) or
+        // cached + computed == prompt would silently leak them.
+        metrics_.cached_prompt_tokens += cached - p.max_prefilled;
+      }
     }
-
-    if (config.cache_enabled) cache_.admit(req.prompt, lease);
     private_in_use_ += private_blocks;
 
     Running r;
@@ -228,61 +280,205 @@ std::size_t EngineSession::try_admit() {
     r.admit_seq = next_admit_seq_++;
     r.preemptions = p.preemptions;
     r.recomputed_tokens = p.recomputed_tokens;
+    // Advance the first-pass line over whatever the cache now covers —
+    // even for a fully-cached (straight-to-Decode) admission, so a later
+    // preempt/resume cycle cannot re-book the same positions.
+    if (chunked) r.max_prefilled = std::max(p.max_prefilled, cached);
+    if (chunked && prefill_tokens > 0) {
+      r.phase = Phase::Prefill;
+      r.prefill_target = prefill_tokens;
+      r.prefill_cached = cached;
+      r.shared_reserved = new_shared;
+      reserved_shared_ += new_shared;
+    }
     running_.push_back(std::move(r));
-    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
+    pending_[qi].pop_front();
     ++admitted;
   }
   return admitted;
 }
 
+void EngineSession::update_reservation(Running& r) {
+  if (!engine_.config().cache_enabled) return;
+  const std::size_t remaining =
+      cache_.blocks_needed(r.req.prompt.size(), r.lease.cached_tokens);
+  const std::size_t released =
+      r.shared_reserved > remaining ? r.shared_reserved - remaining : 0;
+  reserved_shared_ -= released;
+  r.shared_reserved -= released;
+}
+
+void EngineSession::finish_prefill(Running& r) {
+  if (engine_.config().cache_enabled) {
+    cache_.admit(r.req.prompt, r.lease);
+    update_reservation(r);
+  }
+  r.phase = Phase::Decode;
+}
+
+void EngineSession::run_prefill_chunks() {
+  const EngineConfig& config = engine_.config();
+  const std::size_t chunk_cap = config.prefill_chunk_tokens;
+  std::size_t budget =
+      config.step_token_budget ? config.step_token_budget : chunk_cap;
+
+  // Budget goes out in strict effective-priority order (ties: admission
+  // order) — the same rule admission uses — so an interactive prompt that
+  // lands mid-way through a long batch prefill takes the next chunks and
+  // reaches its first token first, instead of queueing behind every
+  // chunk the batch prompt has left. One chunk per request per step; the
+  // budget cap keeps the whole step short enough that decode-phase
+  // requests are never stalled more than ~budget tokens of prefill.
+  std::vector<std::size_t> order;
+  order.reserve(running_.size());
+  for (std::size_t i = 0; i < running_.size(); ++i)
+    if (running_[i].phase == Phase::Prefill) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const PriorityClass ca =
+        effective_class(running_[a].req.priority, running_[a].submit_time);
+    const PriorityClass cb =
+        effective_class(running_[b].req.priority, running_[b].submit_time);
+    if (ca != cb) return ca < cb;
+    return running_[a].admit_seq < running_[b].admit_seq;
+  });
+  for (const std::size_t idx : order) {
+    if (budget == 0) break;
+    Running& r = running_[idx];
+    const std::size_t take =
+        std::min({chunk_cap, budget, r.prefill_target - r.prefill_done});
+    const double pf = engine_.cost_model().prefill_seconds(
+        take, r.prefill_cached + r.prefill_done);
+    now_ += pf;
+    metrics_.prefill_seconds += pf;
+    ++metrics_.prefill_chunks;
+    metrics_.chunked_prefill_tokens += take;
+    // First-pass vs replay split by prompt position: tokens above the
+    // request's furthest-ever-prefilled line are first-pass work (each
+    // prompt position books computed exactly once over the request's
+    // lifetime, so cached + computed == prompt survives preemption);
+    // tokens at or below it — progress lost to an unaligned preemption
+    // or eviction — and generated-token replay beyond the prompt are
+    // recompute.
+    const std::size_t pos_start = r.prefill_cached + r.prefill_done;
+    const std::size_t pos_end =
+        std::min(pos_start + take, r.req.prompt.size());
+    const std::size_t line = std::max(pos_start, r.max_prefilled);
+    const std::size_t fresh = pos_end > line ? pos_end - line : 0;
+    const std::size_t replay = take - fresh;
+    metrics_.computed_prompt_tokens += fresh;
+    if (replay > 0) {
+      const double rec_pf =
+          pf * static_cast<double>(replay) / static_cast<double>(take);
+      metrics_.recompute_prefill_tokens += replay;
+      metrics_.recompute_prefill_seconds += rec_pf;
+      r.recomputed_tokens += replay;
+    }
+    if (pos_end > r.max_prefilled) r.max_prefilled = pos_end;
+    r.prefill_done += take;
+    budget -= take;
+
+    if (r.prefill_done >= r.prefill_target) {
+      finish_prefill(r);
+      continue;
+    }
+    // Incremental admit at block-aligned chunk boundaries: everything the
+    // context now covers (cached prefix + chunk progress, capped at the
+    // prompt — a resume's replayed generated tokens are private, never
+    // cached) becomes reusable by followers mid-prefill.
+    const std::size_t covered = std::min(
+        r.prefill_cached + r.prefill_done, r.req.prompt.size());
+    if (config.cache_enabled &&
+        covered / config.block_size > r.lease.path.size()) {
+      cache_.admit(
+          std::span<const tokenizer::TokenId>(r.req.prompt.data(), covered),
+          r.lease);
+      update_reservation(r);
+    }
+  }
+}
+
 EngineSession::StepEvents EngineSession::step() {
+  const bool chunked = engine_.config().prefill_chunk_tokens > 0;
+  // Stall watch: requests already decoding when the step begins are the
+  // ones whose next token waits for everything this step runs first
+  // (admission prefill under monolithic mode, chunk budget under
+  // chunking). The longest such wait is the worst inter-token gap.
+  bool stall_watch = false;
+  for (const auto& r : running_) {
+    if (!chunked || r.phase == Phase::Decode) {
+      stall_watch = true;
+      break;
+    }
+  }
+  const double step_start = now_;
+
   StepEvents ev;
   ev.admitted = try_admit();
   ev.preempted = last_step_preempted_;
   if (running_.empty()) return ev;
 
-  // One decode step across the whole batch.
-  std::vector<std::size_t> ctx;
-  ctx.reserve(running_.size());
-  for (const auto& r : running_) ctx.push_back(r.context_len);
-  const double dt = engine_.cost_model().decode_step_seconds(ctx);
-  now_ += dt;
-  metrics_.decode_seconds += dt;
-  ++metrics_.decode_steps;
-  metrics_.sum_batch_size += static_cast<double>(running_.size());
+  if (chunked) run_prefill_chunks();
+
+  // Peak concurrent admitted requests (prefill + decode phases); the
+  // decode-only batch sizes feed sum_batch_size below.
   metrics_.peak_batch_size =
       std::max(metrics_.peak_batch_size, running_.size());
-  metrics_.output_tokens += running_.size();
 
-  // Advance and retire completed requests.
-  for (auto it = running_.begin(); it != running_.end();) {
-    ++it->generated;
-    ++it->context_len;
-    if (it->first_token_time == 0.0) it->first_token_time = now_;
-    const std::size_t want = std::max<std::size_t>(1, it->req.output_tokens);
-    if (it->generated >= want) {
-      RequestResult res;
-      res.id = it->req.id;
-      res.row_tag = it->req.row_tag;
-      res.prompt_tokens = it->req.prompt.size();
-      res.cached_tokens = it->cached;
-      res.computed_tokens = res.prompt_tokens - it->cached;
-      res.output_tokens = it->generated;
-      res.admit_time = it->admit_time;
-      res.first_token_time = it->first_token_time;
-      res.finish_time = now_;
-      res.priority = it->req.priority;
-      res.preemptions = it->preemptions;
-      res.recomputed_tokens = it->recomputed_tokens;
-      ev.completed.push_back(res);
-      cache_.release(it->lease);
-      private_in_use_ -= it->private_blocks;
-      outstanding_prompt_tokens_ -= res.prompt_tokens;
-      it = running_.erase(it);
-    } else {
-      ++it;
+  // One decode step across the decode-phase batch.
+  std::vector<std::size_t> ctx;
+  ctx.reserve(running_.size());
+  for (const auto& r : running_)
+    if (r.phase == Phase::Decode) ctx.push_back(r.context_len);
+  if (!ctx.empty()) {
+    const double dt = engine_.cost_model().decode_step_seconds(ctx);
+    now_ += dt;
+    metrics_.decode_seconds += dt;
+    ++metrics_.decode_steps;
+    metrics_.sum_batch_size += static_cast<double>(ctx.size());
+    metrics_.output_tokens += ctx.size();
+
+    // Advance and retire completed requests (prefill-phase requests have
+    // not decoded and cannot complete).
+    for (auto it = running_.begin(); it != running_.end();) {
+      if (it->phase != Phase::Decode) {
+        ++it;
+        continue;
+      }
+      ++it->generated;
+      ++it->context_len;
+      if (it->first_token_time == 0.0) it->first_token_time = now_;
+      const std::size_t want = std::max<std::size_t>(1, it->req.output_tokens);
+      if (it->generated >= want) {
+        RequestResult res;
+        res.id = it->req.id;
+        res.row_tag = it->req.row_tag;
+        res.prompt_tokens = it->req.prompt.size();
+        res.cached_tokens = it->cached;
+        res.computed_tokens = res.prompt_tokens - it->cached;
+        res.output_tokens = it->generated;
+        res.admit_time = it->admit_time;
+        res.first_token_time = it->first_token_time;
+        res.finish_time = now_;
+        res.priority = it->req.priority;
+        res.preemptions = it->preemptions;
+        res.recomputed_tokens = it->recomputed_tokens;
+        ev.completed.push_back(res);
+        cache_.release(it->lease);
+        private_in_use_ -= it->private_blocks;
+        // Normally zero by finish_prefill; a capacity-limited caller
+        // cache can leave admit() short of the plan, and the leftover
+        // reservation must not outlive the request.
+        reserved_shared_ -= it->shared_reserved;
+        outstanding_prompt_tokens_ -= res.prompt_tokens;
+        it = running_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
+  if (stall_watch && now_ > step_start)
+    metrics_.max_decode_stall_seconds =
+        std::max(metrics_.max_decode_stall_seconds, now_ - step_start);
   return ev;
 }
 
@@ -306,13 +502,10 @@ void EngineSession::advance_to(double t) {
 EngineMetrics EngineSession::metrics() const {
   EngineMetrics m = metrics_;
   m.total_seconds = now_;
-  // Per-session cache stats (delta against the cache's running totals).
-  m.cache = cache_.stats();
-  m.cache.lookups -= stats_at_start_.lookups;
-  m.cache.hit_tokens -= stats_at_start_.hit_tokens;
-  m.cache.lookup_tokens -= stats_at_start_.lookup_tokens;
-  m.cache.inserted_blocks -= stats_at_start_.inserted_blocks;
-  m.cache.evicted_blocks -= stats_at_start_.evicted_blocks;
+  // Per-session cache stats: field-wise delta against the cache's running
+  // totals (the helper covers every CacheStats counter, present and
+  // future — see the tripwire next to its definition).
+  m.cache = cache_.stats() - stats_at_start_;
   return m;
 }
 

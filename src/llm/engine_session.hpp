@@ -8,9 +8,10 @@
 // one admit/step/drain state machine:
 //
 //   * submit()      — queue a request for admission (any time);
-//   * step()        — admit while memory and batch slots allow (advancing
-//                     the clock by prefill), then run ONE decode step and
-//                     retire completed requests;
+//   * step()        — admit while memory and batch slots allow, spend the
+//                     chunked-prefill token budget (if enabled), then run
+//                     ONE decode step across decode-phase requests and
+//                     retire completed ones;
 //   * drain()       — step until everything submitted has finished;
 //   * advance_to()  — move the clock forward across idle gaps between
 //                     arrivals (only legal when nothing is in flight);
@@ -19,21 +20,47 @@
 //                     uncached-suffix + generated blocks) and later
 //                     re-queue it for admission.
 //
+// Prefill scheduling (EngineConfig::prefill_chunk_tokens):
+//
+//   * 0 (monolithic) — an admission advances the clock by its ENTIRE
+//     uncached-prompt prefill before the next decode step; every running
+//     request's next token stalls behind it. Bit-exactly the historical
+//     behavior — the replay-determinism and equivalence suites pin it.
+//   * > 0 (chunked continuous batching) — an admission reserves memory
+//     and enters a Prefill phase instead; each step() spends a token
+//     budget (step_token_budget, default one chunk) walking prefill-phase
+//     requests in strict effective-priority order (ties: admission
+//     order), giving each at most one chunk of prefill_chunk_tokens,
+//     then decodes one token for every decode-phase request. Completed
+//     chunks admit() into the prefix cache at block-aligned boundaries,
+//     so a half-prefilled long prompt is already reusable by followers,
+//     and a preemption mid-prefill loses only the unadmitted tail.
+//     Accounting stays exactly-once: prompt/cached counters book at
+//     FIRST admission, and chunk tokens split by prompt position —
+//     first-time positions book computed_prompt_tokens, re-covered
+//     positions and generated-token replay book the recompute counters
+//     (EngineMetrics::chunked_prefill_tokens is their union).
+//
 // Admission is strict-priority over PriorityClass (FIFO within a class,
 // optionally aged — see EngineConfig), which reduces to plain FIFO when
-// every request carries the default class. With EngineConfig::preemption
-// the admission loop preempts automatically: a blocked higher-class
-// candidate evicts the lowest-effective-class running request and the
-// victim re-queues itself (preempt + immediate resume). Resumed requests
-// replay prefill through the prefix cache — recompute cost is the prompt
-// suffix the cache no longer covers plus the tokens already generated —
-// and every per-request and cache-stat counter stays exactly-once across
-// arbitrary preempt/resume cycles (see EngineMetrics).
+// every request carries the default class. The pending set is kept as one
+// seq-sorted FIFO deque per base class, so picking the next candidate is
+// O(#classes) and admitting it pops a queue front — admission under a
+// backlog of P requests is O(P), not the O(P^2) a linear-scan pick plus
+// mid-deque erase would cost. With EngineConfig::preemption the admission
+// loop preempts automatically: a blocked higher-class candidate evicts
+// the lowest-effective-class running request and the victim re-queues
+// itself (preempt + immediate resume). Resumed requests replay prefill
+// through the prefix cache — recompute cost is the prompt suffix the
+// cache no longer covers plus the tokens already generated — and every
+// per-request and cache-stat counter stays exactly-once across arbitrary
+// preempt/resume cycles (see EngineMetrics).
 //
 // ServingEngine::run() is implemented on top of this class, so the batch
 // and online paths share one execution model; a whole-batch run is exactly
 // "submit everything, then drain".
 
+#include <array>
 #include <deque>
 #include <vector>
 
@@ -53,20 +80,23 @@ class EngineSession {
   void submit(Request req);
 
   /// Admit queued requests (strict effective-priority order, FIFO within
-  /// a class) while KV memory and batch slots allow. Each admission
-  /// advances the clock by its prefill time. With preemption enabled, a
-  /// blocked candidate may evict strictly-lower-class running requests
-  /// (which re-queue for resume). Returns the number admitted. Throws if
-  /// a request cannot fit in KV memory even with an otherwise empty
-  /// engine.
+  /// a class) while KV memory and batch slots allow. With monolithic
+  /// prefill each admission advances the clock by its prefill time; with
+  /// chunking an admission only reserves memory and enters the prefill
+  /// phase (step() runs the chunks). With preemption enabled, a blocked
+  /// candidate may evict strictly-lower-class running requests (which
+  /// re-queue for resume). Returns the number admitted. Throws if a
+  /// request cannot fit in KV memory even with an otherwise empty engine.
   std::size_t try_admit();
 
   /// Preempt the running request `id`: unpins its cached prefix path,
   /// drops its private (prompt-tail + generated) KV blocks, and parks it.
   /// Generated tokens are kept — resume replays them as prefill, it does
-  /// not re-decode them. Returns false when `id` is not running. Parked
-  /// requests do NOT count as work (has_work/drain ignore them): whoever
-  /// pauses owns calling resume().
+  /// not re-decode them. A victim preempted mid-prefill keeps the chunk
+  /// progress already admitted into the cache (block-aligned) and loses
+  /// only the unadmitted tail. Returns false when `id` is not running.
+  /// Parked requests do NOT count as work (has_work/drain ignore them):
+  /// whoever pauses owns calling resume().
   bool preempt(std::uint64_t id);
 
   /// Re-queue a parked request for admission. Its next admission runs
@@ -81,18 +111,22 @@ class EngineSession {
     std::vector<RequestResult> completed;  // retired by this step
   };
 
-  /// try_admit(), then one decode step across the running batch (one token
-  /// per running request), then retire completed requests. A step with
-  /// nothing admitted and nothing running returns empty events and leaves
-  /// the clock untouched.
+  /// try_admit(), then (chunked mode) spend the prefill token budget, then
+  /// one decode step across the decode-phase batch (one token per request)
+  /// and retire completed requests. A step with nothing admitted and
+  /// nothing running returns empty events and leaves the clock untouched.
   StepEvents step();
 
   /// Step until all submitted requests have completed; returns their
   /// results in completion order.
   std::vector<RequestResult> drain();
 
-  bool has_work() const { return !pending_.empty() || !running_.empty(); }
-  std::size_t num_pending() const { return pending_.size(); }
+  bool has_work() const { return num_pending() > 0 || !running_.empty(); }
+  std::size_t num_pending() const {
+    std::size_t n = 0;
+    for (const auto& q : pending_) n += q.size();
+    return n;
+  }
   std::size_t num_running() const { return running_.size(); }
   std::size_t num_parked() const { return parked_.size(); }
 
@@ -132,7 +166,20 @@ class EngineSession {
     std::size_t first_cached = 0;     // cached tokens at FIRST admission
     double first_admit_time = 0.0;    // FIRST admission (queue-delay base)
     double first_token_time = 0.0;    // 0 = no token emitted yet
+    /// Furthest prompt position ever covered (initial cache hit + chunk
+    /// progress) across admissions. Chunk work above this line is
+    /// first-pass (books computed_prompt_tokens); at or below it — and
+    /// any generated-token replay — is recompute. Keeps
+    /// cached + computed == prompt exact across preempt/resume cycles
+    /// under chunking.
+    std::size_t max_prefilled = 0;
   };
+
+  /// Execution phase of an admitted request. Monolithic admissions enter
+  /// Decode directly (their prefill ran inside try_admit); chunked
+  /// admissions start in Prefill and cross over once their chunk schedule
+  /// completes. Only Decode-phase requests join decode steps.
+  enum class Phase : std::uint8_t { Prefill, Decode };
 
   struct Running {
     Request req;
@@ -149,28 +196,64 @@ class EngineSession {
     std::uint64_t admit_seq = 0;  // admission order: preemption tie-break
     std::size_t preemptions = 0;
     std::uint64_t recomputed_tokens = 0;
+    // Chunked-prefill phase state (Decode + zeros under monolithic mode).
+    Phase phase = Phase::Decode;
+    std::size_t prefill_done = 0;    // tokens chunk-prefilled this admission
+    std::size_t prefill_target = 0;  // uncached suffix + replayed generated
+    std::size_t prefill_cached = 0;  // cached context at THIS admission
+    std::size_t max_prefilled = 0;   // first-pass line (mirrors Pending)
+    std::size_t shared_reserved = 0; // planned shared blocks not yet admitted
   };
 
   /// Effective class under aging (EngineConfig::priority_aging_seconds).
   PriorityClass effective_class(PriorityClass base, double submit_time) const;
-  /// Index into pending_ of the next admission candidate: minimum
-  /// (effective class, seq).
-  std::size_t pick_next() const;
-  /// Preempt the running request at `it` and return its re-queueable
+  /// Queue a Pending in its base-class FIFO (seq-sorted: fresh submissions
+  /// append in O(1); re-queued victims carry an old seq and sorted-insert).
+  void enqueue_pending(Pending p);
+  /// Index into pending_ of the queue whose front is the next admission
+  /// candidate: minimum (effective class, seq) over queue fronts. Within a
+  /// seq-sorted same-base-class queue the front dominates (oldest seq AND
+  /// most-aged), so comparing fronts finds the global minimum — the same
+  /// pick a full linear scan makes, in O(#classes). kNumPriorityClasses
+  /// when everything is empty.
+  std::size_t pick_queue() const;
+  /// Preempt the running request at `idx` and return its re-queueable
   /// state (caller decides pending vs parked).
   Pending preempt_at(std::size_t idx);
   /// Auto-preempt the worst running victim strictly below `cls` (ties:
   /// most recently admitted, to minimize lost decode work); the victim
   /// re-queues into pending. False when no such victim exists.
   bool preempt_below(PriorityClass cls);
+  /// Chunked mode: spend this step's prefill token budget over
+  /// prefill-phase requests in strict effective-priority order, ties by
+  /// admission order (one chunk each) — an interactive arrival's chunks
+  /// preempt the remainder of a batch prompt's chunk schedule.
+  void run_prefill_chunks();
+  /// Prefill complete: admit the full prompt, release the remaining
+  /// shared-block reservation, enter the decode phase.
+  void finish_prefill(Running& r);
+  /// Re-derive `r`'s outstanding shared-block reservation from what its
+  /// lease now covers (monotonically shrinking; engine-budget bookkeeping
+  /// for blocks planned at admission but not yet admitted to the cache).
+  void update_reservation(Running& r);
 
   const ServingEngine& engine_;
   cache::PrefixCache& cache_;
   cache::CacheStats stats_at_start_;
-  std::deque<Pending> pending_;
+  /// Pending admissions, one seq-sorted FIFO per BASE class. Aging only
+  /// ever promotes the longest-waiting (lowest-seq) element first, so the
+  /// per-queue seq order is also effective-class order and pick_queue()
+  /// needs only the fronts.
+  std::array<std::deque<Pending>, kNumPriorityClasses> pending_;
   std::vector<Running> running_;
   std::vector<Pending> parked_;  // preempted via preempt(), awaiting resume()
   std::size_t private_in_use_ = 0;
+  /// Shared blocks reserved by in-flight chunked prefills that their
+  /// incremental admits have not yet moved into the cache. Counted against
+  /// the KV pool so concurrent admissions cannot oversubscribe the
+  /// headroom a prefilling prompt is still growing into. Always 0 under
+  /// monolithic prefill (admission admits the full prompt immediately).
+  std::size_t reserved_shared_ = 0;
   std::size_t outstanding_prompt_tokens_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_admit_seq_ = 0;

@@ -30,11 +30,11 @@ llm::EngineMetrics aggregate_replica_engines(
     agg.preemptions += m.preemptions;
     agg.recompute_prefill_tokens += m.recompute_prefill_tokens;
     agg.recompute_prefill_seconds += m.recompute_prefill_seconds;
-    agg.cache.lookups += m.cache.lookups;
-    agg.cache.hit_tokens += m.cache.hit_tokens;
-    agg.cache.lookup_tokens += m.cache.lookup_tokens;
-    agg.cache.inserted_blocks += m.cache.inserted_blocks;
-    agg.cache.evicted_blocks += m.cache.evicted_blocks;
+    agg.prefill_chunks += m.prefill_chunks;
+    agg.chunked_prefill_tokens += m.chunked_prefill_tokens;
+    agg.max_decode_stall_seconds =
+        std::max(agg.max_decode_stall_seconds, m.max_decode_stall_seconds);
+    agg.cache += m.cache;
   }
   return agg;
 }

@@ -13,10 +13,11 @@ LatencySummary summarize_latency(const std::vector<ServedRequest>& requests,
   if (requests.empty()) return s;
   s.count = requests.size();
 
-  std::vector<double> ttft, queue, e2e;
+  std::vector<double> ttft, queue, e2e, itl;
   ttft.reserve(requests.size());
   queue.reserve(requests.size());
   e2e.reserve(requests.size());
+  itl.reserve(requests.size());
   double first_arrival = requests.front().arrival_time;
   double last_finish = requests.front().finish_time;
   std::size_t within_slo = 0;
@@ -24,6 +25,9 @@ LatencySummary summarize_latency(const std::vector<ServedRequest>& requests,
     ttft.push_back(r.ttft());
     queue.push_back(r.queue_delay());
     e2e.push_back(r.e2e_latency());
+    // Single-token completions have no inter-token gap; keep them out of
+    // the ITL sample rather than diluting it with zeros.
+    if (r.output_tokens > 1) itl.push_back(r.mean_itl());
     first_arrival = std::min(first_arrival, r.arrival_time);
     last_finish = std::max(last_finish, r.finish_time);
     if (ttft_slo_seconds <= 0.0 || r.ttft() <= ttft_slo_seconds) ++within_slo;
@@ -35,6 +39,11 @@ LatencySummary summarize_latency(const std::vector<ServedRequest>& requests,
   s.p99_ttft = util::percentile(ttft, 99.0);
   s.mean_queue_delay = util::mean(queue);
   s.p99_queue_delay = util::percentile(queue, 99.0);
+  if (!itl.empty()) {
+    s.mean_itl = util::mean(itl);
+    s.p50_itl = util::percentile(itl, 50.0);
+    s.p99_itl = util::percentile(itl, 99.0);
+  }
   s.p50_e2e = util::percentile(e2e, 50.0);
   s.p99_e2e = util::percentile(e2e, 99.0);
   s.makespan = last_finish - first_arrival;

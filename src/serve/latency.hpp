@@ -53,6 +53,16 @@ struct ServedRequest {
   double ttft() const { return first_token_time - arrival_time; }
   double queue_delay() const { return admit_time - arrival_time; }
   double e2e_latency() const { return finish_time - arrival_time; }
+  /// Mean inter-token latency over this request's decode: the gap between
+  /// consecutive output tokens, averaged. Undefined (0) for single-token
+  /// completions — they have no inter-token gap. Monolithic admission
+  /// prefill inflates this for every request that was mid-decode when a
+  /// long prompt arrived; chunked prefill bounds it.
+  double mean_itl() const {
+    return output_tokens > 1 ? (finish_time - first_token_time) /
+                                   static_cast<double>(output_tokens - 1)
+                             : 0.0;
+  }
 };
 
 struct LatencySummary {
@@ -63,6 +73,13 @@ struct LatencySummary {
   double p99_ttft = 0.0;
   double mean_queue_delay = 0.0;
   double p99_queue_delay = 0.0;
+  /// Inter-token latency percentiles over requests' mean ITL (requests
+  /// with >= 2 output tokens; zeros when none qualify). The serving-side
+  /// view of decode stalls: a long admission prefill freezes every
+  /// in-flight decode, which surfaces here long before it moves TTFT.
+  double mean_itl = 0.0;
+  double p50_itl = 0.0;
+  double p99_itl = 0.0;
   double p50_e2e = 0.0;
   double p99_e2e = 0.0;
   double makespan = 0.0;         // last finish - first arrival

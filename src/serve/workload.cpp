@@ -93,13 +93,29 @@ std::vector<Arrival> generate_arrivals(std::size_t n_rows,
   return out;
 }
 
+std::vector<llm::PriorityClass> classes_for_tenants(
+    const std::vector<std::uint32_t>& tenants,
+    const std::vector<llm::PriorityClass>& tenant_classes) {
+  std::vector<llm::PriorityClass> out;
+  if (tenant_classes.empty()) return out;
+  out.reserve(tenants.size());
+  for (const std::uint32_t t : tenants)
+    out.push_back(tenant_classes[t % tenant_classes.size()]);
+  return out;
+}
+
 std::vector<Arrival> arrivals_from_trace(
     const std::vector<double>& times, const std::vector<std::size_t>& rows,
-    const std::vector<std::uint32_t>& tenants) {
+    const std::vector<std::uint32_t>& tenants,
+    const std::vector<llm::PriorityClass>& classes) {
   if (times.size() != rows.size())
     throw std::invalid_argument("trace: times/rows length mismatch");
   if (!tenants.empty() && tenants.size() != times.size())
     throw std::invalid_argument("trace: tenants length mismatch");
+  if (!classes.empty() && classes.size() != times.size())
+    throw std::invalid_argument(
+        "trace: classes must have one entry per arrival (expand a "
+        "tenant mapping with classes_for_tenants)");
   std::vector<Arrival> out;
   out.reserve(times.size());
   for (std::size_t i = 0; i < times.size(); ++i) {
@@ -110,6 +126,7 @@ std::vector<Arrival> arrivals_from_trace(
     a.time = times[i];
     a.row = rows[i];
     a.tenant = tenants.empty() ? 0 : tenants[i];
+    if (!classes.empty()) a.priority = classes[i];
     out.push_back(a);
   }
   return out;

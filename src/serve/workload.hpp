@@ -75,10 +75,25 @@ struct Arrival {
 std::vector<Arrival> generate_arrivals(std::size_t n_rows,
                                        const WorkloadOptions& options = {});
 
+/// Expand a tenant→class mapping (the WorkloadOptions::tenant_classes
+/// rule: tenant t gets `tenant_classes[t % size()]`) into one class per
+/// arrival, for traces recorded without an explicit class column. Empty
+/// mapping = empty result (all-Standard).
+std::vector<llm::PriorityClass> classes_for_tenants(
+    const std::vector<std::uint32_t>& tenants,
+    const std::vector<llm::PriorityClass>& tenant_classes);
+
 /// Trace-driven stream: explicit non-decreasing timestamps. `rows` must be
 /// the same length as `times`; `tenants` may be empty (all tenant 0).
+/// `classes` is a per-arrival class column (same length as `times`, or
+/// empty = every arrival Standard) — a recorded trace replays through the
+/// priority path instead of silently flattening to all-Standard. For a
+/// tenant-derived assignment, expand with classes_for_tenants(); the
+/// length contract is strict because a tenant map the size of the trace
+/// would otherwise be silently misread as a class column.
 std::vector<Arrival> arrivals_from_trace(
     const std::vector<double>& times, const std::vector<std::size_t>& rows,
-    const std::vector<std::uint32_t>& tenants = {});
+    const std::vector<std::uint32_t>& tenants = {},
+    const std::vector<llm::PriorityClass>& classes = {});
 
 }  // namespace llmq::serve

@@ -130,6 +130,20 @@ const std::vector<BenchSpec>& bench_specs() {
           {"batch_p99_e2e_s", kNum},
           {"batch_completed", kNum},
           {"preemptions", kNum}}}}},
+      {"bench_chunked_prefill",
+       {{"chunk_mix_sweep",
+         {{"mix", kStr},
+          {"chunk_tokens", kNum},
+          {"interactive_p99_ttft_s", kNum},
+          {"interactive_p99_itl_s", kNum},
+          {"max_decode_stall_s", kNum},
+          {"batch_p99_e2e_s", kNum},
+          {"goodput_rps", kNum},
+          {"prompt_tokens", kNum},
+          {"chunked_prefill_tokens", kNum},
+          {"tokens_conserved", kStr}}},
+        {"deep_backlog",
+         {{"depth", kNum}, {"us_per_request", kNum}}}}},
       {"bench_concurrent_queries",
        {{"queries_router",
          {{"queries", kNum},

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <numeric>
 
 namespace llmq::cache {
@@ -191,6 +192,49 @@ TEST(PrefixCache, StatsAccumulate) {
   EXPECT_EQ(pc.stats().lookup_tokens, 24u);
   EXPECT_EQ(pc.stats().hit_tokens, 16u);  // 2nd and 3rd fully cached
   EXPECT_EQ(pc.stats().inserted_blocks, 2u);
+}
+
+TEST(CacheStatsDelta, AccumulateAndDeltaAreExactInverses) {
+  CacheStats a{10, 20, 30, 40, 50};
+  const CacheStats b{1, 2, 3, 4, 5};
+  const CacheStats d = a - b;
+  EXPECT_EQ(d.lookups, 9u);
+  EXPECT_EQ(d.hit_tokens, 18u);
+  EXPECT_EQ(d.lookup_tokens, 27u);
+  EXPECT_EQ(d.inserted_blocks, 36u);
+  EXPECT_EQ(d.evicted_blocks, 45u);
+  CacheStats back = d;
+  back += b;
+  EXPECT_EQ(back.lookups, a.lookups);
+  EXPECT_EQ(back.evicted_blocks, a.evicted_blocks);
+}
+
+TEST(CacheStatsDelta, EveryFieldParticipatesInTheDelta) {
+  // Byte-pattern check that does NOT enumerate fields: fill one stats
+  // block with 0x02 bytes and another with 0x01 bytes. Since CacheStats
+  // is purely uint64 counters (the static_assert next to the operators
+  // pins the size), a correct field-wise subtraction yields exactly the
+  // 0x01 pattern. A counter added to the struct but missed in
+  // operator-= keeps its 0x02 bytes and fails the comparison — this is
+  // the test the old hand-subtracting EngineSession::metrics() had no
+  // analogue of.
+  const auto pattern = [](unsigned char byte) {
+    unsigned char buf[sizeof(CacheStats)];
+    std::memset(buf, byte, sizeof buf);
+    CacheStats s;
+    std::memcpy(&s, buf, sizeof s);
+    return s;
+  };
+  const CacheStats hi = pattern(0x02), lo = pattern(0x01);
+  const CacheStats expect = pattern(0x01);
+  const CacheStats d = hi - lo;
+  EXPECT_EQ(std::memcmp(&d, &expect, sizeof d), 0)
+      << "a CacheStats field was skipped by operator-=";
+  CacheStats sum = lo;
+  sum += lo;
+  const CacheStats expect_sum = pattern(0x02);
+  EXPECT_EQ(std::memcmp(&sum, &expect_sum, sizeof sum), 0)
+      << "a CacheStats field was skipped by operator+=";
 }
 
 }  // namespace

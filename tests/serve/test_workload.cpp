@@ -149,5 +149,48 @@ TEST(Workload, TraceDriven) {
   EXPECT_THROW(arrivals_from_trace({1.0}, {0}, {0, 1}), std::invalid_argument);
 }
 
+TEST(Workload, TraceDrivenPriorityClasses) {
+  using llm::PriorityClass;
+  // Regression: traces used to drop classes entirely — every arrival came
+  // out Standard even when the caller had a class assignment, silently
+  // bypassing the whole priority path for trace-driven workloads.
+
+  // Default stays the classic single-class stream.
+  for (const auto& a : arrivals_from_trace({0.0, 1.0}, {0, 1}))
+    EXPECT_EQ(a.priority, PriorityClass::Standard);
+
+  // One class per arrival (a recorded class column).
+  const auto per = arrivals_from_trace(
+      {0.0, 1.0, 2.0}, {0, 1, 2}, {5, 6, 5},
+      {PriorityClass::Batch, PriorityClass::Interactive,
+       PriorityClass::Standard});
+  EXPECT_EQ(per[0].priority, PriorityClass::Batch);
+  EXPECT_EQ(per[1].priority, PriorityClass::Interactive);
+  EXPECT_EQ(per[2].priority, PriorityClass::Standard);
+
+  // Tenant->class mapping, expanded explicitly (same modulo rule as
+  // WorkloadOptions::tenant_classes) — a map the size of the trace can
+  // never be misread as a class column.
+  const std::vector<std::uint32_t> tenants = {0, 1, 2, 3};
+  const auto mapped = arrivals_from_trace(
+      {0.0, 1.0, 2.0, 3.0}, {0, 1, 2, 3}, tenants,
+      classes_for_tenants(tenants, {PriorityClass::Interactive,
+                                    PriorityClass::Batch}));
+  EXPECT_EQ(mapped[0].priority, PriorityClass::Interactive);
+  EXPECT_EQ(mapped[1].priority, PriorityClass::Batch);
+  EXPECT_EQ(mapped[2].priority, PriorityClass::Interactive);
+  EXPECT_EQ(mapped[3].priority, PriorityClass::Batch);
+  EXPECT_TRUE(classes_for_tenants({1, 2}, {}).empty());
+
+  // Anything but one-class-per-arrival is rejected, not guessed at.
+  EXPECT_THROW(arrivals_from_trace({0.0}, {0}, {},
+                                   {PriorityClass::Interactive,
+                                    PriorityClass::Batch}),
+               std::invalid_argument);
+  EXPECT_THROW(arrivals_from_trace({0.0, 1.0}, {0, 1}, {},
+                                   {PriorityClass::Interactive}),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace llmq::serve
