@@ -24,6 +24,7 @@
 
 #include "bench_common.hpp"
 #include "llm/engine_session.hpp"
+#include "obs/export.hpp"
 #include "serve/online.hpp"
 
 using namespace llmq;
@@ -232,6 +233,26 @@ int main(int argc, char** argv) {
       }
     }
     tp.print();
+  }
+
+  // ---- tracing: preemption-and-chunking-rich representative run. ----
+  if (!opt.trace_path.empty()) {
+    const Mix mix = {"heavy-docs", 4, 300, 12.0};
+    const Table t = mixed_table(n_rows, mix.long_every, mix.long_words);
+    const table::FdSet fds;
+    const auto arrivals = mixed_stream(t, n_arrivals, mix);
+    serve::OnlineConfig cfg = serving_config();
+    cfg.engine.prefill_chunk_tokens = 64;
+    obs::TraceLog log;
+    obs::TimeSeries ts;
+    cfg.trace.sink = &log;
+    cfg.trace.timeseries = &ts;
+    (void)serve::run_online(t, fds, arrivals, cfg);
+    if (obs::write_perfetto_trace(opt.trace_path, log, &ts))
+      std::printf("\n[trace: %zu events (heavy-docs, chunk=64) -> %s "
+                  "(+ %s.jsonl)]\n",
+                  log.size(), opt.trace_path.c_str(), opt.trace_path.c_str());
+    obs::write_text_file(opt.trace_path + ".jsonl", obs::trace_to_jsonl(log));
   }
 
   // ---- 2. deep-backlog admission scaling. ----

@@ -32,7 +32,8 @@ namespace llmq::bench {
 struct BenchOptions {
   double scale = 0.1;
   std::uint64_t seed = 42;
-  std::string json_path;  // empty = no JSON output
+  std::string json_path;   // empty = no JSON output
+  std::string trace_path;  // empty = tracing disabled (--trace <path>)
 
   std::size_t rows_for(const std::string& dataset_key) const {
     const auto full = data::paper_rows(dataset_key);
@@ -57,9 +58,15 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.scale = 1.0;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       opt.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      opt.trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--scale f] [--seed s] [--full] [--json path]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--scale f] [--seed s] [--full] [--json path] "
+          "[--trace path]\n"
+          "  --trace writes a Perfetto trace of one representative run\n"
+          "  (load it at ui.perfetto.dev; <path>.jsonl gets the raw events)\n",
+          argv[0]);
       std::exit(0);
     }
   }
@@ -86,8 +93,13 @@ struct JsonField {
 /// Machine-readable bench output (--json): named sections of records,
 /// written once via util::JsonWriter when the report is finalized.
 ///
-///   { "bench": ..., "scale": ..., "seed": ...,
+///   { "bench": ..., "scale": ..., "seed": ..., "schema_version": ...,
+///     "provenance": { build_type, sanitizer, compiler, compiler_version },
 ///     "sections": { "<name>": [ { k: v, ... }, ... ], ... } }
+///
+/// Provenance pins the toolchain a BENCH_*.json snapshot came from so a
+/// golden-vs-rerun diff can tell "the code regressed" apart from "you are
+/// comparing a sanitizer debug build against a release golden".
 class JsonReport {
  public:
   JsonReport(std::string bench_name, const BenchOptions& opt)
@@ -115,6 +127,36 @@ class JsonReport {
     w.key("bench").value(name_);
     w.key("scale").value(opt_.scale);
     w.key("seed").value(static_cast<std::int64_t>(opt_.seed));
+    // Bump when the envelope shape (not section contents) changes.
+    w.key("schema_version").value(std::int64_t{2});
+    w.key("provenance").begin_object();
+#ifdef NDEBUG
+    w.key("build_type").value("release");
+#else
+    w.key("build_type").value("debug");
+#endif
+#ifdef LLMQ_SANITIZE_BUILD
+    w.key("sanitizer").value("address,undefined");
+#else
+    w.key("sanitizer").value("none");
+#endif
+#if defined(__clang__)
+    w.key("compiler").value("clang");
+    w.key("compiler_version")
+        .value(std::to_string(__clang_major__) + "." +
+               std::to_string(__clang_minor__) + "." +
+               std::to_string(__clang_patchlevel__));
+#elif defined(__GNUC__)
+    w.key("compiler").value("gcc");
+    w.key("compiler_version")
+        .value(std::to_string(__GNUC__) + "." +
+               std::to_string(__GNUC_MINOR__) + "." +
+               std::to_string(__GNUC_PATCHLEVEL__));
+#else
+    w.key("compiler").value("unknown");
+    w.key("compiler_version").value("0");
+#endif
+    w.end_object();
     w.key("sections").begin_object();
     for (const auto& [section, records] : sections_) {
       w.key(section).begin_array();

@@ -13,7 +13,10 @@
 //
 // Use --json <path> for machine-readable results.
 
+#include <chrono>
+
 #include "bench_common.hpp"
+#include "obs/export.hpp"
 #include "serve/online.hpp"
 
 using namespace llmq;
@@ -180,6 +183,63 @@ int main(int argc, char** argv) {
                 {"peak_batch", r.engine.peak_batch_size}});
     }
     tp.print();
+  }
+
+  // ---- 4. tracing: representative traced run + overhead guard. ----
+  {
+    serve::WorkloadOptions w;
+    w.arrival_rate = 16.0;
+    w.n_tenants = 4;
+    w.tenant_skew = 1.0;
+    w.seed = opt.seed;
+    const auto arrivals = serve::generate_arrivals(n, w);
+    serve::OnlineConfig cfg = s.config;
+    cfg.scheduler.policy = serve::Policy::WindowedGgr;
+    cfg.scheduler.window_rows = 64;
+    cfg.scheduler.max_wait_seconds = 2.0;
+
+    if (!opt.trace_path.empty()) {
+      obs::TraceLog log;
+      obs::TimeSeries ts;
+      serve::OnlineConfig traced = cfg;
+      traced.trace.sink = &log;
+      traced.trace.timeseries = &ts;
+      (void)serve::run_online(s.table, s.fds, arrivals, traced);
+      if (obs::write_perfetto_trace(opt.trace_path, log, &ts))
+        std::printf("\n[trace: %zu events -> %s (+ %s.jsonl)]\n", log.size(),
+                    opt.trace_path.c_str(), opt.trace_path.c_str());
+      obs::write_text_file(opt.trace_path + ".jsonl",
+                           obs::trace_to_jsonl(log));
+    }
+
+    // Overhead guard: wall-clock the same run with tracing disabled (null
+    // sink — one pointer test per emission site) and enabled. Min-of-5
+    // after a warm-up filters scheduler/allocator noise; CI asserts the
+    // disabled path is not slower than the traced one beyond noise.
+    // Wall-clock keys only — golden diffs must never compare them.
+    (void)serve::run_online(s.table, s.fds, arrivals, cfg);  // warm-up
+    const auto wall_min = [&](bool traced) {
+      double best = 1e300;
+      for (int i = 0; i < 5; ++i) {
+        obs::TraceLog log;
+        serve::OnlineConfig c = cfg;
+        if (traced) c.trace.sink = &log;
+        const auto t0 = std::chrono::steady_clock::now();
+        (void)serve::run_online(s.table, s.fds, arrivals, c);
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+      }
+      return best;
+    };
+    const double off = wall_min(false);
+    const double on = wall_min(true);
+    const double frac = off > 0.0 ? on / off - 1.0 : 0.0;
+    std::printf("\ntrace overhead: %.1f ms untraced vs %.1f ms traced "
+                "(%+.1f%%)\n",
+                1000.0 * off, 1000.0 * on, 100.0 * frac);
+    json.add("trace_overhead", {{"wall_s_no_trace", off},
+                                {"wall_s_traced", on},
+                                {"overhead_frac", frac}});
   }
 
   json.write();

@@ -55,6 +55,8 @@ CacheLease PrefixCache::lookup(std::span<const TokenId> prompt) {
   stats_.lookup_tokens += prompt.size();
   CacheLease lease = pinning_match(prompt);
   stats_.hit_tokens += lease.cached_tokens;
+  trace(EventKind::CacheLookup, prompt.size(), lease.cached_tokens,
+        lease.path.size());
   return lease;
 }
 
@@ -63,7 +65,10 @@ CacheLease PrefixCache::resume_lookup(std::span<const TokenId> prompt) {
   if (!config_.enabled) return CacheLease{};
   // Pin + touch only: the resuming request's lookup stats were counted at
   // first admission and must not count again.
-  return pinning_match(prompt);
+  CacheLease lease = pinning_match(prompt);
+  trace(EventKind::CacheLookup, prompt.size(), lease.cached_tokens,
+        lease.path.size(), /*cls=*/1);
+  return lease;
 }
 
 std::size_t PrefixCache::peek(std::span<const TokenId> prompt) const {
@@ -87,8 +92,10 @@ std::size_t PrefixCache::admit(std::span<const TokenId> prompt,
     stats_.evicted_blocks += evicted;
     pool_.release(evicted);
     need = std::min(need, pool_.free());
+    if (evicted > 0) trace(EventKind::CacheEvict, evicted, 0, 0);
   }
 
+  const std::size_t path_before = lease.path.size();
   tree_.unpin(lease.path);
   outstanding_pins_ -= lease.path.size();
   RadixTree::InsertResult ins = tree_.insert(prompt, clock_, need);
@@ -98,6 +105,8 @@ std::size_t PrefixCache::admit(std::span<const TokenId> prompt,
   outstanding_pins_ += ins.path.size();
   lease.cached_tokens = ins.path.size() * config_.block_size;
   lease.path = std::move(ins.path);
+  trace(EventKind::CacheAdmit, ins.new_blocks, lease.path.size(),
+        path_before);
   return ins.new_blocks;
 }
 
@@ -105,6 +114,7 @@ std::size_t PrefixCache::evict(std::size_t n) {
   const std::size_t evicted = tree_.evict_lru(n);
   pool_.release(evicted);
   stats_.evicted_blocks += evicted;
+  if (evicted > 0) trace(EventKind::CacheEvict, evicted, 0, 0);
   return evicted;
 }
 
@@ -112,6 +122,7 @@ void PrefixCache::release(CacheLease& lease) {
   if (!config_.enabled) return;
   tree_.unpin(lease.path);
   outstanding_pins_ -= lease.path.size();
+  trace(EventKind::CacheRelease, lease.path.size(), 0, 0);
   lease.path.clear();
   lease.cached_tokens = 0;
 }
@@ -121,6 +132,9 @@ void PrefixCache::cancel_lookup(CacheLease& lease, std::size_t prompt_tokens) {
   --stats_.lookups;
   stats_.lookup_tokens -= prompt_tokens;
   stats_.hit_tokens -= lease.cached_tokens;
+  // Stat-undo only; the release() below emits the CacheRelease that
+  // balances this lease's pins (one unpin record, never two).
+  trace(EventKind::CacheCancelLookup, prompt_tokens, lease.cached_tokens, 0);
   release(lease);
 }
 

@@ -12,6 +12,7 @@
 
 #include "cache/block_pool.hpp"
 #include "cache/radix_tree.hpp"
+#include "obs/trace.hpp"
 
 namespace llmq::cache {
 
@@ -62,6 +63,19 @@ class PrefixCache {
   const CacheConfig& config() const { return config_; }
   const CacheStats& stats() const { return stats_; }
   std::size_t resident_blocks() const { return tree_.num_blocks(); }
+  /// Blocks currently pinned by outstanding leases (gauge sampling).
+  std::size_t pinned_blocks() const { return tree_.pinned_blocks(); }
+
+  /// Bind an event sink (obs/trace.hpp). The cache has no clock of its
+  /// own, so the owning session also hands down a pointer to its virtual
+  /// clock for event timestamps; both must outlive the cache's use.
+  /// nullptr sink (the default) disables emission entirely.
+  void set_trace(obs::TraceSink* sink, std::uint32_t replica,
+                 const double* clock) {
+    trace_ = sink;
+    trace_replica_ = replica;
+    trace_clock_ = clock;
+  }
 
   /// Longest cached block-aligned prefix of `prompt`; pins the matched
   /// path and counts the hit. Advances the logical clock.
@@ -125,7 +139,16 @@ class PrefixCache {
   std::string check_invariants() const;
 
  private:
+  using EventKind = obs::EventKind;
+
   CacheLease pinning_match(std::span<const TokenId> prompt);
+  /// Emission helper: one branch when tracing is off, no allocation.
+  void trace(EventKind kind, std::uint64_t a, std::uint64_t b,
+             std::uint64_t c, std::uint8_t cls = 0) const {
+    if (!trace_) return;
+    trace_->emit({kind, cls, trace_replica_,
+                  trace_clock_ ? *trace_clock_ : 0.0, 0, a, b, c});
+  }
 
   CacheConfig config_;
   RadixTree tree_;
@@ -135,6 +158,9 @@ class PrefixCache {
   /// Outstanding (lease, node) pin edges — incremented when a lease pins
   /// a path, decremented on release; mirrors the tree's total ref count.
   std::uint64_t outstanding_pins_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  std::uint32_t trace_replica_ = 0;
+  const double* trace_clock_ = nullptr;
 };
 
 }  // namespace llmq::cache

@@ -20,6 +20,8 @@ EngineSession::EngineSession(const ServingEngine& engine,
 
 void EngineSession::submit(Request req) {
   outstanding_prompt_tokens_ += req.prompt.size();
+  trace(obs::EventKind::Enqueue, req.id, req.prompt.size(),
+        req.output_tokens, 0, req.priority);
   Pending p;
   p.req = std::move(req);
   p.seq = next_seq_++;
@@ -77,8 +79,11 @@ std::size_t EngineSession::pick_queue() const {
   return best;
 }
 
-EngineSession::Pending EngineSession::preempt_at(std::size_t idx) {
+EngineSession::Pending EngineSession::preempt_at(std::size_t idx,
+                                                 bool automatic) {
   Running& r = running_[idx];
+  trace(obs::EventKind::Preempt, r.req.id, r.generated, r.max_prefilled,
+        automatic ? 1 : 0, r.req.priority);
   // Release the victim's KV: unpin its cached prefix path (the shared
   // blocks stay resident until LRU eviction needs them — that residue is
   // what makes resume cheap) and free its private blocks (prompt tail +
@@ -130,14 +135,14 @@ bool EngineSession::preempt_below(PriorityClass cls) {
   }
   if (victim == running_.size()) return false;
   ++last_step_preempted_;
-  enqueue_pending(preempt_at(victim));
+  enqueue_pending(preempt_at(victim, /*automatic=*/true));
   return true;
 }
 
 bool EngineSession::preempt(std::uint64_t id) {
   for (std::size_t i = 0; i < running_.size(); ++i) {
     if (running_[i].req.id != id) continue;
-    parked_.push_back(preempt_at(i));
+    parked_.push_back(preempt_at(i, /*automatic=*/false));
     return true;
   }
   return false;
@@ -146,6 +151,8 @@ bool EngineSession::preempt(std::uint64_t id) {
 bool EngineSession::resume(std::uint64_t id) {
   for (std::size_t i = 0; i < parked_.size(); ++i) {
     if (parked_[i].req.id != id) continue;
+    trace(obs::EventKind::Resume, id, parked_[i].generated, 0, 0,
+          parked_[i].req.priority);
     enqueue_pending(std::move(parked_[i]));
     parked_.erase(parked_.begin() + static_cast<std::ptrdiff_t>(i));
     return true;
@@ -206,6 +213,8 @@ std::size_t EngineSession::try_admit() {
       used = cache_.resident_blocks() + private_in_use_ + reserved_shared_;
     }
     if (used + needed > pool_blocks) {
+      trace(obs::EventKind::Defer, req.id, needed, used, pool_blocks,
+            req.priority);
       // The request is not admitted this step; the retry will probe
       // again, so this probe must not count (a request that waits K
       // steps would otherwise register K+1 lookups and K+1 hit-token
@@ -265,6 +274,13 @@ std::size_t EngineSession::try_admit() {
       }
     }
     private_in_use_ += private_blocks;
+
+    // Payload carries what the auditor needs to replay the exactly-once
+    // cached ledger: this admission's cache coverage, the first-pass
+    // line before it, and the resumed/chunked mode bits (the chunked
+    // resume rule books max(0, cached - line) extra cached tokens).
+    trace(obs::EventKind::Admit, req.id, cached, p.max_prefilled,
+          (p.resumed ? 1u : 0u) | (chunked ? 2u : 0u), req.priority);
 
     Running r;
     r.req = std::move(req);
@@ -376,6 +392,8 @@ void EngineSession::run_prefill_chunks() {
     if (pos_end > r.max_prefilled) r.max_prefilled = pos_end;
     r.prefill_done += take;
     budget -= take;
+    trace(obs::EventKind::PrefillChunk, r.req.id, take, fresh, replay,
+          r.req.priority);
 
     if (r.prefill_done >= r.prefill_target) {
       finish_prefill(r);
@@ -446,7 +464,11 @@ EngineSession::StepEvents EngineSession::step() {
       }
       ++it->generated;
       ++it->context_len;
-      if (it->first_token_time == 0.0) it->first_token_time = now_;
+      if (it->first_token_time == 0.0) {
+        it->first_token_time = now_;
+        trace(obs::EventKind::FirstToken, it->req.id, it->generated, 0, 0,
+              it->req.priority);
+      }
       const std::size_t want = std::max<std::size_t>(1, it->req.output_tokens);
       if (it->generated >= want) {
         RequestResult res;
@@ -463,6 +485,8 @@ EngineSession::StepEvents EngineSession::step() {
         res.preemptions = it->preemptions;
         res.recomputed_tokens = it->recomputed_tokens;
         ev.completed.push_back(res);
+        trace(obs::EventKind::Finish, res.id, res.output_tokens,
+              res.prompt_tokens, res.cached_tokens, res.priority);
         cache_.release(it->lease);
         private_in_use_ -= it->private_blocks;
         // Normally zero by finish_prefill; a capacity-limited caller
@@ -475,6 +499,8 @@ EngineSession::StepEvents EngineSession::step() {
         ++it;
       }
     }
+    trace(obs::EventKind::DecodeStep, 0, ctx.size(), ev.completed.size(), 0,
+          PriorityClass::Interactive);
   }
   if (stall_watch && now_ > step_start)
     metrics_.max_decode_stall_seconds =
@@ -497,6 +523,30 @@ void EngineSession::advance_to(double t) {
         "EngineSession::advance_to: clock advances only through decode "
         "steps while requests are in flight");
   now_ = std::max(now_, t);
+}
+
+obs::GaugeSample EngineSession::gauges() const {
+  obs::GaugeSample g;
+  g.kv_resident_blocks = cache_.resident_blocks();
+  g.kv_private_blocks = private_in_use_;
+  g.kv_reserved_blocks = reserved_shared_;
+  g.kv_pinned_blocks = cache_.pinned_blocks();
+  for (std::size_t b = 0; b < kNumPriorityClasses; ++b)
+    g.pending_by_class[b] = pending_[b].size();
+  for (const Running& r : running_) {
+    if (r.phase == Phase::Prefill)
+      ++g.running_prefill;
+    else
+      ++g.running_decode;
+  }
+  g.parked = parked_.size();
+  g.outstanding_prompt_tokens = outstanding_prompt_tokens_;
+  g.rolling_phr =
+      metrics_.prompt_tokens
+          ? static_cast<double>(metrics_.cached_prompt_tokens) /
+                static_cast<double>(metrics_.prompt_tokens)
+          : 0.0;
+  return g;
 }
 
 EngineMetrics EngineSession::metrics() const {

@@ -65,6 +65,8 @@
 #include <vector>
 
 #include "llm/engine.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 
 namespace llmq::llm {
 
@@ -152,6 +154,21 @@ class EngineSession {
   /// delta over the session (the caller's cache may have prior history).
   EngineMetrics metrics() const;
 
+  /// Bind an event sink (obs/trace.hpp) under track id `replica`; also
+  /// binds the session's cache (with this session's clock) so cache
+  /// events land on the same track. nullptr disables emission — the
+  /// default, and the only cost then is one branch per emission site.
+  /// Emission never mutates session state: a traced run's results are
+  /// bit-identical to an untraced run's (tests/obs pins this).
+  void set_trace(obs::TraceSink* sink, std::uint32_t replica) {
+    trace_ = sink;
+    trace_replica_ = replica;
+    cache_.set_trace(sink, replica, &now_);
+  }
+
+  /// Instantaneous gauge snapshot for time-series sampling (obs).
+  obs::GaugeSample gauges() const;
+
  private:
   /// A queued request plus the state that must survive preempt/resume
   /// cycles. All carry-over fields are zero/initial on first submission.
@@ -218,8 +235,9 @@ class EngineSession {
   /// when everything is empty.
   std::size_t pick_queue() const;
   /// Preempt the running request at `idx` and return its re-queueable
-  /// state (caller decides pending vs parked).
-  Pending preempt_at(std::size_t idx);
+  /// state (caller decides pending vs parked). `automatic` only tags the
+  /// trace event (engine-initiated vs explicit preempt()).
+  Pending preempt_at(std::size_t idx, bool automatic);
   /// Auto-preempt the worst running victim strictly below `cls` (ties:
   /// most recently admitted, to minimize lost decode work); the victim
   /// re-queues into pending. False when no such victim exists.
@@ -260,6 +278,16 @@ class EngineSession {
   std::size_t last_step_preempted_ = 0;
   double now_ = 0.0;
   EngineMetrics metrics_;
+
+  /// One branch when tracing is off; no allocation either way.
+  void trace(obs::EventKind kind, std::uint64_t id, std::uint64_t a,
+             std::uint64_t b, std::uint64_t c, PriorityClass cls) const {
+    if (!trace_) return;
+    trace_->emit({kind, static_cast<std::uint8_t>(cls), trace_replica_,
+                  now_, id, a, b, c});
+  }
+  obs::TraceSink* trace_ = nullptr;
+  std::uint32_t trace_replica_ = 0;
 };
 
 }  // namespace llmq::llm

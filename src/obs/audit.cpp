@@ -1,0 +1,251 @@
+#include "obs/audit.hpp"
+
+#include <map>
+
+namespace llmq::obs {
+
+namespace {
+
+/// Per-request replay state (keyed by request id; std::map so the
+/// end-of-replay sweep — and therefore violation order — is
+/// deterministic).
+struct ReqState {
+  bool enqueued = false;
+  bool running = false;
+  bool finished = false;
+  std::uint32_t replica = 0;
+  std::uint8_t cls = 0;
+  std::uint64_t prompt = 0;
+  std::size_t admits = 0;
+  bool chunked = false;
+  std::uint64_t cached = 0;
+  std::uint64_t computed = 0;
+  std::uint64_t recompute = 0;
+  std::uint64_t first_cached = 0;
+  std::uint64_t last_generated = 0;  // at the latest preemption
+  std::int64_t routed_to = -1;       // RouteDecision target, if any
+};
+
+constexpr std::size_t kMaxRecorded = 64;
+
+}  // namespace
+
+AuditResult audit_trace(const TraceLog& log) {
+  AuditResult out;
+  out.events = log.size();
+
+  const auto fail = [&out](std::string msg) {
+    ++out.violation_count;
+    if (out.violations.size() < kMaxRecorded)
+      out.violations.push_back(std::move(msg));
+  };
+  const auto tag = [](const TraceEvent& e) {
+    return std::string(to_string(e.kind)) + " id=" + std::to_string(e.id) +
+           " t=" + std::to_string(e.time);
+  };
+
+  std::map<std::uint64_t, ReqState> reqs;
+  std::map<std::uint32_t, double> track_time;
+  std::uint64_t finish_output_sum = 0;
+  std::int64_t last_window = -1;
+
+  for (const TraceEvent& e : log.events()) {
+    // Monotone per-track clocks: replica tracks run on their session
+    // clock, the global track on the merged driver clock; neither may
+    // step backwards.
+    auto [it, fresh] = track_time.emplace(e.replica, e.time);
+    if (!fresh) {
+      if (e.time < it->second)
+        fail("clock went backwards on track " + std::to_string(e.replica) +
+             ": " + tag(e));
+      it->second = e.time;
+    }
+
+    switch (e.kind) {
+      case EventKind::Enqueue: {
+        ReqState& r = reqs[e.id];
+        if (r.enqueued) {
+          fail("duplicate enqueue: " + tag(e));
+          break;
+        }
+        r.enqueued = true;
+        r.replica = e.replica;
+        r.cls = e.cls;
+        r.prompt = e.a;
+        if (r.routed_to >= 0 &&
+            r.routed_to != static_cast<std::int64_t>(e.replica))
+          fail("enqueued on a different replica than routed: " + tag(e));
+        ++out.enqueued;
+        break;
+      }
+      case EventKind::Admit: {
+        ReqState& r = reqs[e.id];
+        const bool resumed = (e.c & 1) != 0;
+        const bool chunked = (e.c & 2) != 0;
+        if (!r.enqueued || r.finished || r.replica != e.replica) {
+          fail("admit without live enqueue on this track: " + tag(e));
+          break;
+        }
+        if (r.running) fail("admitted twice without a preemption: " + tag(e));
+        if (e.a > r.prompt) fail("cache hit exceeds prompt: " + tag(e));
+        if (r.admits == 0) {
+          if (resumed) fail("first admission marked resumed: " + tag(e));
+          r.chunked = chunked;
+          r.first_cached = e.a;
+          r.cached += e.a;
+          // Monolithic prefill computes the whole uncached suffix inside
+          // admission; chunked mode books computed per chunk instead.
+          if (!chunked) r.computed += r.prompt - e.a;
+        } else {
+          if (!resumed) fail("re-admission not marked resumed: " + tag(e));
+          if (chunked != r.chunked)
+            fail("prefill mode changed across admissions: " + tag(e));
+          if (chunked) {
+            // Chunked-resume cached rule: coverage past the request's
+            // first-pass line (payload b) is served from cache and will
+            // never be chunk-computed — book the difference once.
+            if (e.a > e.b) r.cached += e.a - e.b;
+          } else {
+            // Monolithic resume replays the uncached suffix plus every
+            // generated token as recompute.
+            r.recompute += (r.prompt - e.a) + r.last_generated;
+          }
+        }
+        r.running = true;
+        ++r.admits;
+        break;
+      }
+      case EventKind::Defer:
+        // No ledger effect: the paired lookup's stats are undone by a
+        // CacheCancelLookup (fresh) or CacheRelease (resume).
+        break;
+      case EventKind::PrefillChunk: {
+        ReqState& r = reqs[e.id];
+        if (!r.running || !r.chunked) {
+          fail("prefill chunk outside a chunked admission: " + tag(e));
+          break;
+        }
+        if (e.a != e.b + e.c)
+          fail("chunk tokens != first-pass + replay: " + tag(e));
+        r.computed += e.b;
+        r.recompute += e.c;
+        break;
+      }
+      case EventKind::FirstToken: {
+        if (!reqs[e.id].running)
+          fail("first token from a request not running: " + tag(e));
+        break;
+      }
+      case EventKind::DecodeStep:
+        out.output_tokens += e.a;
+        break;
+      case EventKind::Preempt: {
+        ReqState& r = reqs[e.id];
+        if (!r.running) {
+          fail("preempt of a request not running: " + tag(e));
+          break;
+        }
+        r.running = false;
+        r.last_generated = e.a;
+        ++out.preemptions;
+        break;
+      }
+      case EventKind::Resume: {
+        const ReqState& r = reqs[e.id];
+        if (!r.enqueued || r.running || r.finished)
+          fail("resume of a request not parked: " + tag(e));
+        break;
+      }
+      case EventKind::Finish: {
+        ReqState& r = reqs[e.id];
+        if (!r.running) {
+          fail("finish of a request not running: " + tag(e));
+          break;
+        }
+        r.running = false;
+        r.finished = true;
+        if (e.b != r.prompt) fail("finish prompt mismatch: " + tag(e));
+        if (e.c != r.first_cached)
+          fail("finish first-admission cache mismatch: " + tag(e));
+        finish_output_sum += e.a;
+        ++out.finished;
+        if (e.cls < out.per_class_finished.size())
+          ++out.per_class_finished[e.cls];
+        break;
+      }
+      case EventKind::CacheLookup:
+        out.pin_balance += static_cast<std::int64_t>(e.c);
+        if (e.cls == 0) {  // fresh lookup; resume probes count no stats
+          ++out.cache_lookups;
+          out.cache_hit_tokens += e.b;
+        }
+        break;
+      case EventKind::CacheAdmit:
+        out.pin_balance += static_cast<std::int64_t>(e.b) -
+                           static_cast<std::int64_t>(e.c);
+        out.cache_inserted_blocks += e.a;
+        break;
+      case EventKind::CacheRelease:
+        out.pin_balance -= static_cast<std::int64_t>(e.a);
+        break;
+      case EventKind::CacheCancelLookup:
+        // Stat undo for a deferred admission (the unpin arrives as its
+        // own CacheRelease).
+        --out.cache_lookups;
+        out.cache_hit_tokens -= e.b;
+        break;
+      case EventKind::CacheEvict:
+        out.cache_evicted_blocks += e.a;
+        break;
+      case EventKind::RouteDecision: {
+        if (e.replica != kGlobalTrack)
+          fail("route decision off the global track: " + tag(e));
+        reqs[e.id].routed_to = static_cast<std::int64_t>(e.a);
+        ++out.route_decisions;
+        break;
+      }
+      case EventKind::WindowPlan: {
+        if (e.replica != kGlobalTrack)
+          fail("window plan off the global track: " + tag(e));
+        if (static_cast<std::int64_t>(e.id) <= last_window)
+          fail("window ordinal not increasing: " + tag(e));
+        last_window = static_cast<std::int64_t>(e.id);
+        ++out.windows;
+        break;
+      }
+    }
+  }
+
+  for (const auto& [id, r] : reqs) {
+    if (!r.enqueued) continue;  // RouteDecision-only entry
+    if (r.admits > 0) {
+      // Engine booking rule: prompt/cached counters book at first
+      // admission; never-admitted requests appear in no ledger.
+      out.prompt_tokens += r.prompt;
+      out.cached_prompt_tokens += r.cached;
+      out.computed_prompt_tokens += r.computed;
+      out.recompute_tokens += r.recompute;
+    }
+    if (!r.finished) {
+      ++out.unfinished;
+      continue;
+    }
+    if (r.cached + r.computed != r.prompt)
+      fail("cached + computed != prompt for id " + std::to_string(id) +
+           " (" + std::to_string(r.cached) + " + " +
+           std::to_string(r.computed) + " != " + std::to_string(r.prompt) +
+           ")");
+  }
+  if (out.unfinished == 0) {
+    if (out.pin_balance != 0)
+      fail("pin ledger unbalanced at quiescence: " +
+           std::to_string(out.pin_balance));
+    if (finish_output_sum != out.output_tokens)
+      fail("decoded tokens != finished output tokens (" +
+           std::to_string(out.output_tokens) + " != " +
+           std::to_string(finish_output_sum) + ")");
+  }
+  return out;
+}
+
+}  // namespace llmq::obs

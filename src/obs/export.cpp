@@ -1,0 +1,248 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace llmq::obs {
+
+namespace {
+
+/// trace_event "pid" assignment: 0 is the driver (merged-clock) track,
+/// replica r is pid r + 1 — Perfetto sorts processes by pid, which puts
+/// the driver first and replicas in index order.
+std::int64_t pid_of(std::uint32_t replica) {
+  return replica == kGlobalTrack ? 0
+                                 : static_cast<std::int64_t>(replica) + 1;
+}
+
+double to_us(double seconds) { return seconds * 1e6; }
+
+void event_common(util::JsonWriter& w, const char* name, const char* ph,
+                  const TraceEvent& e) {
+  w.begin_object();
+  w.key("name").value(name);
+  w.key("ph").value(ph);
+  w.key("pid").value(pid_of(e.replica));
+  w.key("tid").value(std::int64_t{0});
+  w.key("ts").value(to_us(e.time));
+}
+
+/// Async request-span events share one (cat, id) pair so Perfetto nests
+/// the instants inside the span.
+void async_common(util::JsonWriter& w, const char* name, const char* ph,
+                  const TraceEvent& e) {
+  event_common(w, name, ph, e);
+  w.key("cat").value("request");
+  w.key("id").value(static_cast<std::int64_t>(e.id));
+}
+
+void metadata_event(util::JsonWriter& w, std::int64_t pid,
+                    const std::string& name) {
+  w.begin_object();
+  w.key("name").value("process_name");
+  w.key("ph").value("M");
+  w.key("pid").value(pid);
+  w.key("tid").value(std::int64_t{0});
+  w.key("args").begin_object();
+  w.key("name").value(name);
+  w.end_object();
+  w.end_object();
+}
+
+void counter_event(util::JsonWriter& w, const char* name, std::int64_t pid,
+                   double ts_us) {
+  w.begin_object();
+  w.key("name").value(name);
+  w.key("ph").value("C");
+  w.key("pid").value(pid);
+  w.key("tid").value(std::int64_t{0});
+  w.key("ts").value(ts_us);
+  w.key("args").begin_object();
+}
+
+}  // namespace
+
+std::string trace_to_jsonl(const TraceLog& log) {
+  std::string out;
+  out.reserve(log.size() * 96);
+  for (const TraceEvent& e : log.events()) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("k").value(to_string(e.kind));
+    w.key("t").value(e.time);
+    w.key("r").value(static_cast<std::int64_t>(e.replica));
+    w.key("cls").value(static_cast<std::int64_t>(e.cls));
+    w.key("id").value(static_cast<std::int64_t>(e.id));
+    w.key("a").value(static_cast<std::int64_t>(e.a));
+    w.key("b").value(static_cast<std::int64_t>(e.b));
+    w.key("c").value(static_cast<std::int64_t>(e.c));
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string perfetto_trace_json(const TraceLog& log,
+                                const TimeSeries* timeseries) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+
+  // Track metadata: every pid that will appear gets a readable name.
+  std::vector<std::uint32_t> replicas;
+  bool has_global = false;
+  const auto note_track = [&](std::uint32_t r) {
+    if (r == kGlobalTrack) {
+      has_global = true;
+      return;
+    }
+    if (std::find(replicas.begin(), replicas.end(), r) == replicas.end())
+      replicas.push_back(r);
+  };
+  for (const TraceEvent& e : log.events()) note_track(e.replica);
+  if (timeseries)
+    for (const std::uint32_t r : timeseries->replica) note_track(r);
+  std::sort(replicas.begin(), replicas.end());
+  if (has_global) metadata_event(w, 0, "driver");
+  for (const std::uint32_t r : replicas)
+    metadata_event(w, pid_of(r), "replica " + std::to_string(r));
+
+  for (const TraceEvent& e : log.events()) {
+    switch (e.kind) {
+      case EventKind::Enqueue: {
+        async_common(w, "req", "b", e);
+        w.key("args").begin_object();
+        w.key("prompt_tokens").value(static_cast<std::int64_t>(e.a));
+        w.key("output_tokens").value(static_cast<std::int64_t>(e.b));
+        w.key("class").value(static_cast<std::int64_t>(e.cls));
+        w.end_object();
+        w.end_object();
+        break;
+      }
+      case EventKind::Finish: {
+        async_common(w, "req", "e", e);
+        w.key("args").begin_object();
+        w.key("output_tokens").value(static_cast<std::int64_t>(e.a));
+        w.key("cached_tokens").value(static_cast<std::int64_t>(e.c));
+        w.end_object();
+        w.end_object();
+        break;
+      }
+      case EventKind::Admit:
+      case EventKind::FirstToken:
+      case EventKind::Resume:
+      case EventKind::PrefillChunk: {
+        async_common(w, to_string(e.kind), "n", e);
+        w.key("args").begin_object();
+        w.key("a").value(static_cast<std::int64_t>(e.a));
+        w.key("b").value(static_cast<std::int64_t>(e.b));
+        w.key("c").value(static_cast<std::int64_t>(e.c));
+        w.end_object();
+        w.end_object();
+        break;
+      }
+      case EventKind::Preempt:
+      case EventKind::Defer:
+      case EventKind::CacheEvict:
+      case EventKind::RouteDecision:
+      case EventKind::WindowPlan: {
+        event_common(w, to_string(e.kind), "i", e);
+        w.key("s").value("t");  // thread-scoped instant
+        w.key("args").begin_object();
+        w.key("id").value(static_cast<std::int64_t>(e.id));
+        w.key("a").value(static_cast<std::int64_t>(e.a));
+        w.key("b").value(static_cast<std::int64_t>(e.b));
+        w.key("c").value(static_cast<std::int64_t>(e.c));
+        w.end_object();
+        w.end_object();
+        break;
+      }
+      case EventKind::DecodeStep: {
+        counter_event(w, "decode_batch", pid_of(e.replica), to_us(e.time));
+        w.key("batch").value(static_cast<std::int64_t>(e.a));
+        w.end_object();
+        w.end_object();
+        break;
+      }
+      case EventKind::CacheLookup:
+      case EventKind::CacheAdmit:
+      case EventKind::CacheRelease:
+      case EventKind::CacheCancelLookup:
+        // Per-lookup cache traffic stays in the JSONL export; rendering
+        // every pin/unpin as a Perfetto event drowns the request spans.
+        break;
+    }
+  }
+
+  if (timeseries) {
+    for (std::size_t i = 0; i < timeseries->size(); ++i) {
+      const std::int64_t pid = pid_of(timeseries->replica[i]);
+      const double ts = to_us(timeseries->time[i]);
+      counter_event(w, "kv_blocks", pid, ts);
+      w.key("resident").value(
+          static_cast<std::int64_t>(timeseries->kv_resident_blocks[i]));
+      w.key("private").value(
+          static_cast<std::int64_t>(timeseries->kv_private_blocks[i]));
+      w.key("reserved").value(
+          static_cast<std::int64_t>(timeseries->kv_reserved_blocks[i]));
+      w.key("pinned").value(
+          static_cast<std::int64_t>(timeseries->kv_pinned_blocks[i]));
+      w.end_object();
+      w.end_object();
+      counter_event(w, "queue_depth", pid, ts);
+      w.key("interactive").value(
+          static_cast<std::int64_t>(timeseries->pending_interactive[i]));
+      w.key("standard").value(
+          static_cast<std::int64_t>(timeseries->pending_standard[i]));
+      w.key("batch").value(
+          static_cast<std::int64_t>(timeseries->pending_batch[i]));
+      w.key("parked").value(static_cast<std::int64_t>(timeseries->parked[i]));
+      w.end_object();
+      w.end_object();
+      counter_event(w, "running", pid, ts);
+      w.key("prefill").value(
+          static_cast<std::int64_t>(timeseries->running_prefill[i]));
+      w.key("decode").value(
+          static_cast<std::int64_t>(timeseries->running_decode[i]));
+      w.end_object();
+      w.end_object();
+      counter_event(w, "rolling_phr", pid, ts);
+      w.key("phr").value(timeseries->rolling_phr[i]);
+      w.end_object();
+      w.end_object();
+      counter_event(w, "outstanding_prompt_tokens", pid, ts);
+      w.key("tokens").value(static_cast<std::int64_t>(
+          timeseries->outstanding_prompt_tokens[i]));
+      w.end_object();
+      w.end_object();
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "[obs: could not write %s]\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool write_perfetto_trace(const std::string& path, const TraceLog& log,
+                          const TimeSeries* timeseries) {
+  return write_text_file(path, perfetto_trace_json(log, timeseries));
+}
+
+}  // namespace llmq::obs

@@ -1,0 +1,41 @@
+#pragma once
+// Trace exporters: compact JSONL and Chrome/Perfetto trace_event JSON.
+//
+// JSONL is the canonical byte-level serialization — one compact JSON
+// object per event, in emission order, every field verbatim. Because the
+// serving stack is deterministic and the writer formats doubles with a
+// fixed "%.17g" round-trip format, the JSONL bytes of two identical runs
+// are bit-identical (the determinism tests compare exactly these bytes).
+//
+// The Perfetto export targets ui.perfetto.dev / chrome://tracing: a
+// {"traceEvents": [...]} envelope in the trace_event format, with one
+// process (track) per replica plus a "driver" track for merged-clock
+// events (window plans, route decisions), an async span per request
+// (Enqueue -> Finish, with Admit/FirstToken/Resume as nested instants),
+// thread instants for preemptions/defers/evictions, and counter tracks
+// from the sampled TimeSeries. Virtual seconds map to microseconds (the
+// trace_event "ts" unit).
+
+#include <string>
+
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+
+namespace llmq::obs {
+
+/// One compact JSON object per event, "\n"-terminated, emission order.
+std::string trace_to_jsonl(const TraceLog& log);
+
+/// Chrome/Perfetto trace_event JSON ({"traceEvents": [...]}) for the
+/// event log plus optional sampled counter tracks.
+std::string perfetto_trace_json(const TraceLog& log,
+                                const TimeSeries* timeseries = nullptr);
+
+/// Write `content` to `path`; false (with a note to stderr) on failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+/// Convenience: perfetto_trace_json -> file.
+bool write_perfetto_trace(const std::string& path, const TraceLog& log,
+                          const TimeSeries* timeseries = nullptr);
+
+}  // namespace llmq::obs

@@ -1,0 +1,22 @@
+#include "obs/timeseries.hpp"
+
+namespace llmq::obs {
+
+void TimeSeries::append(double t, std::uint32_t r, const GaugeSample& g) {
+  time.push_back(t);
+  replica.push_back(r);
+  kv_resident_blocks.push_back(g.kv_resident_blocks);
+  kv_private_blocks.push_back(g.kv_private_blocks);
+  kv_reserved_blocks.push_back(g.kv_reserved_blocks);
+  kv_pinned_blocks.push_back(g.kv_pinned_blocks);
+  pending_interactive.push_back(g.pending_by_class[0]);
+  pending_standard.push_back(g.pending_by_class[1]);
+  pending_batch.push_back(g.pending_by_class[2]);
+  running_prefill.push_back(g.running_prefill);
+  running_decode.push_back(g.running_decode);
+  parked.push_back(g.parked);
+  outstanding_prompt_tokens.push_back(g.outstanding_prompt_tokens);
+  rolling_phr.push_back(g.rolling_phr);
+}
+
+}  // namespace llmq::obs

@@ -1,0 +1,27 @@
+#include "obs/trace.hpp"
+
+namespace llmq::obs {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::Enqueue: return "enqueue";
+    case EventKind::Admit: return "admit";
+    case EventKind::Defer: return "defer";
+    case EventKind::PrefillChunk: return "prefill_chunk";
+    case EventKind::FirstToken: return "first_token";
+    case EventKind::DecodeStep: return "decode_step";
+    case EventKind::Preempt: return "preempt";
+    case EventKind::Resume: return "resume";
+    case EventKind::Finish: return "finish";
+    case EventKind::CacheLookup: return "cache_lookup";
+    case EventKind::CacheAdmit: return "cache_admit";
+    case EventKind::CacheRelease: return "cache_release";
+    case EventKind::CacheCancelLookup: return "cache_cancel_lookup";
+    case EventKind::CacheEvict: return "cache_evict";
+    case EventKind::RouteDecision: return "route_decision";
+    case EventKind::WindowPlan: return "window_plan";
+  }
+  return "unknown";
+}
+
+}  // namespace llmq::obs

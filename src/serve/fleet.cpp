@@ -61,6 +61,15 @@ std::size_t ReplicaFleet::dispatch(llm::Request req, std::uint32_t tenant,
   }
   const std::size_t target = router_.route(req.prompt, tenant, views_);
   Replica& rep = *replicas_[target];
+  if (trace_) {
+    // Re-probe the winner with the const, side-effect-free peek() —
+    // traced runs must stay bit-identical to untraced ones.
+    trace_->emit({obs::EventKind::RouteDecision,
+                  static_cast<std::uint8_t>(req.priority), obs::kGlobalTrack,
+                  now, req.id, target,
+                  views_[target].cache->peek(req.prompt),
+                  views_[target].outstanding_prompt_tokens});
+  }
   // An idle replica has been parked at its last activity; bring it to the
   // dispatch instant so admission cannot happen in the past.
   if (!rep.session.has_work()) rep.session.advance_to(now);
@@ -129,6 +138,18 @@ double ReplicaFleet::load_imbalance() const {
   return imbalance_samples_
              ? imbalance_sum_ / static_cast<double>(imbalance_samples_)
              : 1.0;
+}
+
+void ReplicaFleet::set_trace(obs::TraceSink* sink) {
+  trace_ = sink;
+  for (std::size_t r = 0; r < replicas_.size(); ++r)
+    replicas_[r]->session.set_trace(sink, static_cast<std::uint32_t>(r));
+}
+
+void ReplicaFleet::sample_gauges(obs::TimeSeries& ts, double now) const {
+  for (std::size_t r = 0; r < replicas_.size(); ++r)
+    ts.append(now, static_cast<std::uint32_t>(r),
+              replicas_[r]->session.gauges());
 }
 
 }  // namespace llmq::serve

@@ -104,6 +104,16 @@ class ReplicaFleet {
     return replicas_[r]->session;
   }
 
+  /// Bind an event sink: each replica session (and its cache) emits on
+  /// track r; dispatch() additionally emits a RouteDecision per request
+  /// on the global track (the merged driver clock can be ahead of a busy
+  /// replica's clock, so routing events must not claim a replica track).
+  void set_trace(obs::TraceSink* sink);
+
+  /// Append one gauge row per replica at merged time `now` (time-series
+  /// sampling; see obs/timeseries.hpp).
+  void sample_gauges(obs::TimeSeries& ts, double now) const;
+
  private:
   struct Replica {
     llm::ServingEngine engine;
@@ -118,6 +128,7 @@ class ReplicaFleet {
 
   std::vector<std::unique_ptr<Replica>> replicas_;
   Router router_;
+  obs::TraceSink* trace_ = nullptr;
   std::vector<ReplicaMetrics> counters_;  // engine filled by replica_metrics
   std::vector<Router::ReplicaView> views_;  // reused per-dispatch buffer
   double imbalance_sum_ = 0.0;

@@ -35,13 +35,16 @@ LatencySummary summarize_latency(const std::vector<ServedRequest>& requests,
 
   s.mean_ttft = util::mean(ttft);
   s.p50_ttft = util::percentile(ttft, 50.0);
+  s.p90_ttft = util::percentile(ttft, 90.0);
   s.p95_ttft = util::percentile(ttft, 95.0);
   s.p99_ttft = util::percentile(ttft, 99.0);
   s.mean_queue_delay = util::mean(queue);
+  s.p90_queue_delay = util::percentile(queue, 90.0);
   s.p99_queue_delay = util::percentile(queue, 99.0);
   if (!itl.empty()) {
     s.mean_itl = util::mean(itl);
     s.p50_itl = util::percentile(itl, 50.0);
+    s.p90_itl = util::percentile(itl, 90.0);
     s.p99_itl = util::percentile(itl, 99.0);
   }
   s.p50_e2e = util::percentile(e2e, 50.0);

@@ -69,9 +69,11 @@ struct LatencySummary {
   std::size_t count = 0;
   double mean_ttft = 0.0;
   double p50_ttft = 0.0;
+  double p90_ttft = 0.0;
   double p95_ttft = 0.0;
   double p99_ttft = 0.0;
   double mean_queue_delay = 0.0;
+  double p90_queue_delay = 0.0;
   double p99_queue_delay = 0.0;
   /// Inter-token latency percentiles over requests' mean ITL (requests
   /// with >= 2 output tokens; zeros when none qualify). The serving-side
@@ -79,6 +81,7 @@ struct LatencySummary {
   /// in-flight decode, which surfaces here long before it moves TTFT.
   double mean_itl = 0.0;
   double p50_itl = 0.0;
+  double p90_itl = 0.0;
   double p99_itl = 0.0;
   double p50_e2e = 0.0;
   double p99_e2e = 0.0;

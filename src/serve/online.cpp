@@ -156,6 +156,13 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
                             config.engine);
   cache::PrefixCache cache = engine.make_session_cache();
   llm::EngineSession session(engine, cache);
+  if (config.trace.sink) {
+    session.set_trace(config.trace.sink, 0);
+    scheduler.set_trace(config.trace.sink);
+  }
+  obs::SampleClock sampler(config.trace.sampling() ? config.trace.timeseries
+                                                   : nullptr,
+                           config.trace.sample_interval_seconds);
   const llm::TaskModel task_model(config.model_profile);
   EncoderMap encoders(config.prompt);
 
@@ -194,6 +201,10 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
   std::size_t next = 0;
   const std::size_t n = arrivals.size();
   while (next < n || scheduler.buffered() > 0 || session.has_work()) {
+    if (sampler.due(session.now())) {
+      sampler.series()->append(session.now(), 0, session.gauges());
+      sampler.advance_past(session.now());
+    }
     // 1. Feed arrivals that have occurred.
     while (next < n && arrivals[next].time <= session.now())
       scheduler.push(arrivals[next++]);
@@ -244,6 +255,13 @@ OnlineRunResult run_online_replicated(const table::Table& t,
 
   OnlineScheduler scheduler(t, fds, config.scheduler);
   ReplicaFleet fleet(config.fleet());
+  if (config.trace.sink) {
+    fleet.set_trace(config.trace.sink);
+    scheduler.set_trace(config.trace.sink);
+  }
+  obs::SampleClock sampler(config.trace.sampling() ? config.trace.timeseries
+                                                   : nullptr,
+                           config.trace.sample_interval_seconds);
   const llm::TaskModel task_model(config.model_profile);
   EncoderMap encoders(config.prompt);
 
@@ -288,6 +306,10 @@ OnlineRunResult run_online_replicated(const table::Table& t,
   while (next < n || scheduler.buffered() > 0 || fleet.any_work()) {
     // 0. Advance the merged clock to the execution frontier.
     now = fleet.frontier(now);
+    if (sampler.due(now)) {
+      fleet.sample_gauges(*sampler.series(), now);
+      sampler.advance_past(now);
+    }
     // 1. Feed arrivals that have occurred.
     while (next < n && arrivals[next].time <= now)
       scheduler.push(arrivals[next++]);

@@ -38,6 +38,8 @@
 #include "core/ordering.hpp"
 #include "llm/engine.hpp"
 #include "llm/task_model.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 #include "query/prompt.hpp"
 #include "serve/fleet.hpp"
 #include "serve/latency.hpp"
@@ -74,6 +76,11 @@ struct OnlineConfig {
   std::size_t n_replicas = 1;
   /// How scheduled requests are assigned to replicas (see router.hpp).
   RouterPolicy router = RouterPolicy::PrefixAffinity;
+
+  /// Observability: optional event sink + time-series sampler threaded
+  /// through every component the run constructs (sessions, caches,
+  /// scheduler, fleet). Default-null = tracing off at one-branch cost.
+  obs::TraceConfig trace;
 
   /// Shrink the KV pool to `fraction` of the GPU-derived capacity — same
   /// scaling contract as query::ExecConfig::scale_kv_pool, needed so

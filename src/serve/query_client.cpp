@@ -65,7 +65,9 @@ void QuerySession::submit(double time, llm::Request req,
 }
 
 QueryClient::QueryClient(const FleetConfig& fleet, Options options)
-    : fleet_config_(fleet), options_(options), fleet_(fleet) {}
+    : fleet_config_(fleet), options_(options), fleet_(fleet) {
+  if (options_.trace.sink) fleet_.set_trace(options_.trace.sink);
+}
 
 QueryClient::~QueryClient() = default;
 
@@ -210,9 +212,16 @@ void QueryClient::complete_from_memo(Meta meta, const MemoEntry& entry) {
 }
 
 void QueryClient::run() {
+  obs::SampleClock sampler(
+      options_.trace.sampling() ? options_.trace.timeseries : nullptr,
+      options_.trace.sample_interval_seconds);
   while (!heap_.empty() || fleet_.any_work()) {
     // 0. Advance the merged clock to the execution frontier.
     now_ = fleet_.frontier(now_);
+    if (sampler.due(now_)) {
+      fleet_.sample_gauges(*sampler.series(), now_);
+      sampler.advance_past(now_);
+    }
     // 1. Process every submission whose timestamp has passed.
     while (!heap_.empty() && heap_.front().time <= now_) {
       std::pop_heap(heap_.begin(), heap_.end(), SubmissionAfter{});

@@ -76,6 +76,9 @@ class QuerySession {
 struct QueryClientOptions {
   double ttft_slo_seconds = 0.0;  // goodput SLO for the latency summary
   bool dedup_exact = true;        // the exact-duplicate memo layer
+  /// Observability wiring (event sink + gauge sampler), threaded into the
+  /// shared fleet exactly as OnlineConfig::trace is for arrival streams.
+  obs::TraceConfig trace;
 };
 
 /// Multi-source submission front-end over a ReplicaFleet.

@@ -58,14 +58,18 @@ std::optional<Window> OnlineScheduler::pop_ready(double now) {
   std::vector<Arrival> batch(buffer_.begin(),
                              buffer_.begin() + static_cast<long>(take));
   buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(take));
-  return plan_window(std::move(batch), now);
+  Window w = plan_window(std::move(batch), now);
+  trace_window(w);
+  return w;
 }
 
 std::optional<Window> OnlineScheduler::flush(double now) {
   if (buffer_.empty()) return std::nullopt;
   std::vector<Arrival> batch(buffer_.begin(), buffer_.end());
   buffer_.clear();
-  return plan_window(std::move(batch), now);
+  Window w = plan_window(std::move(batch), now);
+  trace_window(w);
+  return w;
 }
 
 Window OnlineScheduler::plan_window(std::vector<Arrival> batch,

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/ggr.hpp"
+#include "obs/trace.hpp"
 #include "serve/workload.hpp"
 #include "table/fd.hpp"
 #include "table/table.hpp"
@@ -103,8 +104,19 @@ class OnlineScheduler {
 
   const SchedulerOptions& options() const { return opt_; }
 
+  /// Bind an event sink: every dispatched window (pop_ready/flush) emits
+  /// a WindowPlan event on the driver's global track. nullptr disables.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
  private:
   Window plan_window(std::vector<Arrival> batch, double now) const;
+  /// WindowPlan emission for one dispatched window.
+  void trace_window(const Window& w) {
+    if (!trace_) return;
+    trace_->emit({obs::EventKind::WindowPlan, 0, obs::kGlobalTrack,
+                  w.planned_at, window_seq_++, w.arrivals.size(),
+                  static_cast<std::uint64_t>(opt_.policy), buffer_.size()});
+  }
   /// Run the configured policy over one (sub-)batch, appending its
   /// emission to `w`.
   void plan_into(Window& w, std::vector<Arrival> batch) const;
@@ -113,6 +125,8 @@ class OnlineScheduler {
   const table::FdSet& fds_;
   SchedulerOptions opt_;
   std::deque<Arrival> buffer_;
+  obs::TraceSink* trace_ = nullptr;
+  std::uint64_t window_seq_ = 0;
 };
 
 }  // namespace llmq::serve

@@ -81,7 +81,11 @@ const std::vector<BenchSpec>& bench_specs() {
           {"phr", kNum},
           {"p50_ttft_s", kNum},
           {"p99_ttft_s", kNum},
-          {"peak_batch", kNum}}}}},
+          {"peak_batch", kNum}}},
+        {"trace_overhead",
+         {{"wall_s_no_trace", kNum},
+          {"wall_s_traced", kNum},
+          {"overhead_frac", kNum}}}}},
       {"bench_serving_router",
        {{"replicas_policy",
          {{"replicas", kNum},
@@ -198,6 +202,20 @@ TEST_P(BenchJsonSchema, TrivialRunEmitsRequiredKeysAndTypes) {
   EXPECT_TRUE(doc->find("scale")->is_number());
   ASSERT_NE(doc->find("seed"), nullptr);
   EXPECT_TRUE(doc->find("seed")->is_number());
+  // Envelope v2: schema version + toolchain provenance (a golden diff
+  // must be able to refuse cross-toolchain comparisons).
+  ASSERT_NE(doc->find("schema_version"), nullptr);
+  EXPECT_TRUE(doc->find("schema_version")->is_number());
+  const util::JsonValue* prov = doc->find("provenance");
+  ASSERT_NE(prov, nullptr);
+  ASSERT_TRUE(prov->is_object());
+  for (const char* key :
+       {"build_type", "sanitizer", "compiler", "compiler_version"}) {
+    const util::JsonValue* v = prov->find(key);
+    ASSERT_NE(v, nullptr) << "provenance lacks " << key;
+    EXPECT_TRUE(v->is_string()) << "provenance." << key;
+    EXPECT_FALSE(v->as_string().empty()) << "provenance." << key;
+  }
   const util::JsonValue* sections = doc->find("sections");
   ASSERT_NE(sections, nullptr);
   ASSERT_TRUE(sections->is_object());

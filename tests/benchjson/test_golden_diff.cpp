@@ -1,0 +1,153 @@
+// Golden bench snapshot diffs.
+//
+// BENCH_*.json at the repo root are committed snapshots of small-scale
+// bench runs (the perf-trajectory anchors). This suite re-runs each bench
+// at the snapshot's own scale/seed and diffs the *virtual-time* headline
+// numbers against the snapshot within tolerance bands: the simulation is
+// a pure function of (seed, config), so a drift here is a real behavior
+// change — a scheduler tweak moving p99 TTFT, a cache change moving PHR —
+// that must be acknowledged by regenerating the snapshot, not discovered
+// by downstream tooling. Wall-clock keys (trace_overhead, us_per_request)
+// are never compared; they measure the host, not the code.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+#ifndef LLMQ_BIN_DIR
+#define LLMQ_BIN_DIR "."
+#endif
+#ifndef LLMQ_REPO_ROOT
+#define LLMQ_REPO_ROOT "."
+#endif
+
+namespace llmq {
+namespace {
+
+struct DiffKey {
+  const char* section;
+  const char* key;
+  bool relative;  // tolerance as a fraction of the golden value
+  double tol;
+};
+
+struct GoldenSpec {
+  const char* binary;
+  const char* golden;  // filename at the repo root
+  std::vector<DiffKey> keys;
+};
+
+const std::vector<GoldenSpec>& golden_specs() {
+  // PHR compares absolutely (it is already a fraction); latency tails
+  // relatively, floored at 1 ms so near-zero arms don't demand exactness.
+  static const std::vector<GoldenSpec> specs = {
+      {"bench_serving_online",
+       "BENCH_serving_online.json",
+       {{"rate_policy", "phr", false, 0.02},
+        {"rate_policy", "p99_ttft_s", true, 0.10},
+        {"rate_policy", "goodput_rps", true, 0.10},
+        {"deadline_sweep", "phr", false, 0.02},
+        {"deadline_sweep", "p99_ttft_s", true, 0.10},
+        {"burstiness", "phr", false, 0.02}}},
+      {"bench_chunked_prefill",
+       "BENCH_chunked_prefill.json",
+       {{"chunk_mix_sweep", "interactive_p99_ttft_s", true, 0.10},
+        {"chunk_mix_sweep", "interactive_p99_itl_s", true, 0.10},
+        {"chunk_mix_sweep", "goodput_rps", true, 0.10}}},
+  };
+  return specs;
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream f(path);
+  return f.good();
+}
+
+std::optional<util::JsonValue> parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return std::nullopt;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return util::json_parse(buf.str());
+}
+
+class BenchGoldenDiff : public ::testing::TestWithParam<GoldenSpec> {};
+
+TEST_P(BenchGoldenDiff, HeadlineNumbersMatchSnapshotWithinTolerance) {
+  const GoldenSpec& spec = GetParam();
+  const std::string binary = std::string(LLMQ_BIN_DIR) + "/" + spec.binary;
+  if (!file_exists(binary))
+    GTEST_SKIP() << binary << " not built (benches disabled?)";
+
+  const std::string golden_path =
+      std::string(LLMQ_REPO_ROOT) + "/" + spec.golden;
+  const auto golden = parse_file(golden_path);
+  ASSERT_TRUE(golden.has_value())
+      << spec.golden << " missing or unparseable — regenerate with `"
+      << spec.binary << " --scale <s> --seed <n> --json " << spec.golden
+      << "`";
+
+  // Re-run at the snapshot's own scale/seed (read from its envelope, so
+  // regenerating a golden at a new scale needs no test edit).
+  const util::JsonValue* scale = golden->find("scale");
+  const util::JsonValue* seed = golden->find("seed");
+  ASSERT_NE(scale, nullptr);
+  ASSERT_NE(seed, nullptr);
+  char scale_buf[32];
+  std::snprintf(scale_buf, sizeof scale_buf, "%.17g", scale->as_number());
+  const std::string out_path =
+      ::testing::TempDir() + "llmq_golden_rerun_" + spec.binary + ".json";
+  const std::string cmd =
+      binary + " --scale " + scale_buf + " --seed " +
+      std::to_string(static_cast<long long>(seed->as_number())) + " --json " +
+      out_path + " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  const auto fresh = parse_file(out_path);
+  ASSERT_TRUE(fresh.has_value()) << "rerun emitted unparseable JSON";
+
+  const util::JsonValue* gsec = golden->find("sections");
+  const util::JsonValue* fsec = fresh->find("sections");
+  ASSERT_NE(gsec, nullptr);
+  ASSERT_NE(fsec, nullptr);
+  for (const DiffKey& dk : spec.keys) {
+    const util::JsonValue* grecs = gsec->find(dk.section);
+    const util::JsonValue* frecs = fsec->find(dk.section);
+    ASSERT_NE(grecs, nullptr) << "golden lacks section " << dk.section;
+    ASSERT_NE(frecs, nullptr) << "rerun lacks section " << dk.section;
+    ASSERT_EQ(grecs->as_array().size(), frecs->as_array().size())
+        << dk.section << " record count changed — regenerate the golden";
+    for (std::size_t i = 0; i < grecs->as_array().size(); ++i) {
+      const util::JsonValue* gv = grecs->as_array()[i].find(dk.key);
+      const util::JsonValue* fv = frecs->as_array()[i].find(dk.key);
+      ASSERT_NE(gv, nullptr) << dk.section << "[" << i << "]." << dk.key;
+      ASSERT_NE(fv, nullptr) << dk.section << "[" << i << "]." << dk.key;
+      const double g = gv->as_number();
+      const double f = fv->as_number();
+      const double allowed =
+          dk.relative ? std::max(dk.tol * std::fabs(g), 1e-3) : dk.tol;
+      EXPECT_NEAR(f, g, allowed)
+          << dk.section << "[" << i << "]." << dk.key
+          << " drifted from the committed snapshot (" << spec.golden
+          << "); if intentional, regenerate it";
+    }
+  }
+  std::remove(out_path.c_str());
+}
+
+std::string spec_name(const ::testing::TestParamInfo<GoldenSpec>& info) {
+  return info.param.binary;
+}
+
+INSTANTIATE_TEST_SUITE_P(CommittedGoldens, BenchGoldenDiff,
+                         ::testing::ValuesIn(golden_specs()), spec_name);
+
+}  // namespace
+}  // namespace llmq

@@ -1,0 +1,82 @@
+#pragma once
+// Shared fixture for the observability suite: a small multi-class serving
+// workload on a deliberately tight KV pool, the same shape the replay
+// determinism suite pins (defer + preempt traffic guaranteed), with knobs
+// for replica count, preemption, and chunked prefill.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+#include "serve/online.hpp"
+
+namespace llmq::obs_test {
+
+inline table::Table tiny_table(std::size_t n) {
+  table::Table t(table::Schema::of_names({"category", "region", "status"}));
+  for (std::size_t r = 0; r < n; ++r)
+    t.append_row({"cat_" + std::to_string(r % 3),
+                  "region_" + std::to_string(r % 4),
+                  r % 2 ? "active" : "archived"});
+  return t;
+}
+
+inline serve::OnlineConfig make_config(std::size_t n_replicas, bool preemption,
+                                       std::size_t chunk_tokens) {
+  serve::OnlineConfig cfg;
+  cfg.prompt.system_prompt = "You are a serving assistant.";
+  cfg.prompt.user_prompt = "Classify the row.";
+  cfg.avg_output_tokens = 6.0;
+  cfg.class_output_multiplier = {0.5, 1.0, 4.0};
+  cfg.ttft_slo_seconds = 5.0;
+  cfg.scheduler.policy = serve::Policy::WindowedGgr;
+  cfg.scheduler.window_rows = 16;
+  cfg.scheduler.max_wait_seconds = 1.0;
+  cfg.scheduler.priority_order = true;
+  cfg.scheduler.aging_seconds = 4.0;
+  cfg.scheduler.ggr.measure = core::LengthMeasure::Unit;
+  cfg.engine.max_batch_size = 4;
+  cfg.engine.kv_pool_blocks_override = 96;  // tight: defer + preempt traffic
+  cfg.engine.preemption = preemption;
+  cfg.engine.priority_aging_seconds = 4.0;
+  cfg.engine.prefill_chunk_tokens = chunk_tokens;
+  cfg.n_replicas = n_replicas;
+  cfg.router = serve::RouterPolicy::PrefixAffinity;
+  return cfg;
+}
+
+inline std::vector<serve::Arrival> make_arrivals(std::size_t n_rows) {
+  serve::WorkloadOptions w;
+  w.arrival_rate = 40.0;
+  w.n_tenants = 3;
+  w.tenant_classes = {llm::PriorityClass::Batch,
+                      llm::PriorityClass::Interactive,
+                      llm::PriorityClass::Standard};
+  w.n_requests = 2 * n_rows;
+  w.seed = 1234;
+  return serve::generate_arrivals(n_rows, w);
+}
+
+struct TracedRun {
+  serve::OnlineRunResult result;
+  obs::TraceLog log;
+  obs::TimeSeries timeseries;
+};
+
+/// One traced run of the fixture workload (log + sampled gauges).
+inline TracedRun run_traced(std::size_t n_replicas, bool preemption,
+                            std::size_t chunk_tokens,
+                            std::size_t n_rows = 60) {
+  TracedRun run;
+  const table::Table t = tiny_table(n_rows);
+  const table::FdSet fds;
+  serve::OnlineConfig cfg = make_config(n_replicas, preemption, chunk_tokens);
+  cfg.trace.sink = &run.log;
+  cfg.trace.timeseries = &run.timeseries;
+  run.result = serve::run_online(t, fds, make_arrivals(n_rows), cfg);
+  return run;
+}
+
+}  // namespace llmq::obs_test

@@ -1,0 +1,111 @@
+// Trace exporters: the Perfetto JSON must actually be loadable (valid
+// JSON, trace_event envelope, well-formed events), and the JSONL export
+// must round-trip every event through the JSON parser.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "obs/export.hpp"
+#include "serving_fixture.hpp"
+#include "util/json.hpp"
+
+namespace llmq::obs {
+namespace {
+
+TEST(TraceExport, PerfettoEnvelopeIsWellFormed) {
+  const auto run = obs_test::run_traced(4, /*preemption=*/true, /*chunk=*/64);
+  ASSERT_FALSE(run.log.empty());
+  ASSERT_GT(run.timeseries.size(), 0u);
+
+  const std::string json = perfetto_trace_json(run.log, &run.timeseries);
+  const auto doc = util::json_parse(json);
+  ASSERT_TRUE(doc.has_value()) << "Perfetto export is not valid JSON";
+  ASSERT_TRUE(doc->is_object());
+
+  const util::JsonValue* unit = doc->find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_TRUE(unit->is_string());
+
+  const util::JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->as_array().empty());
+
+  std::set<std::string> phases;
+  double last_ts = 0.0;
+  for (const util::JsonValue& e : events->as_array()) {
+    ASSERT_TRUE(e.is_object());
+    const util::JsonValue* name = e.find("name");
+    const util::JsonValue* ph = e.find("ph");
+    const util::JsonValue* pid = e.find("pid");
+    const util::JsonValue* tid = e.find("tid");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(pid, nullptr);
+    ASSERT_NE(tid, nullptr);
+    EXPECT_TRUE(name->is_string());
+    ASSERT_TRUE(ph->is_string());
+    EXPECT_TRUE(pid->is_number());
+    EXPECT_TRUE(tid->is_number());
+    phases.insert(ph->as_string());
+    if (ph->as_string() != "M") {
+      const util::JsonValue* ts = e.find("ts");
+      ASSERT_NE(ts, nullptr);
+      ASSERT_TRUE(ts->is_number());
+      EXPECT_GE(ts->as_number(), 0.0);
+      last_ts = std::max(last_ts, ts->as_number());
+    }
+    if (ph->as_string() == "b" || ph->as_string() == "e" ||
+        ph->as_string() == "n") {
+      // Async events need (cat, id) to pair up into request spans.
+      const util::JsonValue* cat = e.find("cat");
+      const util::JsonValue* id = e.find("id");
+      ASSERT_NE(cat, nullptr);
+      ASSERT_NE(id, nullptr);
+      EXPECT_EQ(cat->as_string(), "request");
+      EXPECT_TRUE(id->is_number());
+    }
+  }
+  // Process-name metadata, request span begin/end, counter samples, and
+  // instants must all be present on this preempting chunked run.
+  for (const char* ph : {"M", "b", "e", "n", "i", "C"})
+    EXPECT_TRUE(phases.count(ph)) << "missing trace_event phase " << ph;
+  EXPECT_GT(last_ts, 0.0) << "virtual timestamps never advanced";
+}
+
+TEST(TraceExport, JsonlRoundTripsEveryEvent) {
+  const auto run = obs_test::run_traced(1, /*preemption=*/true, /*chunk=*/0);
+  const std::string jsonl = trace_to_jsonl(run.log);
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl.back(), '\n');
+
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', pos);
+    ASSERT_NE(end, std::string::npos);
+    const auto doc = util::json_parse(jsonl.substr(pos, end - pos));
+    ASSERT_TRUE(doc.has_value()) << "line " << lines << " is not valid JSON";
+    ASSERT_TRUE(doc->is_object());
+    for (const char* key : {"k", "t", "r", "cls", "id", "a", "b", "c"})
+      ASSERT_NE(doc->find(key), nullptr) << "line " << lines << " lacks "
+                                         << key;
+    EXPECT_TRUE(doc->find("k")->is_string());
+    EXPECT_TRUE(doc->find("t")->is_number());
+    // The event kind must round-trip to a known name.
+    bool known = false;
+    for (int k = 0; k <= static_cast<int>(EventKind::WindowPlan); ++k)
+      known = known || doc->find("k")->as_string() ==
+                           to_string(static_cast<EventKind>(k));
+    EXPECT_TRUE(known) << "unknown kind " << doc->find("k")->as_string();
+    ++lines;
+    pos = end + 1;
+  }
+  EXPECT_EQ(lines, run.log.size());
+}
+
+}  // namespace
+}  // namespace llmq::obs

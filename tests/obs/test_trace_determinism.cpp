@@ -1,0 +1,104 @@
+// Trace determinism and purity.
+//
+// The serving stack is a pure function of (seed, config); the tracer must
+// not break that. Two properties, pinned over the full grid of replicas
+// {1, 4} x preemption {off, on} x prefill chunking {0, 64}:
+//
+//   * determinism — rerunning an identical traced run yields the same
+//     events in the same order with the same payloads, down to the
+//     serialized JSONL bytes (the canonical byte-level export);
+//   * purity — attaching a sink never feeds back into scheduling: the
+//     traced run's results are identical to the untraced run's.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.hpp"
+#include "serving_fixture.hpp"
+
+namespace llmq::obs {
+namespace {
+
+struct TraceCase {
+  std::size_t n_replicas;
+  bool preemption;
+  std::size_t chunk_tokens;
+};
+
+class TraceDeterminism : public ::testing::TestWithParam<TraceCase> {};
+
+TEST_P(TraceDeterminism, Reruns_AreBitIdentical_And_TracingIsPure) {
+  const TraceCase tc = GetParam();
+
+  const obs_test::TracedRun a =
+      obs_test::run_traced(tc.n_replicas, tc.preemption, tc.chunk_tokens);
+  const obs_test::TracedRun b =
+      obs_test::run_traced(tc.n_replicas, tc.preemption, tc.chunk_tokens);
+
+  // The grid arm must exercise what its name claims, or it pins nothing.
+  ASSERT_FALSE(a.log.empty());
+  if (tc.preemption) {
+    EXPECT_GT(a.result.engine.preemptions, 0u);
+  }
+  if (tc.chunk_tokens > 0) {
+    EXPECT_GT(a.result.engine.chunked_prefill_tokens, 0u);
+  }
+
+  // Byte-identical serialized traces (JSONL is the canonical byte form;
+  // the Perfetto export is derived from the same events, so it follows).
+  ASSERT_EQ(a.log.size(), b.log.size());
+  const std::string jsonl_a = trace_to_jsonl(a.log);
+  const std::string jsonl_b = trace_to_jsonl(b.log);
+  EXPECT_TRUE(jsonl_a == jsonl_b) << "serialized traces diverged";
+  EXPECT_TRUE(perfetto_trace_json(a.log, &a.timeseries) ==
+              perfetto_trace_json(b.log, &b.timeseries));
+
+  // Sampled gauge rows replay identically too.
+  ASSERT_EQ(a.timeseries.size(), b.timeseries.size());
+  EXPECT_EQ(a.timeseries.time, b.timeseries.time);
+  EXPECT_EQ(a.timeseries.kv_resident_blocks, b.timeseries.kv_resident_blocks);
+  EXPECT_EQ(a.timeseries.rolling_phr, b.timeseries.rolling_phr);
+
+  // Purity: the same run with no sink attached produces identical
+  // results — emission sites are observation-only.
+  const table::Table t = obs_test::tiny_table(60);
+  const table::FdSet fds;
+  const serve::OnlineConfig cfg =
+      obs_test::make_config(tc.n_replicas, tc.preemption, tc.chunk_tokens);
+  const serve::OnlineRunResult untraced =
+      serve::run_online(t, fds, obs_test::make_arrivals(60), cfg);
+  ASSERT_EQ(a.result.requests.size(), untraced.requests.size());
+  for (std::size_t i = 0; i < untraced.requests.size(); ++i) {
+    EXPECT_EQ(a.result.requests[i].id, untraced.requests[i].id);
+    EXPECT_EQ(a.result.requests[i].finish_time,
+              untraced.requests[i].finish_time);
+    EXPECT_EQ(a.result.requests[i].cached_tokens,
+              untraced.requests[i].cached_tokens);
+  }
+  EXPECT_EQ(a.result.engine.prompt_tokens, untraced.engine.prompt_tokens);
+  EXPECT_EQ(a.result.engine.cached_prompt_tokens,
+            untraced.engine.cached_prompt_tokens);
+  EXPECT_EQ(a.result.engine.output_tokens, untraced.engine.output_tokens);
+  EXPECT_EQ(a.result.engine.preemptions, untraced.engine.preemptions);
+  EXPECT_EQ(a.result.latency.mean_ttft, untraced.latency.mean_ttft);
+  EXPECT_EQ(a.result.latency.makespan, untraced.latency.makespan);
+  EXPECT_EQ(a.result.windows, untraced.windows);
+}
+
+std::string case_name(const ::testing::TestParamInfo<TraceCase>& info) {
+  return "replicas" + std::to_string(info.param.n_replicas) +
+         (info.param.preemption ? "_preempt" : "_nopreempt") + "_chunk" +
+         std::to_string(info.param.chunk_tokens);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ReplicasXPreemptionXChunking, TraceDeterminism,
+    ::testing::Values(TraceCase{1, false, 0}, TraceCase{1, false, 64},
+                      TraceCase{1, true, 0}, TraceCase{1, true, 64},
+                      TraceCase{4, false, 0}, TraceCase{4, false, 64},
+                      TraceCase{4, true, 0}, TraceCase{4, true, 64}),
+    case_name);
+
+}  // namespace
+}  // namespace llmq::obs

@@ -39,8 +39,13 @@ TEST(Latency, SummaryStatistics) {
   EXPECT_EQ(s.count, 10u);
   EXPECT_NEAR(s.mean_ttft, 0.55, 1e-9);
   EXPECT_NEAR(s.p50_ttft, 0.55, 1e-9);
+  // Linear interpolation: rank (10-1)*0.9 = 8.1 between 0.9 and 1.0.
+  EXPECT_NEAR(s.p90_ttft, 0.91, 1e-9);
   EXPECT_GT(s.p99_ttft, 0.9);
   EXPECT_LE(s.p99_ttft, 1.0 + 1e-9);
+  EXPECT_LE(s.p50_ttft, s.p90_ttft);
+  EXPECT_LE(s.p90_ttft, s.p95_ttft);
+  EXPECT_LE(s.p95_ttft, s.p99_ttft);
   EXPECT_NEAR(s.makespan, 2.0, 1e-9);  // first arrival 0, last finish 2.0
   EXPECT_NEAR(s.throughput_rps, 5.0, 1e-9);
   EXPECT_DOUBLE_EQ(s.goodput_rps, s.throughput_rps);  // no SLO set
@@ -52,8 +57,10 @@ TEST(Latency, SingleRequest) {
   EXPECT_EQ(s.count, 1u);
   EXPECT_DOUBLE_EQ(s.mean_ttft, 0.4);
   EXPECT_DOUBLE_EQ(s.p50_ttft, 0.4);
+  EXPECT_DOUBLE_EQ(s.p90_ttft, 0.4);
   EXPECT_DOUBLE_EQ(s.p99_ttft, 0.4);
   EXPECT_DOUBLE_EQ(s.mean_queue_delay, 0.2);
+  EXPECT_DOUBLE_EQ(s.p90_queue_delay, 0.2);
   EXPECT_DOUBLE_EQ(s.p50_e2e, 2.0);
   EXPECT_DOUBLE_EQ(s.p99_e2e, 2.0);
   EXPECT_DOUBLE_EQ(s.makespan, 2.0);
@@ -73,6 +80,31 @@ TEST(Latency, AllIdenticalTimestampsYieldZeroMakespanNotNan) {
   EXPECT_DOUBLE_EQ(s.makespan, 0.0);
   EXPECT_DOUBLE_EQ(s.throughput_rps, 0.0);
   EXPECT_DOUBLE_EQ(s.goodput_rps, 0.0);
+}
+
+TEST(Latency, P90ItlExcludesSingleTokenCompletions) {
+  // Single-token completions have no inter-token gap: a run of only such
+  // requests reports zeroed ITL percentiles, and mixed runs compute the
+  // percentiles over the multi-token requests alone.
+  std::vector<ServedRequest> single(3, req(0.0, 0.1, 0.2, 0.2));
+  for (auto& r : single) r.output_tokens = 1;
+  const LatencySummary none = summarize_latency(single);
+  EXPECT_DOUBLE_EQ(none.mean_itl, 0.0);
+  EXPECT_DOUBLE_EQ(none.p90_itl, 0.0);
+  EXPECT_DOUBLE_EQ(none.p99_itl, 0.0);
+
+  std::vector<ServedRequest> rs = single;
+  // Mean ITLs 0.01, 0.02, ..., 0.10 (11 output tokens = 10 gaps).
+  for (int i = 1; i <= 10; ++i) {
+    ServedRequest r = req(0.0, 0.1, 0.2, 0.2 + 0.1 * i);
+    r.output_tokens = 11;
+    rs.push_back(r);
+  }
+  const LatencySummary s = summarize_latency(rs);
+  EXPECT_NEAR(s.mean_itl, 0.055, 1e-9);
+  EXPECT_NEAR(s.p90_itl, 0.091, 1e-9);  // rank 8.1 between 0.09 and 0.10
+  EXPECT_LE(s.p50_itl, s.p90_itl);
+  EXPECT_LE(s.p90_itl, s.p99_itl);
 }
 
 TEST(Latency, NonPositiveSloDisablesTheCut) {

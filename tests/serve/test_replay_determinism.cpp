@@ -31,10 +31,16 @@ void expect_latency_identical(const LatencySummary& a,
   EXPECT_EQ(a.count, b.count);
   EXPECT_EQ(a.mean_ttft, b.mean_ttft);
   EXPECT_EQ(a.p50_ttft, b.p50_ttft);
+  EXPECT_EQ(a.p90_ttft, b.p90_ttft);
   EXPECT_EQ(a.p95_ttft, b.p95_ttft);
   EXPECT_EQ(a.p99_ttft, b.p99_ttft);
   EXPECT_EQ(a.mean_queue_delay, b.mean_queue_delay);
+  EXPECT_EQ(a.p90_queue_delay, b.p90_queue_delay);
   EXPECT_EQ(a.p99_queue_delay, b.p99_queue_delay);
+  EXPECT_EQ(a.mean_itl, b.mean_itl);
+  EXPECT_EQ(a.p50_itl, b.p50_itl);
+  EXPECT_EQ(a.p90_itl, b.p90_itl);
+  EXPECT_EQ(a.p99_itl, b.p99_itl);
   EXPECT_EQ(a.p50_e2e, b.p50_e2e);
   EXPECT_EQ(a.p99_e2e, b.p99_e2e);
   EXPECT_EQ(a.makespan, b.makespan);
