@@ -11,10 +11,13 @@
 // data-to-cache ratio (the regime that makes reordering matter) is
 // preserved; see ExecConfig::scale_kv_pool.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -135,7 +138,9 @@ class JsonReport {
 #else
     w.key("build_type").value("debug");
 #endif
-#ifdef LLMQ_SANITIZE_BUILD
+#if defined(LLMQ_TSAN_BUILD)
+    w.key("sanitizer").value("thread");
+#elif defined(LLMQ_SANITIZE_BUILD)
     w.key("sanitizer").value("address,undefined");
 #else
     w.key("sanitizer").value("none");
@@ -191,6 +196,41 @@ class JsonReport {
   // Section insertion order is preserved (vector, not map).
   std::vector<std::pair<std::string, std::vector<std::vector<JsonField>>>>
       sections_;
+};
+
+/// Min-of-K wall-clock timing with warm-up: run the workload `warmup`
+/// times untimed (populate allocator pools, fault in pages, settle the
+/// scheduler), then report the fastest of `reps` timed runs. The minimum
+/// — not the mean — is the estimator: wall-clock noise on a shared box is
+/// strictly additive, so the fastest observation is the closest to the
+/// true cost. Every wall-clock number a bench reports (trace-overhead
+/// guard, threaded-fleet scaling) goes through this one helper so the
+/// methodology cannot drift between benches. Wall-clock keys are never
+/// golden-diffed — they measure the machine, not the simulator.
+class WallClockTimer {
+ public:
+  explicit WallClockTimer(int reps = 5, int warmup = 1)
+      : reps_(reps < 1 ? 1 : reps), warmup_(warmup < 0 ? 0 : warmup) {}
+
+  /// Fastest observed wall-clock seconds of `fn()` across the timed reps.
+  template <typename Fn>
+  double min_seconds(Fn&& fn) const {
+    for (int i = 0; i < warmup_; ++i) fn();
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < reps_; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+  }
+
+  int reps() const { return reps_; }
+
+ private:
+  int reps_;
+  int warmup_;
 };
 
 inline data::Dataset load(const std::string& key, const BenchOptions& opt) {

@@ -214,22 +214,18 @@ int main(int argc, char** argv) {
 
     // Overhead guard: wall-clock the same run with tracing disabled (null
     // sink — one pointer test per emission site) and enabled. Min-of-5
-    // after a warm-up filters scheduler/allocator noise; CI asserts the
-    // disabled path is not slower than the traced one beyond noise.
-    // Wall-clock keys only — golden diffs must never compare them.
-    (void)serve::run_online(s.table, s.fds, arrivals, cfg);  // warm-up
+    // after a warm-up (WallClockTimer) filters scheduler/allocator noise;
+    // CI asserts the disabled path is not slower than the traced one
+    // beyond noise. Wall-clock keys only — golden diffs must never
+    // compare them.
+    const bench::WallClockTimer timer(/*reps=*/5, /*warmup=*/1);
     const auto wall_min = [&](bool traced) {
-      double best = 1e300;
-      for (int i = 0; i < 5; ++i) {
+      return timer.min_seconds([&] {
         obs::TraceLog log;
         serve::OnlineConfig c = cfg;
         if (traced) c.trace.sink = &log;
-        const auto t0 = std::chrono::steady_clock::now();
         (void)serve::run_online(s.table, s.fds, arrivals, c);
-        const auto t1 = std::chrono::steady_clock::now();
-        best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
-      }
-      return best;
+      });
     };
     const double off = wall_min(false);
     const double on = wall_min(true);

@@ -31,29 +31,98 @@ CacheStats& CacheStats::operator-=(const CacheStats& o) {
 }
 
 PrefixCache::PrefixCache(CacheConfig config)
-    : config_(config),
-      tree_(config.block_size),
-      pool_(config.capacity_blocks) {}
+    : config_(config), pool_(config.capacity_blocks) {
+  const std::size_t n_trees =
+      config_.lock_stripes > 0 ? config_.lock_stripes : 1;
+  trees_.reserve(n_trees);
+  for (std::size_t i = 0; i < n_trees; ++i)
+    trees_.emplace_back(config_.block_size);
+  if (config_.lock_stripes > 0)
+    locks_ = std::make_unique<LockState>(config_.lock_stripes);
+}
 
-CacheLease PrefixCache::pinning_match(std::span<const TokenId> prompt) {
+std::uint32_t PrefixCache::stripe_of(std::span<const TokenId> prompt) const {
+  if (trees_.size() == 1) return 0;
+  // FNV-1a over the first (root) token block. Prompts can only share tree
+  // structure below the root when they share their entire first block, so
+  // hashing exactly that block guarantees related prompts land on the
+  // same stripe; unrelated prompts that collide merely coexist as
+  // distinct root children of the same per-stripe tree, exactly as they
+  // would in one tree.
+  const std::size_t n = std::min(prompt.size(), config_.block_size);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(prompt[i]);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::uint32_t>(h % trees_.size());
+}
+
+std::unique_lock<std::mutex> PrefixCache::lock_stripe(std::uint32_t s) const {
+  if (!locks_) return std::unique_lock<std::mutex>();
+  return std::unique_lock<std::mutex>(locks_->stripe_mu[s]);
+}
+
+std::unique_lock<std::mutex> PrefixCache::lock_acct() const {
+  if (!locks_) return std::unique_lock<std::mutex>();
+  return std::unique_lock<std::mutex>(locks_->acct_mu);
+}
+
+std::vector<std::unique_lock<std::mutex>> PrefixCache::lock_all_stripes()
+    const {
+  std::vector<std::unique_lock<std::mutex>> held;
+  if (!locks_) return held;
+  held.reserve(locks_->stripe_mu.size());
+  // Ascending index — the fixed stripe-lock order that makes multi-stripe
+  // acquisition deadlock-free against every other path.
+  for (std::mutex& m : locks_->stripe_mu) held.emplace_back(m);
+  return held;
+}
+
+CacheStats PrefixCache::stats() const {
+  auto acct = lock_acct();
+  return stats_;
+}
+
+std::size_t PrefixCache::resident_blocks() const {
+  auto all = lock_all_stripes();
+  std::size_t n = 0;
+  for (const RadixTree& t : trees_) n += t.num_blocks();
+  return n;
+}
+
+std::size_t PrefixCache::pinned_blocks() const {
+  auto all = lock_all_stripes();
+  std::size_t n = 0;
+  for (const RadixTree& t : trees_) n += t.pinned_blocks();
+  return n;
+}
+
+CacheLease PrefixCache::pinning_match(RadixTree& tree, std::uint32_t stripe,
+                                      std::span<const TokenId> prompt) {
+  // Pre: stripe's mutex and the accounting mutex held (when striped).
   CacheLease lease;
-  RadixTree::Match m = tree_.match(prompt);
-  tree_.touch(m.path, clock_);
-  tree_.pin(m.path);
+  RadixTree::Match m = tree.match(prompt);
+  tree.touch(m.path, clock_);
+  tree.pin(m.path);
   outstanding_pins_ += m.path.size();
   lease.path = std::move(m.path);
   lease.cached_tokens = m.matched_tokens;
+  lease.stripe = stripe;
   return lease;
 }
 
 CacheLease PrefixCache::lookup(std::span<const TokenId> prompt) {
+  const std::uint32_t s = stripe_of(prompt);
+  auto stripe = lock_stripe(s);
+  auto acct = lock_acct();
   ++clock_;
   // A disabled cache must not register lookup traffic: the stats feed
   // hit-rate denominators, and the "No Cache" ablation arm reads them.
   if (!config_.enabled) return CacheLease{};
   ++stats_.lookups;
   stats_.lookup_tokens += prompt.size();
-  CacheLease lease = pinning_match(prompt);
+  CacheLease lease = pinning_match(trees_[s], s, prompt);
   stats_.hit_tokens += lease.cached_tokens;
   trace(EventKind::CacheLookup, prompt.size(), lease.cached_tokens,
         lease.path.size());
@@ -61,11 +130,14 @@ CacheLease PrefixCache::lookup(std::span<const TokenId> prompt) {
 }
 
 CacheLease PrefixCache::resume_lookup(std::span<const TokenId> prompt) {
+  const std::uint32_t s = stripe_of(prompt);
+  auto stripe = lock_stripe(s);
+  auto acct = lock_acct();
   ++clock_;
   if (!config_.enabled) return CacheLease{};
   // Pin + touch only: the resuming request's lookup stats were counted at
   // first admission and must not count again.
-  CacheLease lease = pinning_match(prompt);
+  CacheLease lease = pinning_match(trees_[s], s, prompt);
   trace(EventKind::CacheLookup, prompt.size(), lease.cached_tokens,
         lease.path.size(), /*cls=*/1);
   return lease;
@@ -73,81 +145,181 @@ CacheLease PrefixCache::resume_lookup(std::span<const TokenId> prompt) {
 
 std::size_t PrefixCache::peek(std::span<const TokenId> prompt) const {
   if (!config_.enabled) return 0;
-  return tree_.match(prompt).matched_tokens;
+  const std::uint32_t s = stripe_of(prompt);
+  // Stripe lock only: the tree walk must not race concurrent structural
+  // mutation, but peek touches no counter, recency stamp, or clock — the
+  // probe stays invisible to every observable the stats/LRU tests pin.
+  auto stripe = lock_stripe(s);
+  return trees_[s].match(prompt).matched_tokens;
 }
 
-std::size_t PrefixCache::admit(std::span<const TokenId> prompt,
-                               CacheLease& lease) {
-  if (!config_.enabled) return 0;
-  ++clock_;
-  const std::size_t full_blocks = prompt.size() / config_.block_size;
-  const std::size_t have = lease.path.size();
-  std::size_t need = full_blocks > have ? full_blocks - have : 0;
-
-  // Make room: evict LRU unpinned leaves; accept a shorter insert if the
-  // pool cannot satisfy the full request (everything pinned).
-  if (!pool_.unlimited() && need > pool_.free()) {
-    const std::size_t shortfall = need - pool_.free();
-    const std::size_t evicted = tree_.evict_lru(shortfall);
-    stats_.evicted_blocks += evicted;
-    pool_.release(evicted);
-    need = std::min(need, pool_.free());
-    if (evicted > 0) trace(EventKind::CacheEvict, evicted, 0, 0);
-  }
-
+std::size_t PrefixCache::admit_insert(RadixTree& tree, std::uint32_t stripe,
+                                      std::span<const TokenId> prompt,
+                                      CacheLease& lease, std::size_t need) {
+  // Pre: stripe's mutex and the accounting mutex held (when striped).
   const std::size_t path_before = lease.path.size();
-  tree_.unpin(lease.path);
+  tree.unpin(lease.path);
   outstanding_pins_ -= lease.path.size();
-  RadixTree::InsertResult ins = tree_.insert(prompt, clock_, need);
+  RadixTree::InsertResult ins = tree.insert(prompt, clock_, need);
   pool_.allocate(ins.new_blocks);
   stats_.inserted_blocks += ins.new_blocks;
-  tree_.pin(ins.path);
+  tree.pin(ins.path);
   outstanding_pins_ += ins.path.size();
   lease.cached_tokens = ins.path.size() * config_.block_size;
   lease.path = std::move(ins.path);
+  lease.stripe = stripe;
   trace(EventKind::CacheAdmit, ins.new_blocks, lease.path.size(),
         path_before);
   return ins.new_blocks;
 }
 
+std::size_t PrefixCache::admit(std::span<const TokenId> prompt,
+                               CacheLease& lease) {
+  if (!config_.enabled) return 0;
+
+  if (!locks_) {
+    // Single-threaded path: one tree, no locks — behavior is the
+    // original unstriped sequence verbatim.
+    ++clock_;
+    const std::size_t full_blocks = prompt.size() / config_.block_size;
+    const std::size_t have = lease.path.size();
+    std::size_t need = full_blocks > have ? full_blocks - have : 0;
+
+    // Make room: evict LRU unpinned leaves; accept a shorter insert if
+    // the pool cannot satisfy the full request (everything pinned).
+    if (!pool_.unlimited() && need > pool_.free()) {
+      const std::size_t shortfall = need - pool_.free();
+      const std::size_t evicted = trees_[0].evict_lru(shortfall);
+      stats_.evicted_blocks += evicted;
+      pool_.release(evicted);
+      need = std::min(need, pool_.free());
+      if (evicted > 0) trace(EventKind::CacheEvict, evicted, 0, 0);
+    }
+    return admit_insert(trees_[0], 0, prompt, lease, need);
+  }
+
+  const std::uint32_t s = stripe_of(prompt);
+  {
+    // Fast path: no eviction needed — one stripe plus accounting.
+    auto stripe = lock_stripe(s);
+    auto acct = lock_acct();
+    ++clock_;
+    const std::size_t full_blocks = prompt.size() / config_.block_size;
+    const std::size_t have = lease.path.size();
+    const std::size_t need = full_blocks > have ? full_blocks - have : 0;
+    if (pool_.unlimited() || need <= pool_.free())
+      return admit_insert(trees_[s], s, prompt, lease, need);
+  }
+
+  // Slow path: eviction may take victims from any stripe, so drop the
+  // single-stripe locks and retake every stripe in ascending order (the
+  // global lock order), then redo the sizing math — the world may have
+  // changed in the window. The clock is bumped again under the new
+  // locks: reusing the fast path's stamp after the gap could write an
+  // older recency than a concurrent touch, breaking the tree's
+  // parent-at-least-as-recent invariant. Clock values only ever need to
+  // be unique and monotone at use, so the skipped value is harmless.
+  auto all = lock_all_stripes();
+  auto acct = lock_acct();
+  ++clock_;
+  const std::size_t full_blocks = prompt.size() / config_.block_size;
+  const std::size_t have = lease.path.size();
+  std::size_t need = full_blocks > have ? full_blocks - have : 0;
+  if (!pool_.unlimited() && need > pool_.free()) {
+    const std::size_t shortfall = need - pool_.free();
+    const std::size_t evicted = evict_blocks_locked(shortfall);
+    stats_.evicted_blocks += evicted;
+    pool_.release(evicted);
+    need = std::min(need, pool_.free());
+    if (evicted > 0) trace(EventKind::CacheEvict, evicted, 0, 0);
+  }
+  return admit_insert(trees_[s], s, prompt, lease, need);
+}
+
+std::size_t PrefixCache::evict_blocks_locked(std::size_t n) {
+  if (trees_.size() == 1) return trees_[0].evict_lru(n);
+  // Sharded LRU: each eviction takes the globally oldest unpinned leaf.
+  // Clock stamps are globally unique (every op advances clock_ exactly
+  // while holding the accounting mutex), so per-tree lru_age() values
+  // never tie and the victim sequence is exactly what one merged tree
+  // would produce. Ties on UINT64_MAX mean "nothing evictable" and break
+  // the loop; the index tiebreak (strict <) is unreachable but keeps the
+  // scan deterministic by construction.
+  std::size_t evicted = 0;
+  while (evicted < n) {
+    std::size_t best = trees_.size();
+    std::uint64_t best_age = UINT64_MAX;
+    for (std::size_t i = 0; i < trees_.size(); ++i) {
+      const std::uint64_t age = trees_[i].lru_age();
+      if (age < best_age) {
+        best_age = age;
+        best = i;
+      }
+    }
+    if (best == trees_.size()) break;  // every block pinned or interior
+    evicted += trees_[best].evict_lru(1);
+  }
+  return evicted;
+}
+
 std::size_t PrefixCache::evict(std::size_t n) {
-  const std::size_t evicted = tree_.evict_lru(n);
+  auto all = lock_all_stripes();
+  auto acct = lock_acct();
+  const std::size_t evicted = evict_blocks_locked(n);
   pool_.release(evicted);
   stats_.evicted_blocks += evicted;
   if (evicted > 0) trace(EventKind::CacheEvict, evicted, 0, 0);
   return evicted;
 }
 
-void PrefixCache::release(CacheLease& lease) {
-  if (!config_.enabled) return;
-  tree_.unpin(lease.path);
+void PrefixCache::release_locked(CacheLease& lease) {
+  RadixTree& tree = trees_[lease.stripe];
+  tree.unpin(lease.path);
   outstanding_pins_ -= lease.path.size();
   trace(EventKind::CacheRelease, lease.path.size(), 0, 0);
   lease.path.clear();
   lease.cached_tokens = 0;
 }
 
+void PrefixCache::release(CacheLease& lease) {
+  if (!config_.enabled) return;
+  auto stripe = lock_stripe(lease.stripe);
+  auto acct = lock_acct();
+  release_locked(lease);
+}
+
 void PrefixCache::cancel_lookup(CacheLease& lease, std::size_t prompt_tokens) {
   if (!config_.enabled) return;
+  auto stripe = lock_stripe(lease.stripe);
+  auto acct = lock_acct();
   --stats_.lookups;
   stats_.lookup_tokens -= prompt_tokens;
   stats_.hit_tokens -= lease.cached_tokens;
-  // Stat-undo only; the release() below emits the CacheRelease that
+  // Stat-undo only; the release below emits the CacheRelease that
   // balances this lease's pins (one unpin record, never two).
   trace(EventKind::CacheCancelLookup, prompt_tokens, lease.cached_tokens, 0);
-  release(lease);
+  release_locked(lease);
 }
 
 std::string PrefixCache::check_invariants() const {
-  std::string tree = tree_.check_invariants();
-  if (!tree.empty()) return "tree: " + tree;
-  if (tree_.num_blocks() != pool_.used())
+  auto all = lock_all_stripes();
+  auto acct = lock_acct();
+  std::size_t resident = 0;
+  std::uint64_t pins = 0;
+  for (std::size_t i = 0; i < trees_.size(); ++i) {
+    std::string tree = trees_[i].check_invariants();
+    if (!tree.empty())
+      return "tree[" + std::to_string(i) + "]: " + tree;
+    resident += trees_[i].num_blocks();
+    pins += trees_[i].total_ref_count();
+  }
+  if (resident != pool_.used())
     return "pool usage out of sync with resident blocks";
-  if (stats_.inserted_blocks - stats_.evicted_blocks != tree_.num_blocks())
+  if (stats_.inserted_blocks - stats_.evicted_blocks != resident)
     return "inserted - evicted does not equal resident blocks";
   if (!pool_.unlimited() && pool_.used() > pool_.capacity())
     return "pool over capacity";
-  if (tree_.total_ref_count() != outstanding_pins_)
+  if (pins != outstanding_pins_)
     return "tree pin count out of sync with outstanding leases";
   return std::string();
 }

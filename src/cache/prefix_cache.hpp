@@ -6,9 +6,30 @@
 // engine calls lookup() when a request is admitted (pinning the matched
 // prefix), admit() after prefill (inserting newly computed blocks), and
 // release() when the request completes.
+//
+// Threading. By default (lock_stripes == 0) the cache is single-threaded
+// and lock-free, exactly as the virtual-clock simulator uses it. With
+// lock_stripes = S > 0 the cache becomes thread-safe via lock striping:
+// prompts are sharded by a hash of their first (root) token block into S
+// independent radix trees, each behind its own mutex, with a separate
+// accounting mutex guarding the shared stats/clock/pool state. Two
+// prompts can only share tree structure below the root if they share
+// their entire first block, so same-stripe trees partition the node space
+// exactly like one tree whose root children were split by stripe — and
+// because every operation stamps a globally unique logical-clock value,
+// picking the globally oldest victim across stripes (RadixTree::lru_age)
+// reproduces the single-tree LRU eviction order exactly. The striped
+// cache is therefore behaviorally identical to the unstriped one under
+// any serialized operation sequence (pinned by tests/cache), which is
+// what lets the threaded fleet runtime stay bit-identical to the
+// virtual-clock oracle. Lock order: stripe mutexes in ascending index
+// first, then the accounting mutex; never the reverse.
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <vector>
 
 #include "cache/block_pool.hpp"
 #include "cache/radix_tree.hpp"
@@ -20,6 +41,9 @@ struct CacheConfig {
   std::size_t block_size = 16;      // tokens per KV block (vLLM default)
   std::size_t capacity_blocks = 0;  // 0 = unlimited
   bool enabled = true;              // false = the paper's "No Cache" arm
+  /// 0 = single-threaded (no locks, one tree — the simulator default).
+  /// S > 0 = thread-safe with S lock stripes / per-stripe trees.
+  std::size_t lock_stripes = 0;
 };
 
 struct CacheStats {
@@ -54,17 +78,31 @@ inline CacheStats operator-(CacheStats a, const CacheStats& b) {
 struct CacheLease {
   std::vector<NodeId> path;
   std::size_t cached_tokens = 0;
+  /// Stripe the path lives in (always 0 when unstriped). Recorded at
+  /// lookup so release/admit relock the right tree without rehashing.
+  std::uint32_t stripe = 0;
 };
 
 class PrefixCache {
  public:
   explicit PrefixCache(CacheConfig config);
 
+  // Movable (sessions receive their cache by value from the engine), not
+  // copyable: a lease's NodeIds are only meaningful against the instance
+  // that issued them.
+  PrefixCache(PrefixCache&&) = default;
+  PrefixCache& operator=(PrefixCache&&) = default;
+  PrefixCache(const PrefixCache&) = delete;
+  PrefixCache& operator=(const PrefixCache&) = delete;
+
   const CacheConfig& config() const { return config_; }
-  const CacheStats& stats() const { return stats_; }
-  std::size_t resident_blocks() const { return tree_.num_blocks(); }
+  /// Snapshot of the hit/eviction counters. By value: with lock striping
+  /// the copy is taken under the accounting mutex so concurrent readers
+  /// never see a half-updated struct.
+  CacheStats stats() const;
+  std::size_t resident_blocks() const;
   /// Blocks currently pinned by outstanding leases (gauge sampling).
-  std::size_t pinned_blocks() const { return tree_.pinned_blocks(); }
+  std::size_t pinned_blocks() const;
 
   /// Bind an event sink (obs/trace.hpp). The cache has no clock of its
   /// own, so the owning session also hands down a pointer to its virtual
@@ -95,6 +133,10 @@ class PrefixCache {
   /// clock advance. This is the router's cache-affinity probe contract: a
   /// replica that merely loses a routing comparison must not have its
   /// recency order or hit accounting perturbed. Always 0 when disabled.
+  /// With lock striping the probe takes its stripe's mutex (tree walks
+  /// race with concurrent insert/evict otherwise) but still leaves every
+  /// counter and recency stamp untouched — transparency is pinned under
+  /// concurrent mutation by tests/cache/test_cache_concurrency.cpp.
   std::size_t peek(std::span<const TokenId> prompt) const;
 
   /// After prefill: insert the prompt's full blocks, evicting LRU blocks
@@ -141,7 +183,35 @@ class PrefixCache {
  private:
   using EventKind = obs::EventKind;
 
-  CacheLease pinning_match(std::span<const TokenId> prompt);
+  /// Mutexes live behind a pointer so the cache stays movable (mutexes
+  /// are not); null when lock_stripes == 0, making every lock helper a
+  /// no-op on the single-threaded path.
+  struct LockState {
+    explicit LockState(std::size_t stripes) : stripe_mu(stripes) {}
+    std::vector<std::mutex> stripe_mu;
+    /// Guards stats_, clock_, pool_, outstanding_pins_. Acquired after
+    /// any stripe mutexes, never before.
+    std::mutex acct_mu;
+  };
+
+  std::uint32_t stripe_of(std::span<const TokenId> prompt) const;
+  std::unique_lock<std::mutex> lock_stripe(std::uint32_t s) const;
+  std::unique_lock<std::mutex> lock_acct() const;
+  std::vector<std::unique_lock<std::mutex>> lock_all_stripes() const;
+
+  CacheLease pinning_match(RadixTree& tree, std::uint32_t stripe,
+                           std::span<const TokenId> prompt);
+  /// Pre: caller holds lease.stripe's mutex and acct (when striped).
+  void release_locked(CacheLease& lease);
+  /// Insert + repin half of admit(). Pre: stripe + acct held; `need` caps
+  /// new nodes. Returns blocks newly inserted.
+  std::size_t admit_insert(RadixTree& tree, std::uint32_t stripe,
+                           std::span<const TokenId> prompt, CacheLease& lease,
+                           std::size_t need);
+  /// Evict up to n blocks picking the globally oldest victim across
+  /// stripes. Pre: all stripe mutexes + acct held (when striped).
+  std::size_t evict_blocks_locked(std::size_t n);
+
   /// Emission helper: one branch when tracing is off, no allocation.
   void trace(EventKind kind, std::uint64_t a, std::uint64_t b,
              std::uint64_t c, std::uint8_t cls = 0) const {
@@ -151,13 +221,17 @@ class PrefixCache {
   }
 
   CacheConfig config_;
-  RadixTree tree_;
+  /// One tree per stripe (exactly one when unstriped). Per-stripe trees —
+  /// rather than one tree with striped node locks — keep the hot node
+  /// vector free of cross-thread reallocation races by construction.
+  std::vector<RadixTree> trees_;
   BlockPool pool_;
   CacheStats stats_;
   std::uint64_t clock_ = 0;
   /// Outstanding (lease, node) pin edges — incremented when a lease pins
-  /// a path, decremented on release; mirrors the tree's total ref count.
+  /// a path, decremented on release; mirrors the trees' total ref count.
   std::uint64_t outstanding_pins_ = 0;
+  std::unique_ptr<LockState> locks_;
   obs::TraceSink* trace_ = nullptr;
   std::uint32_t trace_replica_ = 0;
   const double* trace_clock_ = nullptr;

@@ -199,4 +199,15 @@ std::size_t RadixTree::pinned_blocks() const {
   return n;
 }
 
+std::uint64_t RadixTree::lru_age() const {
+  // Same victim filter as evict_lru: alive, unpinned, leaf.
+  std::uint64_t oldest = UINT64_MAX;
+  for (NodeId id = 1; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (!n.alive || n.ref_count > 0 || !n.children.empty()) continue;
+    oldest = std::min(oldest, n.last_access);
+  }
+  return oldest;
+}
+
 }  // namespace llmq::cache

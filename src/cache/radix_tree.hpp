@@ -65,6 +65,14 @@ class RadixTree {
   /// Total pinned nodes (diagnostics / tests).
   std::size_t pinned_blocks() const;
 
+  /// last_access of the block evict_lru() would take next (the oldest
+  /// unpinned leaf), or UINT64_MAX when nothing is evictable. Lets a
+  /// sharded owner (PrefixCache with lock striping) pick the globally
+  /// oldest victim across per-stripe trees without merging them: every
+  /// access stamps a globally unique clock value, so comparing per-tree
+  /// ages reproduces exactly the eviction order a single tree would give.
+  std::uint64_t lru_age() const;
+
   /// Sum of ref_count over all alive nodes — the number of (lease, node)
   /// pin edges outstanding. PrefixCache cross-checks this against its own
   /// lease accounting in check_invariants().

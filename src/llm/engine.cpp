@@ -11,13 +11,15 @@ ServingEngine::ServingEngine(CostModel cost, EngineConfig config)
                      : cost_.kv_pool_blocks(config_.block_size);
 }
 
-cache::PrefixCache ServingEngine::make_session_cache() const {
+cache::PrefixCache ServingEngine::make_session_cache(
+    std::size_t lock_stripes) const {
   // Cache holds the shared prompt blocks; the engine enforces the global
   // KV budget over cached + per-request private blocks, driving eviction.
   cache::CacheConfig cc;
   cc.block_size = config_.block_size;
   cc.capacity_blocks = 0;  // engine-enforced budget
   cc.enabled = config_.cache_enabled;
+  cc.lock_stripes = lock_stripes;
   return cache::PrefixCache(cc);
 }
 

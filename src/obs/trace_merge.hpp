@@ -1,0 +1,127 @@
+#pragma once
+// Deterministic merge of per-thread trace buffers into one canonical
+// stream.
+//
+// The threaded fleet runtime gives every worker thread a private TraceLog
+// (no locks on the emission hot path) and has the driver stitch the
+// buffers back into the exact event order the single-threaded
+// virtual-clock run would have produced — trace bytes stay canonical, so
+// golden traces and the replay auditor work unchanged on threaded runs.
+//
+// The merger is an ordered FIFO of slots, each slot holding zero or more
+// events:
+//
+//   - emit()/append(): a slot whose events are known now (driver-side
+//     events such as WindowPlan and RouteDecision, or worker step spans
+//     already merged into virtual-time order). The merger IS a TraceSink
+//     so driver-side components (the window scheduler) bind to it
+//     directly.
+//   - placeholder(key): a slot whose events a worker will produce later
+//     (the Enqueue a replica emits when it processes a Submit). The
+//     driver reserves the slot at dispatch, in dispatch order; the worker
+//     fills it — keyed by request id — at the next barrier.
+//
+// Slots flush to the downstream sink strictly in reservation order, a
+// filled slot only after every slot before it: the output order depends
+// only on the driver's reservation sequence, never on worker timing.
+//
+// Threading contract: the merger is driver-only. Workers never touch it;
+// they write their private TraceLog, and the driver reads those buffers
+// only at epoch barriers while the workers are parked (the report-queue
+// handoff provides the happens-before edge).
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace llmq::obs {
+
+class OrderedTraceMerger final : public TraceSink {
+ public:
+  /// `out` may be null, which turns every operation into a no-op (the
+  /// untraced path stays one branch per call).
+  explicit OrderedTraceMerger(TraceSink* out) : out_(out) {}
+
+  bool enabled() const { return out_ != nullptr; }
+
+  /// Ready slot with a single event (TraceSink interface).
+  void emit(const TraceEvent& e) override {
+    if (!out_) return;
+    if (slots_.empty() && pending_.empty()) {
+      out_->emit(e);  // nothing buffered: pass straight through
+      return;
+    }
+    Slot s;
+    s.ready = true;
+    s.events.push_back(e);
+    slots_.push_back(std::move(s));
+  }
+
+  /// Ready slot with a span of events already in final relative order.
+  void append(const TraceEvent* begin, const TraceEvent* end) {
+    if (!out_ || begin == end) return;
+    if (slots_.empty() && pending_.empty()) {
+      for (const TraceEvent* p = begin; p != end; ++p) out_->emit(*p);
+      return;
+    }
+    Slot s;
+    s.ready = true;
+    s.events.assign(begin, end);
+    slots_.push_back(std::move(s));
+  }
+
+  /// Reserve a slot to be filled later via fill(key, ...). Keys must be
+  /// unique among outstanding placeholders (request ids are).
+  void placeholder(std::uint64_t key) {
+    if (!out_) return;
+    Slot s;
+    s.ready = false;
+    slots_.push_back(std::move(s));
+    pending_.emplace(key, base_ + slots_.size() - 1);
+  }
+
+  /// Fill a reserved slot; flushes any newly-contiguous ready prefix.
+  void fill(std::uint64_t key, const TraceEvent* begin,
+            const TraceEvent* end) {
+    if (!out_) return;
+    auto it = pending_.find(key);
+    if (it == pending_.end()) return;  // unreserved key: drop, tests catch
+    Slot& s = slots_[it->second - base_];
+    s.events.assign(begin, end);
+    s.ready = true;
+    pending_.erase(it);
+    flush_ready_prefix();
+  }
+
+  /// Placeholders still awaiting fill() — zero at every quiesced barrier.
+  std::size_t pending() const { return pending_.size(); }
+
+  /// Flush everything flushable. With no pending placeholders (the normal
+  /// end-of-run state) this drains the merger completely.
+  void finish() { flush_ready_prefix(); }
+
+ private:
+  struct Slot {
+    bool ready = false;
+    std::vector<TraceEvent> events;
+  };
+
+  void flush_ready_prefix() {
+    while (!slots_.empty() && slots_.front().ready) {
+      for (const TraceEvent& e : slots_.front().events) out_->emit(e);
+      slots_.pop_front();
+      ++base_;
+    }
+  }
+
+  TraceSink* out_;
+  std::deque<Slot> slots_;
+  /// key -> absolute slot sequence number (monotone; front slot = base_).
+  std::unordered_map<std::uint64_t, std::size_t> pending_;
+  std::size_t base_ = 0;
+};
+
+}  // namespace llmq::obs

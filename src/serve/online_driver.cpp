@@ -1,0 +1,83 @@
+#include "serve/online_driver.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/phc.hpp"
+
+namespace llmq::serve::detail {
+
+std::unordered_map<std::uint64_t, std::size_t> index_arrivals(
+    const table::Table& t, const std::vector<Arrival>& arrivals) {
+  std::unordered_map<std::uint64_t, std::size_t> index_of;
+  index_of.reserve(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    if (i > 0 && arrivals[i].time < arrivals[i - 1].time)
+      throw std::invalid_argument("run_online: arrivals must be time-sorted");
+    if (arrivals[i].row >= t.num_rows())
+      throw std::invalid_argument("run_online: arrival row out of range");
+    if (!index_of.emplace(arrivals[i].id, i).second)
+      throw std::invalid_argument("run_online: arrival ids must be unique");
+  }
+  return index_of;
+}
+
+llm::Request make_request(const Arrival& a, tokenizer::TokenSeq prompt,
+                          const llm::TaskModel& task_model,
+                          const OnlineConfig& config) {
+  llm::Request r;
+  r.id = a.id;
+  r.row_tag = a.row;
+  r.prompt = std::move(prompt);
+  r.priority = a.priority;
+  const std::string key = std::to_string(a.tenant) + ":" +
+                          std::to_string(a.row) + ":" + std::to_string(a.id);
+  const double avg =
+      config.avg_output_tokens *
+      config.class_output_multiplier[static_cast<std::size_t>(a.priority)];
+  r.output_tokens = task_model.output_tokens(key, avg);
+  return r;
+}
+
+ServedRequest stitch(const llm::RequestResult& res, const InFlight& f) {
+  ServedRequest sr;
+  sr.id = res.id;
+  sr.tenant = f.arrival.tenant;
+  sr.row = f.arrival.row;
+  sr.replica = f.replica;
+  sr.arrival_time = f.arrival.time;
+  sr.dispatch_time = f.dispatch_time;
+  sr.admit_time = res.admit_time;
+  sr.first_token_time = res.first_token_time;
+  sr.finish_time = res.finish_time;
+  sr.prompt_tokens = res.prompt_tokens;
+  sr.cached_tokens = res.cached_tokens;
+  sr.output_tokens = res.output_tokens;
+  sr.priority = f.arrival.priority;
+  sr.preemptions = res.preemptions;
+  sr.recomputed_tokens = res.recomputed_tokens;
+  return sr;
+}
+
+void count_tenant(std::vector<std::size_t>& per_tenant, std::uint32_t tenant) {
+  if (tenant >= per_tenant.size()) per_tenant.resize(tenant + 1, 0);
+  ++per_tenant[tenant];
+}
+
+void finalize_emitted(OnlineRunResult& out, const table::Table& t,
+                      const std::vector<Arrival>& arrivals,
+                      const OnlineConfig& config,
+                      std::vector<std::size_t> emitted_rows,
+                      std::vector<std::vector<std::size_t>> emitted_fields) {
+  out.latency = summarize_latency(out.requests, config.ttft_slo_seconds);
+  out.per_class = summarize_by_class(out.requests, config.ttft_slo_seconds);
+  out.emitted =
+      core::Ordering(std::move(emitted_rows), std::move(emitted_fields));
+  std::vector<std::size_t> arrival_rows;
+  arrival_rows.reserve(arrivals.size());
+  for (const Arrival& a : arrivals) arrival_rows.push_back(a.row);
+  out.phc = core::phc(t.take_rows(arrival_rows), out.emitted,
+                      config.scheduler.ggr.measure);
+}
+
+}  // namespace llmq::serve::detail

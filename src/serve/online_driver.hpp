@@ -1,0 +1,77 @@
+#pragma once
+// Shared internals of the online serving drivers.
+//
+// run_online (the single-threaded virtual-clock oracle, online.cpp) and
+// run_online_threaded (the real-threads runtime, threaded_fleet.cpp) are
+// two execution engines for the same serving semantics; everything that
+// defines those semantics outside the event loop — arrival validation,
+// per-tenant prompt encoding, request materialization, completion
+// stitching, and result finalization — lives here so the two drivers
+// cannot drift apart. Internal to src/serve; not part of the public API.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/online.hpp"
+
+namespace llmq::serve::detail {
+
+/// Bookkeeping for a dispatched, not-yet-finished request.
+struct InFlight {
+  Arrival arrival;
+  double dispatch_time = 0.0;
+  std::size_t replica = 0;
+};
+
+/// Validate the stream (time-sorted, unique ids, rows in range) and build
+/// id -> arrival index (for the emitted Ordering over the arrival table).
+std::unordered_map<std::uint64_t, std::size_t> index_arrivals(
+    const table::Table& t, const std::vector<Arrival>& arrivals);
+
+/// Per-tenant prompt encoders, built lazily: each tenant's instruction
+/// prefix differs, so rows share the instruction prefix only within a
+/// tenant — the structure that makes Tenant-GGR partitioning (and
+/// tenant-affine routing) matter.
+class EncoderMap {
+ public:
+  explicit EncoderMap(const query::PromptTemplate& base) : base_(base) {}
+
+  query::PromptEncoder& for_tenant(std::uint32_t tenant) {
+    auto it = encoders_.find(tenant);
+    if (it == encoders_.end()) {
+      query::PromptTemplate tmpl = base_;
+      tmpl.system_prompt += " [tenant " + std::to_string(tenant) + "]";
+      it = encoders_.emplace(tenant, query::PromptEncoder(std::move(tmpl)))
+               .first;
+    }
+    return it->second;
+  }
+
+ private:
+  query::PromptTemplate base_;
+  std::unordered_map<std::uint32_t, query::PromptEncoder> encoders_;
+};
+
+/// Materialize the engine request for an arrival: id/row tagging, the
+/// priority class, and the task model's per-request decode length (keyed
+/// so the same arrival always gets the same length, scaled by the class
+/// output multiplier).
+llm::Request make_request(const Arrival& a, tokenizer::TokenSeq prompt,
+                          const llm::TaskModel& task_model,
+                          const OnlineConfig& config);
+
+/// Join an engine completion with its dispatch bookkeeping.
+ServedRequest stitch(const llm::RequestResult& res, const InFlight& f);
+
+void count_tenant(std::vector<std::size_t>& per_tenant, std::uint32_t tenant);
+
+/// Latency/per-class summaries, the emitted Ordering, and PHC over the
+/// arrival-ordered rows — identical across drivers by construction.
+void finalize_emitted(OnlineRunResult& out, const table::Table& t,
+                      const std::vector<Arrival>& arrivals,
+                      const OnlineConfig& config,
+                      std::vector<std::size_t> emitted_rows,
+                      std::vector<std::vector<std::size_t>> emitted_fields);
+
+}  // namespace llmq::serve::detail

@@ -1,0 +1,398 @@
+#include "serve/threaded_fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_map>
+
+#include "llm/cost_model.hpp"
+#include "serve/online_driver.hpp"
+#include "serve/scheduler.hpp"
+
+namespace llmq::serve {
+
+ThreadedFleet::ThreadedFleet(const FleetConfig& config,
+                             ThreadedFleetOptions options)
+    : router_(config.router, config.n_replicas ? config.n_replicas : 1) {
+  if (config.n_replicas == 0)
+    throw std::invalid_argument("ThreadedFleet: n_replicas must be positive");
+  replicas_.reserve(config.n_replicas);
+  for (std::size_t r = 0; r < config.n_replicas; ++r)
+    replicas_.push_back(std::make_unique<Replica>(config, options));
+  counters_.resize(config.n_replicas);
+  clock_view_.assign(config.n_replicas, 0.0);
+  busy_view_.assign(config.n_replicas, 0);
+  outstanding_view_.assign(config.n_replicas, 0);
+  // Spawn workers only once every Replica is at its final address.
+  for (auto& rep : replicas_)
+    rep->thread = std::thread(&ThreadedFleet::worker_main, std::ref(*rep));
+}
+
+ThreadedFleet::~ThreadedFleet() { shutdown(); }
+
+void ThreadedFleet::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& rep : replicas_) {
+    WorkerMsg stop;
+    stop.kind = WorkerMsg::Kind::Stop;
+    rep->inbox.push(std::move(stop));
+  }
+  for (auto& rep : replicas_)
+    if (rep->thread.joinable()) rep->thread.join();
+}
+
+void ThreadedFleet::set_trace(obs::OrderedTraceMerger* merger) {
+  if (!merger || !merger->enabled()) return;
+  merger_ = merger;
+  // Workers are parked on empty inboxes and have not touched their
+  // sessions yet; the first inbox push publishes these writes to them.
+  for (std::size_t r = 0; r < replicas_.size(); ++r)
+    replicas_[r]->session.set_trace(&replicas_[r]->local_trace,
+                                    static_cast<std::uint32_t>(r));
+}
+
+void ThreadedFleet::worker_main(Replica& r) {
+  std::vector<StepRec> recs;
+  WorkerMsg m;
+  while (r.inbox.pop(m)) {
+    switch (m.kind) {
+      case WorkerMsg::Kind::Stop:
+        return;
+      case WorkerMsg::Kind::Submit: {
+        StepRec rec;
+        rec.is_submit = true;
+        rec.id = m.req.id;
+        rec.trace_begin = r.local_trace.size();
+        // Mirror of ReplicaFleet::dispatch admission: an idle replica is
+        // parked at its last activity; bring it to the dispatch instant
+        // so admission cannot happen in the past.
+        if (!r.session.has_work()) r.session.advance_to(m.time);
+        r.session.submit(std::move(m.req));
+        rec.trace_end = r.local_trace.size();
+        recs.push_back(std::move(rec));
+        break;
+      }
+      case WorkerMsg::Kind::Run: {
+        // Step until the session clock first reaches the epoch limit —
+        // exactly the per-replica stepping the sequential argmin-clock
+        // rule performs before the frontier crosses that limit.
+        while (r.session.has_work() && r.session.now() < m.time) {
+          StepRec rec;
+          rec.pre_clock = r.session.now();
+          rec.trace_begin = r.local_trace.size();
+          llm::EngineSession::StepEvents ev = r.session.step();
+          rec.trace_end = r.local_trace.size();
+          rec.completed = std::move(ev.completed);
+          recs.push_back(std::move(rec));
+        }
+        EpochReport rep;
+        rep.recs = std::move(recs);
+        recs = std::vector<StepRec>();
+        rep.clock = r.session.now();
+        rep.has_work = r.session.has_work();
+        rep.outstanding = r.session.outstanding_prompt_tokens();
+        r.outbox.push(std::move(rep));
+        break;
+      }
+    }
+  }
+}
+
+std::size_t ThreadedFleet::dispatch(llm::Request req, std::uint32_t tenant,
+                                    double now) {
+  const std::size_t n_rep = replicas_.size();
+  views_.resize(n_rep);
+  for (std::size_t r = 0; r < n_rep; ++r) {
+    views_[r].cache = &replicas_[r]->cache;
+    // The mirror equals session.outstanding_prompt_tokens() at sequential
+    // dispatch time: barrier value plus this barrier's earlier submits.
+    views_[r].outstanding_prompt_tokens = outstanding_view_[r];
+  }
+  const std::size_t target = router_.route(req.prompt, tenant, views_);
+  if (merger_) {
+    merger_->emit({obs::EventKind::RouteDecision,
+                   static_cast<std::uint8_t>(req.priority), obs::kGlobalTrack,
+                   now, req.id, target, views_[target].cache->peek(req.prompt),
+                   views_[target].outstanding_prompt_tokens});
+    // The matching Enqueue is emitted by the worker when it processes the
+    // Submit; reserve its slot here so the merged stream interleaves
+    // RouteDecision/Enqueue exactly like the sequential one.
+    merger_->placeholder(req.id);
+  }
+  // advance_to mirror for the clock view (the worker does the real one).
+  if (!busy_view_[target])
+    clock_view_[target] = std::max(clock_view_[target], now);
+  busy_view_[target] = 1;
+  counters_[target].routed_prompt_tokens += req.prompt.size();
+  ++counters_[target].requests;
+  outstanding_view_[target] += req.prompt.size();
+
+  WorkerMsg msg;
+  msg.kind = WorkerMsg::Kind::Submit;
+  msg.req = std::move(req);
+  msg.time = now;
+  replicas_[target]->inbox.push(std::move(msg));
+
+  // Outstanding-load imbalance, sampled after every routing decision —
+  // post-submit values, as in ReplicaFleet::dispatch.
+  std::size_t max_out = 0, sum_out = 0;
+  for (std::size_t r = 0; r < n_rep; ++r) {
+    const std::size_t o = outstanding_view_[r];
+    max_out = std::max(max_out, o);
+    sum_out += o;
+  }
+  const double mean_out =
+      static_cast<double>(sum_out) / static_cast<double>(n_rep);
+  imbalance_sum_ += static_cast<double>(max_out) / mean_out;
+  ++imbalance_samples_;
+  return target;
+}
+
+bool ThreadedFleet::any_work() const {
+  for (char b : busy_view_)
+    if (b) return true;
+  return false;
+}
+
+double ThreadedFleet::frontier(double now) const {
+  const std::size_t n_rep = replicas_.size();
+  std::size_t best = n_rep;
+  for (std::size_t r = 0; r < n_rep; ++r) {
+    if (!busy_view_[r]) continue;
+    if (best == n_rep || clock_view_[r] < clock_view_[best]) best = r;
+  }
+  if (best < n_rep) return std::max(now, clock_view_[best]);
+  for (std::size_t r = 0; r < n_rep; ++r) now = std::max(now, clock_view_[r]);
+  return now;
+}
+
+std::vector<llm::RequestResult> ThreadedFleet::run_epoch(double t_limit) {
+  const std::size_t n_rep = replicas_.size();
+  for (auto& rep : replicas_) {
+    WorkerMsg run;
+    run.kind = WorkerMsg::Kind::Run;
+    run.time = t_limit;
+    rep->inbox.push(std::move(run));
+  }
+  // The barrier: one report per worker. After its report a worker is
+  // parked on an empty inbox, so the driver may touch its session, cache,
+  // and trace buffer until the next message is pushed.
+  std::vector<EpochReport> reports(n_rep);
+  for (std::size_t r = 0; r < n_rep; ++r) {
+    if (!replicas_[r]->outbox.pop(reports[r]))
+      throw std::logic_error("ThreadedFleet: worker exited mid-epoch");
+  }
+
+  // 1. Fill the Enqueue placeholders reserved at dispatch (keyed by
+  // request id — slot order was fixed then, so fill order is free).
+  if (merger_) {
+    for (std::size_t r = 0; r < n_rep; ++r) {
+      const auto& events = replicas_[r]->local_trace.events();
+      for (const StepRec& rec : reports[r].recs) {
+        if (!rec.is_submit) continue;
+        merger_->fill(rec.id, events.data() + rec.trace_begin,
+                      events.data() + rec.trace_end);
+      }
+    }
+  }
+
+  // 2. Merge step records into oracle order: (pre-step clock, replica
+  // index, per-replica chronological order). stable_sort on the first two
+  // keys preserves the third — each replica's records are appended in
+  // execution order.
+  std::vector<std::pair<double, std::pair<std::size_t, std::size_t>>> order;
+  for (std::size_t r = 0; r < n_rep; ++r)
+    for (std::size_t i = 0; i < reports[r].recs.size(); ++i)
+      if (!reports[r].recs[i].is_submit)
+        order.push_back({reports[r].recs[i].pre_clock, {r, i}});
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first < b.first;
+                     return a.second.first < b.second.first;
+                   });
+
+  std::vector<llm::RequestResult> completed;
+  for (const auto& [clock, ri] : order) {
+    (void)clock;
+    StepRec& rec = reports[ri.first].recs[ri.second];
+    if (merger_) {
+      const auto& events = replicas_[ri.first]->local_trace.events();
+      merger_->append(events.data() + rec.trace_begin,
+                      events.data() + rec.trace_end);
+    }
+    for (llm::RequestResult& res : rec.completed)
+      completed.push_back(std::move(res));
+  }
+
+  // 3. Refresh the driver-side mirrors and recycle the trace buffers
+  // (their spans are consumed; clearing before the next dispatch keeps
+  // worker-side indices consistent with what the driver will read).
+  for (std::size_t r = 0; r < n_rep; ++r) {
+    clock_view_[r] = reports[r].clock;
+    busy_view_[r] = reports[r].has_work ? 1 : 0;
+    outstanding_view_[r] = reports[r].outstanding;
+    replicas_[r]->local_trace.clear();
+  }
+  return completed;
+}
+
+void ThreadedFleet::sample_gauges(obs::TimeSeries& ts, double now) const {
+  for (std::size_t r = 0; r < replicas_.size(); ++r)
+    ts.append(now, static_cast<std::uint32_t>(r),
+              replicas_[r]->session.gauges());
+}
+
+std::vector<ReplicaMetrics> ThreadedFleet::replica_metrics() const {
+  std::vector<ReplicaMetrics> out = counters_;
+  for (std::size_t r = 0; r < replicas_.size(); ++r)
+    out[r].engine = replicas_[r]->session.metrics();
+  return out;
+}
+
+double ThreadedFleet::load_imbalance() const {
+  return imbalance_samples_
+             ? imbalance_sum_ / static_cast<double>(imbalance_samples_)
+             : 1.0;
+}
+
+OnlineRunResult run_online_threaded(const table::Table& t,
+                                    const table::FdSet& fds,
+                                    const std::vector<Arrival>& arrivals,
+                                    const OnlineConfig& config,
+                                    ThreadedFleetOptions options) {
+  if (config.n_replicas == 0)
+    throw std::invalid_argument(
+        "run_online_threaded: n_replicas must be positive");
+  const std::size_t n_rep = config.n_replicas;
+
+  OnlineRunResult out;
+  out.replicas.resize(n_rep);
+  out.per_class = summarize_by_class({}, config.ttft_slo_seconds);
+  if (arrivals.empty()) return out;
+
+  const auto index_of = detail::index_arrivals(t, arrivals);
+
+  OnlineScheduler scheduler(t, fds, config.scheduler);
+  ThreadedFleet fleet(config.fleet(), options);
+  obs::OrderedTraceMerger merger(config.trace.sink);
+  if (config.trace.sink) {
+    fleet.set_trace(&merger);
+    scheduler.set_trace(&merger);
+  }
+  obs::SampleClock sampler(config.trace.sampling() ? config.trace.timeseries
+                                                   : nullptr,
+                           config.trace.sample_interval_seconds);
+  const llm::TaskModel task_model(config.model_profile);
+  detail::EncoderMap encoders(config.prompt);
+
+  std::unordered_map<std::uint64_t, detail::InFlight> inflight;
+  std::vector<std::size_t> emitted_rows;
+  std::vector<std::vector<std::size_t>> emitted_fields;
+  emitted_rows.reserve(arrivals.size());
+  emitted_fields.reserve(arrivals.size());
+
+  double now = 0.0;
+  std::size_t next = 0;
+  const std::size_t n = arrivals.size();
+
+  const auto dispatch = [&](const Window& w) {
+    ++out.windows;
+    out.solve_seconds += w.solve_seconds;
+    for (std::size_t i = 0; i < w.arrivals.size(); ++i) {
+      const Arrival& a = w.arrivals[i];
+      const std::vector<std::size_t>& fo = w.field_orders[i];
+      llm::Request req = detail::make_request(
+          a, encoders.for_tenant(a.tenant).encode(t, a.row, fo), task_model,
+          config);
+      const std::size_t target = fleet.dispatch(std::move(req), a.tenant, now);
+      inflight.emplace(a.id, detail::InFlight{a, w.planned_at, target});
+      emitted_rows.push_back(index_of.at(a.id));
+      emitted_fields.push_back(fo);
+    }
+  };
+
+  const auto record = [&](const llm::RequestResult& res) {
+    const detail::InFlight& f = inflight.at(res.id);
+    ServedRequest sr = detail::stitch(res, f);
+    detail::count_tenant(out.per_tenant, sr.tenant);
+    out.requests.push_back(sr);
+    inflight.erase(res.id);
+  };
+
+  // Next virtual time anything observable can happen — the epoch cut.
+  // Every source of window due-ness (and the sampling boundary) is
+  // represented; extra cuts would be harmless (the barrier replays the
+  // same feed/dispatch code the sequential loop runs every iteration), a
+  // missing one would break planned_at times. All sources are > `now`
+  // at the point of the call: boundaries were advanced past, due windows
+  // popped, and occurred arrivals fed.
+  const auto next_cut = [&]() {
+    double cut = std::numeric_limits<double>::infinity();
+    if (sampler.sampling()) cut = std::min(cut, sampler.next_boundary());
+    // Wait bound of the currently buffered window (covers later pushes
+    // too: the deadline is the *oldest* arrival's, so nothing buffered
+    // after it can tighten it).
+    cut = std::min(cut, scheduler.next_deadline());
+    const SchedulerOptions& sopt = scheduler.options();
+    if (next < n) {
+      // A future arrival entering an empty buffer starts a new deadline.
+      if (scheduler.buffered() == 0 && sopt.max_wait_seconds > 0)
+        cut = std::min(cut, arrivals[next].time + sopt.max_wait_seconds);
+      // The arrival that fills the row bound makes a window due at its
+      // own arrival time.
+      if (sopt.window_rows > 0) {
+        const std::size_t fill_idx =
+            next + (sopt.window_rows - scheduler.buffered()) - 1;
+        if (fill_idx < n) cut = std::min(cut, arrivals[fill_idx].time);
+      }
+    }
+    return cut;
+  };
+
+  // ---- Barrier loop: same event order as the sequential merged loop,
+  // with contiguous stepping runs delegated to the workers. ----
+  while (next < n || scheduler.buffered() > 0 || fleet.any_work()) {
+    // 0. Advance the merged clock to the execution frontier.
+    now = fleet.frontier(now);
+    if (sampler.due(now)) {
+      fleet.sample_gauges(*sampler.series(), now);
+      sampler.advance_past(now);
+    }
+    // 1. Feed arrivals that have occurred.
+    while (next < n && arrivals[next].time <= now)
+      scheduler.push(arrivals[next++]);
+    // 2. Dispatch every due window (routing each request).
+    while (auto w = scheduler.pop_ready(now)) dispatch(*w);
+    // 3. Execute one epoch up to the next observable event.
+    if (fleet.any_work()) {
+      for (const llm::RequestResult& res : fleet.run_epoch(next_cut()))
+        record(res);
+      continue;
+    }
+    // 4. Everything idle: jump to the next arrival or deadline, or drain.
+    double t_next = scheduler.next_deadline();
+    if (next < n) t_next = std::min(t_next, arrivals[next].time);
+    if (std::isfinite(t_next)) {
+      now = std::max(now, t_next);
+    } else if (auto w = scheduler.flush(now)) {
+      // Stream over, no deadline pending: drain the partial window.
+      dispatch(*w);
+    } else {
+      break;  // defensive: no arrivals, no buffer, no work
+    }
+  }
+
+  fleet.shutdown();
+  out.replicas = fleet.replica_metrics();
+  out.engine = aggregate_replica_engines(out.replicas);
+  out.load_imbalance = fleet.load_imbalance();
+  merger.finish();
+  detail::finalize_emitted(out, t, arrivals, config, std::move(emitted_rows),
+                           std::move(emitted_fields));
+  return out;
+}
+
+}  // namespace llmq::serve

@@ -1,0 +1,200 @@
+#pragma once
+// Real-threads fleet runtime: one worker thread per replica, driven in
+// deterministic epochs, bit-identical to the virtual-clock oracle.
+//
+// ReplicaFleet (fleet.hpp) interleaves N replica sessions on one OS
+// thread by always stepping the busy replica with the earliest virtual
+// clock. ThreadedFleet runs the same N sessions on N worker threads and
+// recovers the exact same execution — every result field, ledger, trace
+// byte, and gauge row — from the following protocol:
+//
+//   Ownership. Each worker thread exclusively owns its replica's
+//   ServingEngine, EngineSession, and TraceLog between barriers. The
+//   driver thread owns the scheduler, router, arrival stream, sample
+//   clock, result assembly, and per-replica mirrors of each session's
+//   (clock, busy, outstanding-tokens) state. The PrefixCache is the one
+//   shared structure: workers mutate it inside step(), the driver probes
+//   it (const peek) while routing — which is why the threaded fleet
+//   builds its caches with lock striping (cache/prefix_cache.hpp).
+//
+//   Queues. Per replica, a bounded MPSC inbox of {Submit, RunUntil,
+//   Stop} messages and an outbox of epoch reports (util/mpsc_queue.hpp).
+//   Inbox FIFO order is load-bearing: Submits dispatched at a barrier
+//   precede the RunUntil that opens the next epoch, so a worker admits
+//   exactly what the sequential loop would have admitted before stepping.
+//
+//   Epochs. The driver computes the next virtual time T at which
+//   anything observable can happen — a window deadline, the arrival that
+//   fills a row-bound window, a fresh deadline started by an arrival
+//   entering an empty buffer, or a gauge-sampling boundary — and tells
+//   every worker to RunUntil(T). A worker steps while it has work and
+//   its clock is < T, then reports. This reproduces the sequential
+//   argmin-clock rule exactly: under that rule a replica at clock >= T is
+//   never stepped while any busy replica is < T, so by the first frontier
+//   >= T every busy replica has been stepped precisely until its clock
+//   first reached >= T — which is the worker's loop condition. Arrivals
+//   between barriers are fed lazily at the next barrier; that is safe
+//   because buffering an arrival is unobservable until it changes window
+//   due-ness, and every due-change time is an epoch cut.
+//
+//   Merge. Steps are globally ordered by (pre-step clock, replica index,
+//   per-replica order) — the exact order the argmin rule with its
+//   lowest-index tiebreak produces — so completions, result vectors, and
+//   per-class ledgers assemble identically. Trace canonicality uses the
+//   same order plus an ordered slot merger (obs/trace_merge.hpp): driver
+//   events flow straight through, worker Enqueue events fill
+//   placeholder slots reserved at dispatch, and merged step spans are
+//   appended at each barrier.
+//
+// The virtual clock stays the oracle: simulated metrics never come from
+// wall time, so the threaded runtime adds real parallelism (benchmarked
+// wall-clock throughput in bench_threaded_fleet) without perturbing a
+// single simulated number — the equivalence is property-tested across
+// replicas x preemption x chunking x seeds in tests/threaded/.
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "llm/engine.hpp"
+#include "llm/engine_session.hpp"
+#include "obs/trace_merge.hpp"
+#include "serve/online.hpp"
+#include "util/mpsc_queue.hpp"
+
+namespace llmq::serve {
+
+struct ThreadedFleetOptions {
+  /// Lock stripes for each replica's PrefixCache (0 = unstriped). The
+  /// default exercises the striped concurrent cache; striped == unstriped
+  /// behavior is pinned separately in tests/cache.
+  std::size_t cache_lock_stripes = 8;
+  /// Bounded capacity of each worker's admission/command inbox. Overflow
+  /// only blocks the driver momentarily — workers drain continuously.
+  std::size_t inbox_capacity = 1024;
+};
+
+class ThreadedFleet {
+ public:
+  /// Spawns one worker thread per replica (parked until messages arrive).
+  /// Throws std::invalid_argument when config.n_replicas == 0.
+  ThreadedFleet(const FleetConfig& config, ThreadedFleetOptions options = {});
+  ~ThreadedFleet();
+
+  ThreadedFleet(const ThreadedFleet&) = delete;
+  ThreadedFleet& operator=(const ThreadedFleet&) = delete;
+
+  std::size_t n_replicas() const { return replicas_.size(); }
+
+  /// Bind tracing. Driver-only object; call before the first dispatch.
+  /// Each replica session emits into its own private TraceLog on track r;
+  /// the driver merges at barriers. A null/disabled merger is ignored.
+  void set_trace(obs::OrderedTraceMerger* merger);
+
+  /// Route `req` and enqueue it to the chosen replica's worker. Mirrors
+  /// ReplicaFleet::dispatch bit-for-bit using the driver-side session
+  /// mirrors (exact between barriers because only dispatches change
+  /// them). Barrier-context only. Returns the chosen replica.
+  std::size_t dispatch(llm::Request req, std::uint32_t tenant, double now);
+
+  bool any_work() const;
+
+  /// Merged-clock frontier rule over the driver-side clock mirrors;
+  /// identical to ReplicaFleet::frontier.
+  double frontier(double now) const;
+
+  /// Run one epoch: every worker advances until its session clock
+  /// reaches `t_limit` or it runs dry (pass +infinity to drain), then
+  /// the driver blocks on all reports (the barrier), merges step records
+  /// into virtual-time order, fills trace placeholders, and refreshes
+  /// the session mirrors. Returns completions in oracle order.
+  std::vector<llm::RequestResult> run_epoch(double t_limit);
+
+  /// Append one gauge row per replica at merged time `now`. Barrier
+  /// context only (reads worker-owned sessions while they are parked).
+  void sample_gauges(obs::TimeSeries& ts, double now) const;
+
+  /// Per-replica attribution with final engine metrics. Barrier context.
+  std::vector<ReplicaMetrics> replica_metrics() const;
+
+  /// Mean over routing decisions of max/mean outstanding prompt tokens.
+  double load_imbalance() const;
+
+  /// Stop and join every worker. Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct WorkerMsg {
+    enum class Kind { Submit, Run, Stop };
+    Kind kind = Kind::Stop;
+    llm::Request req;   // Submit payload
+    double time = 0.0;  // Submit: dispatch instant; Run: epoch limit
+  };
+
+  /// One worker-side action (a Submit admission or one session step),
+  /// with its private-TraceLog event span and any completions.
+  struct StepRec {
+    bool is_submit = false;
+    double pre_clock = 0.0;  // session clock before the step (merge key)
+    std::uint64_t id = 0;    // Submit: request id (trace placeholder key)
+    std::size_t trace_begin = 0;
+    std::size_t trace_end = 0;
+    std::vector<llm::RequestResult> completed;
+  };
+
+  struct EpochReport {
+    std::vector<StepRec> recs;
+    double clock = 0.0;
+    bool has_work = false;
+    std::size_t outstanding = 0;
+  };
+
+  struct Replica {
+    llm::ServingEngine engine;
+    cache::PrefixCache cache;
+    llm::EngineSession session;
+    obs::TraceLog local_trace;
+    util::MpscQueue<WorkerMsg> inbox;
+    util::MpscQueue<EpochReport> outbox;
+    std::thread thread;
+
+    Replica(const FleetConfig& config, const ThreadedFleetOptions& options)
+        : engine(llm::CostModel(config.model, config.gpu), config.engine),
+          cache(engine.make_session_cache(options.cache_lock_stripes)),
+          session(engine, cache),
+          inbox(options.inbox_capacity),
+          outbox(4) {}
+  };
+
+  static void worker_main(Replica& r);
+
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  Router router_;
+  obs::OrderedTraceMerger* merger_ = nullptr;
+  std::vector<ReplicaMetrics> counters_;  // engine filled by replica_metrics
+  std::vector<Router::ReplicaView> views_;  // reused per-dispatch buffer
+  // Driver-side mirrors of worker session state: refreshed from reports
+  // at each barrier, advanced by dispatch bookkeeping between barriers —
+  // exact at all times because nothing else runs between barriers.
+  std::vector<double> clock_view_;
+  std::vector<char> busy_view_;
+  std::vector<std::size_t> outstanding_view_;
+  double imbalance_sum_ = 0.0;
+  std::size_t imbalance_samples_ = 0;
+  bool stopped_ = false;
+};
+
+/// run_online semantics on the real-threads runtime. Produces a
+/// bit-identical OnlineRunResult to run_online(t, fds, arrivals, config)
+/// — including requests, latency/per-class summaries, engine + cache
+/// ledgers, PHC, and load imbalance; solve_seconds is planner wall clock
+/// and the one legitimately differing field. Property-pinned in
+/// tests/threaded/.
+OnlineRunResult run_online_threaded(const table::Table& t,
+                                    const table::FdSet& fds,
+                                    const std::vector<Arrival>& arrivals,
+                                    const OnlineConfig& config,
+                                    ThreadedFleetOptions options = {});
+
+}  // namespace llmq::serve

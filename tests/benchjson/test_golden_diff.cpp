@@ -62,6 +62,31 @@ const std::vector<GoldenSpec>& golden_specs() {
        {{"chunk_mix_sweep", "interactive_p99_ttft_s", true, 0.10},
         {"chunk_mix_sweep", "interactive_p99_itl_s", true, 0.10},
         {"chunk_mix_sweep", "goodput_rps", true, 0.10}}},
+      {"bench_serving_router",
+       "BENCH_serving_router.json",
+       {{"replicas_policy", "agg_phr", false, 0.02},
+        {"replicas_policy", "p50_ttft_s", true, 0.10},
+        {"replicas_policy", "p99_ttft_s", true, 0.10},
+        {"replicas_policy", "goodput_rps", true, 0.10},
+        {"replicas_policy", "load_imbalance", true, 0.10},
+        {"replicas_policy", "phc", true, 0.05},
+        {"policy_rate", "agg_phr", false, 0.02},
+        {"policy_rate", "p99_ttft_s", true, 0.10},
+        {"policy_rate", "goodput_rps", true, 0.10}}},
+      {"bench_priority_preemption",
+       "BENCH_priority_preemption.json",
+       {{"overload", "agg_phr", false, 0.02},
+        {"overload", "interactive_p99_ttft_s", true, 0.10},
+        {"overload", "standard_p99_ttft_s", true, 0.10},
+        {"overload", "batch_p99_e2e_s", true, 0.10},
+        {"overload", "interactive_goodput_rps", true, 0.10},
+        {"overload", "batch_completed", true, 0.10},
+        {"overload", "preemptions", true, 0.10},
+        {"overload", "recompute_tokens", true, 0.10},
+        {"aging_sweep", "interactive_p99_ttft_s", true, 0.10},
+        {"aging_sweep", "batch_p99_e2e_s", true, 0.10},
+        {"aging_sweep", "batch_completed", true, 0.10},
+        {"aging_sweep", "preemptions", true, 0.10}}},
   };
   return specs;
 }

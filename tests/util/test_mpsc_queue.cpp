@@ -1,0 +1,135 @@
+// Bounded MPSC queue: FIFO order, blocking push/pop, close semantics,
+// and a cross-thread soak. FIFO is load-bearing for the threaded fleet
+// (Submit messages must precede the RunUntil that opens an epoch).
+
+#include "util/mpsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace llmq::util {
+namespace {
+
+TEST(MpscQueue, FifoOrderSingleThread) {
+  MpscQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) q.push(i);
+  EXPECT_EQ(q.size(), 8u);
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MpscQueue, CapacityFloorsAtOne) {
+  MpscQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  q.push(42);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(MpscQueue, TryPopOnEmptyReturnsFalse) {
+  MpscQueue<int> q(4);
+  int v = 0;
+  EXPECT_FALSE(q.try_pop(v));
+  q.push(7);
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(MpscQueue, CloseDrainsThenReportsClosed) {
+  MpscQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  q.close();  // idempotent
+  EXPECT_TRUE(q.closed());
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));  // buffered items still drain
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.pop(v));  // drained + closed -> no more items, no block
+  EXPECT_THROW(q.push(3), std::runtime_error);
+}
+
+TEST(MpscQueue, PopBlocksUntilPush) {
+  MpscQueue<int> q(2);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    int v = 0;
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 99);
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());  // consumer parked on the empty queue
+  q.push(99);
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(MpscQueue, PushBlocksWhenFullUntilPop) {
+  MpscQueue<int> q(1);
+  q.push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(2);  // queue is full: blocks until the consumer pops
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  int v = 0;
+  ASSERT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(MpscQueue, CloseWakesBlockedConsumer) {
+  MpscQueue<int> q(2);
+  std::thread consumer([&] {
+    int v = 0;
+    EXPECT_FALSE(q.pop(v));  // woken by close on an empty queue
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+}
+
+TEST(MpscQueue, MultiProducerSoakPreservesPerProducerOrder) {
+  // 4 producers x 500 items through a tiny buffer: the consumer must see
+  // every item exactly once, and each producer's items in its push order.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  MpscQueue<std::pair<int, int>> q(8);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push({p, i});
+    });
+  std::vector<int> next_expected(kProducers, 0);
+  for (int n = 0; n < kProducers * kPerProducer; ++n) {
+    std::pair<int, int> item;
+    ASSERT_TRUE(q.pop(item));
+    ASSERT_LT(item.first, kProducers);
+    EXPECT_EQ(item.second, next_expected[item.first]);
+    ++next_expected[item.first];
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(std::all_of(next_expected.begin(), next_expected.end(),
+                          [](int n) { return n == kPerProducer; }));
+  std::pair<int, int> unused;
+  EXPECT_FALSE(q.try_pop(unused));
+}
+
+}  // namespace
+}  // namespace llmq::util
