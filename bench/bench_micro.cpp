@@ -1,133 +1,381 @@
-// Micro-benchmarks (google-benchmark): hot paths of the library —
-// tokenizer throughput, PHC evaluation, radix-tree matching, GGR and the
-// fixed-order baselines, and prompt encoding.
+// Hot-path microbenchmarks: the per-token inner loops the serving stack
+// spends its time in at fleet scale — token_ops kernels (LCP / equality /
+// block hash, SIMD vs scalar), RadixTree child lookup across fan-outs,
+// the end-to-end lookup→admit→release cache cycle, batch eviction, and a
+// steady-state allocation audit that asserts the arena claim: once warm,
+// cache churn performs ZERO heap allocations and carves no new node
+// slots.
+//
+// Emits the standard BENCH_*.json envelope. Deterministic keys
+// (checksums, counts, steady_allocs) are golden-diffed exactly; us/op
+// keys are wall-clock and only compared between release/no-sanitizer
+// builds (tests/benchjson/test_golden_diff.cpp). The bench exits
+// non-zero if any bit-identity or zero-allocation assertion fails, so a
+// plain smoke run doubles as a correctness check.
 
-#include <benchmark/benchmark.h>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
 
-#include "core/baselines.hpp"
-#include "core/ggr.hpp"
-#include "core/phc.hpp"
+#include "bench_common.hpp"
 #include "cache/prefix_cache.hpp"
-#include "data/generators.hpp"
-#include "query/prompt.hpp"
-#include "util/wordbank.hpp"
+#include "cache/radix_tree.hpp"
+#include "tokenizer/tokenizer.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/token_ops.hpp"
+
+namespace {
+// Global allocation counter: every operator new in the process bumps it,
+// which is what lets alloc_steadystate() assert "zero heap allocations
+// per steady-state request" at the whole-program level rather than
+// trusting any container's bookkeeping.
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace llmq;
 
 namespace {
 
-const data::Dataset& movies_1k() {
-  static const data::Dataset d = [] {
-    data::GenOptions g;
-    g.n_rows = 1000;
-    g.seed = 42;
-    return data::generate_movies(g);
-  }();
-  return d;
+namespace ops = util::token_ops;
+
+volatile std::uint64_t g_sink = 0;  // defeats dead-code elimination
+
+void fail(const char* what) {
+  std::fprintf(stderr, "bench_micro: ASSERTION FAILED: %s\n", what);
+  std::exit(1);
 }
 
-std::string prose(std::size_t tokens) {
-  util::Rng rng(7);
-  return util::default_wordbank().text_of_tokens(rng, tokens);
+std::vector<tokenizer::TokenId> random_tokens(util::Rng& rng, std::size_t n) {
+  std::vector<tokenizer::TokenId> v(n);
+  for (auto& t : v) t = static_cast<tokenizer::TokenId>(rng.next_u64());
+  return v;
 }
 
-void BM_TokenizerEncode(benchmark::State& state) {
-  const std::string text = prose(static_cast<std::size_t>(state.range(0)));
-  const auto& tok = tokenizer::global_tokenizer();
-  for (auto _ : state) benchmark::DoNotOptimize(tok.encode(text));
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(text.size()));
+/// Iterations per timed rep, sized so each rep touches ~4M tokens at
+/// --full and proportionally fewer at small scales (floors keep the
+/// timer above its granularity).
+std::size_t iters_for(double scale, std::size_t tokens_per_iter) {
+  const double target = 4.0e6 * std::max(scale, 0.01);
+  const auto it = static_cast<std::size_t>(target /
+                                           static_cast<double>(tokens_per_iter));
+  return std::max<std::size_t>(16, it);
 }
-BENCHMARK(BM_TokenizerEncode)->Arg(64)->Arg(512)->Arg(4096);
 
-void BM_TokenizerCount(benchmark::State& state) {
-  const std::string text = prose(512);
-  const auto& tok = tokenizer::global_tokenizer();
-  for (auto _ : state) benchmark::DoNotOptimize(tok.count(text));
+// ---- Section: token_ops (SIMD vs scalar kernels). ----
+
+void bench_token_ops(const bench::BenchOptions& opt, bench::JsonReport& json) {
+  const char* isa = util::simd::name(util::simd::active_isa());
+  std::printf("token_ops kernels (dispatched isa=%s vs scalar)\n", isa);
+  std::printf("  %6s  %10s %10s %8s  %10s %10s %8s\n", "len", "lcp_us",
+              "lcp_sc_us", "speedup", "hash_us", "hash_sc_us", "speedup");
+
+  const bench::WallClockTimer timer(5, 2);
+  util::Rng rng(opt.seed);
+  for (const std::size_t len : {std::size_t{16}, std::size_t{64},
+                                std::size_t{513}, std::size_t{4096}}) {
+    const auto a = random_tokens(rng, len);
+    const auto b = a;  // identical: LCP/equal walk the full run (worst case)
+    const std::size_t iters = iters_for(opt.scale, len);
+
+    // Bit-identity cross-check before timing anything.
+    if (ops::lcp(a.data(), b.data(), len) !=
+        ops::scalar::lcp(a.data(), b.data(), len))
+      fail("dispatched lcp != scalar lcp");
+    if (ops::hash(a.data(), len) != ops::scalar::hash(a.data(), len))
+      fail("dispatched hash != scalar hash");
+    if (ops::equal(a.data(), b.data(), len) !=
+        ops::scalar::equal(a.data(), b.data(), len))
+      fail("dispatched equal != scalar equal");
+
+    const auto time_per_op = [&](auto&& fn) {
+      const double s = timer.min_seconds([&] {
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < iters; ++i) acc += fn();
+        g_sink = acc;
+      });
+      return s / static_cast<double>(iters) * 1e6;
+    };
+
+    const double lcp_us =
+        time_per_op([&] { return ops::lcp(a.data(), b.data(), len); });
+    const double lcp_sc_us =
+        time_per_op([&] { return ops::scalar::lcp(a.data(), b.data(), len); });
+    const double hash_us = time_per_op([&] { return ops::hash(a.data(), len); });
+    const double hash_sc_us =
+        time_per_op([&] { return ops::scalar::hash(a.data(), len); });
+    const double eq_us = time_per_op(
+        [&] { return ops::equal(a.data(), b.data(), len) ? 1u : 0u; });
+    const double eq_sc_us = time_per_op(
+        [&] { return ops::scalar::equal(a.data(), b.data(), len) ? 1u : 0u; });
+
+    // 64-bit hash folded to 32 bits so it survives the double-typed JSON
+    // number path exactly.
+    const std::uint64_t h = ops::hash(a.data(), len);
+    const auto hash_check = static_cast<std::size_t>(h & 0xFFFFFFFFu);
+
+    std::printf("  %6zu  %10.4f %10.4f %7.2fx  %10.4f %10.4f %7.2fx\n", len,
+                lcp_us, lcp_sc_us, lcp_sc_us / lcp_us, hash_us, hash_sc_us,
+                hash_sc_us / hash_us);
+    json.add("token_ops",
+             {{"len", len},
+              {"isa", isa},
+              {"lcp_us", lcp_us},
+              {"lcp_scalar_us", lcp_sc_us},
+              {"lcp_speedup", lcp_sc_us / lcp_us},
+              {"hash_us", hash_us},
+              {"hash_scalar_us", hash_sc_us},
+              {"hash_speedup", hash_sc_us / hash_us},
+              {"equal_us", eq_us},
+              {"equal_scalar_us", eq_sc_us},
+              {"hash_check", hash_check}});
+  }
+  std::printf("\n");
 }
-BENCHMARK(BM_TokenizerCount);
 
-void BM_PhcEvaluate(benchmark::State& state) {
-  const auto& d = movies_1k();
-  const auto ordering = core::stats_fixed_ordering(d.table);
-  const core::CellLengths lengths(d.table, core::LengthMeasure::Tokens);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(
-        core::phc_with_lengths(d.table, lengths, ordering));
+// ---- Section: radix_fanout (child lookup vs fan-out). ----
+
+void bench_radix_fanout(const bench::BenchOptions& opt,
+                        bench::JsonReport& json) {
+  constexpr std::size_t kBlock = 16;
+  std::printf("radix find_child (block=%zu tokens)\n", kBlock);
+  std::printf("  %7s  %10s %10s\n", "fanout", "hit_us", "miss_us");
+
+  const bench::WallClockTimer timer(5, 2);
+  for (const std::size_t fanout :
+       {std::size_t{4}, std::size_t{64}, std::size_t{512}}) {
+    util::Rng rng(opt.seed + fanout);
+    cache::RadixTree tree(kBlock);
+    std::vector<std::vector<tokenizer::TokenId>> blocks;
+    blocks.reserve(fanout);
+    for (std::size_t i = 0; i < fanout; ++i) {
+      blocks.push_back(random_tokens(rng, kBlock));
+      tree.insert(blocks.back(), i);
+    }
+    const auto miss = random_tokens(rng, kBlock);
+
+    const std::size_t iters = iters_for(opt.scale, kBlock);
+    std::uint64_t check = 0;
+    const auto probe = [&](std::span<const tokenizer::TokenId> p) {
+      return static_cast<std::uint64_t>(tree.match_tokens(p));
+    };
+    for (const auto& blk : blocks) check += probe(blk);
+    check += probe(miss);
+
+    const double hit_us = timer.min_seconds([&] {
+                            std::uint64_t acc = 0;
+                            for (std::size_t i = 0; i < iters; ++i)
+                              acc += probe(blocks[i % fanout]);
+                            g_sink = acc;
+                          }) /
+                          static_cast<double>(iters) * 1e6;
+    const double miss_us = timer.min_seconds([&] {
+                             std::uint64_t acc = 0;
+                             for (std::size_t i = 0; i < iters; ++i)
+                               acc += probe(miss);
+                             g_sink = acc;
+                           }) /
+                           static_cast<double>(iters) * 1e6;
+
+    std::printf("  %7zu  %10.4f %10.4f\n", fanout, hit_us, miss_us);
+    json.add("radix_fanout", {{"fanout", fanout},
+                              {"hit_us", hit_us},
+                              {"miss_us", miss_us},
+                              {"check", static_cast<std::size_t>(check)}});
+  }
+  std::printf("\n");
 }
-BENCHMARK(BM_PhcEvaluate);
 
-void BM_GgrSolve(benchmark::State& state) {
-  data::GenOptions g;
-  g.n_rows = static_cast<std::size_t>(state.range(0));
-  g.seed = 42;
-  const auto d = data::generate_movies(g);
-  core::GgrOptions go;
-  go.max_row_depth = 4;
-  go.max_col_depth = 2;
-  for (auto _ : state)
-    benchmark::DoNotOptimize(core::ggr(d.table, d.fds, go));
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          state.range(0));
+// ---- Section: radix_stream (full cache cycle on a shared-prefix mix). ----
+
+struct StreamOutcome {
+  std::uint64_t hit_tokens = 0;
+  std::uint64_t inserted_blocks = 0;
+};
+
+StreamOutcome run_stream(
+    const std::vector<std::vector<tokenizer::TokenId>>& prompts) {
+  cache::PrefixCache pc(cache::CacheConfig{16, 0, true});
+  for (const auto& p : prompts) {
+    auto lease = pc.lookup(p);
+    pc.admit(p, lease);
+    pc.release(lease);
+  }
+  const cache::CacheStats s = pc.stats();
+  return {s.hit_tokens, s.inserted_blocks};
 }
-BENCHMARK(BM_GgrSolve)->Arg(200)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
 
-void BM_StatsFixedOrdering(benchmark::State& state) {
-  const auto& d = movies_1k();
-  for (auto _ : state)
-    benchmark::DoNotOptimize(core::stats_fixed_ordering(d.table));
-}
-BENCHMARK(BM_StatsFixedOrdering)->Unit(benchmark::kMillisecond);
-
-void BM_RadixInsertMatch(benchmark::State& state) {
-  // Stream of prompts sharing a 128-token prefix with unique 32-token
-  // tails — the cache's hot pattern.
-  std::vector<tokenizer::TokenSeq> prompts;
-  util::Rng rng(3);
-  tokenizer::TokenSeq prefix(128);
-  for (auto& t : prefix) t = static_cast<tokenizer::TokenId>(rng.next_u64());
-  for (int i = 0; i < 256; ++i) {
+void bench_radix_stream(const bench::BenchOptions& opt,
+                        bench::JsonReport& json) {
+  const auto n_prompts = std::max<std::size_t>(
+      64, static_cast<std::size_t>(2048.0 * opt.scale));
+  util::Rng rng(opt.seed);
+  const auto prefix = random_tokens(rng, 128);
+  std::vector<std::vector<tokenizer::TokenId>> prompts;
+  prompts.reserve(n_prompts);
+  for (std::size_t i = 0; i < n_prompts; ++i) {
     auto p = prefix;
-    for (int k = 0; k < 32; ++k)
-      p.push_back(static_cast<tokenizer::TokenId>(rng.next_u64()));
+    const auto tail = random_tokens(rng, 32);
+    p.insert(p.end(), tail.begin(), tail.end());
     prompts.push_back(std::move(p));
   }
-  for (auto _ : state) {
-    cache::PrefixCache pc(cache::CacheConfig{16, 0, true});
+
+  const StreamOutcome first = run_stream(prompts);
+  if (const StreamOutcome again = run_stream(prompts);
+      again.hit_tokens != first.hit_tokens ||
+      again.inserted_blocks != first.inserted_blocks)
+    fail("radix_stream outcome not deterministic across runs");
+
+  const bench::WallClockTimer timer(5, 1);
+  const double us_per_request =
+      timer.min_seconds([&] { g_sink = run_stream(prompts).hit_tokens; }) /
+      static_cast<double>(n_prompts) * 1e6;
+
+  std::printf("radix_stream: %zu shared-prefix requests, %.3f us/request "
+              "(hit_tokens=%llu)\n\n",
+              n_prompts, us_per_request,
+              static_cast<unsigned long long>(first.hit_tokens));
+  json.add("radix_stream",
+           {{"requests", n_prompts},
+            {"us_per_request", us_per_request},
+            {"hit_tokens", static_cast<std::size_t>(first.hit_tokens)},
+            {"inserted_blocks",
+             static_cast<std::size_t>(first.inserted_blocks)}});
+}
+
+// ---- Section: evict_batch (single-scan batch eviction). ----
+
+void bench_evict_batch(const bench::BenchOptions& opt,
+                       bench::JsonReport& json) {
+  constexpr std::size_t kBlock = 16;
+  const auto n_prompts = std::max<std::size_t>(
+      32, static_cast<std::size_t>(1024.0 * opt.scale));
+  constexpr std::size_t kBlocksPerPrompt = 8;
+
+  std::vector<std::vector<tokenizer::TokenId>> prompts;
+  prompts.reserve(n_prompts);
+  util::Rng rng(opt.seed);
+  for (std::size_t i = 0; i < n_prompts; ++i)
+    prompts.push_back(random_tokens(rng, kBlock * kBlocksPerPrompt));
+
+  const auto build = [&] {
+    cache::RadixTree tree(kBlock);
+    std::uint64_t now = 0;
+    for (const auto& p : prompts) tree.insert(p, ++now);
+    return tree;
+  };
+
+  std::size_t nodes = 0, evicted = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 5; ++rep) {
+    cache::RadixTree tree = build();
+    nodes = tree.num_blocks();
+    const auto t0 = std::chrono::steady_clock::now();
+    evicted = tree.evict_lru(nodes);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (evicted != nodes) fail("evict_batch failed to drain the tree");
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  const double us_per_block = best / static_cast<double>(nodes) * 1e6;
+
+  std::printf("evict_batch: drained %zu blocks in one call, %.4f us/block\n\n",
+              nodes, us_per_block);
+  json.add("evict_batch", {{"nodes", nodes},
+                           {"evicted", evicted},
+                           {"us_per_block", us_per_block}});
+}
+
+// ---- Section: alloc_steadystate (the arena zero-allocation audit). ----
+
+void bench_alloc_steadystate(const bench::BenchOptions& opt,
+                             bench::JsonReport& json) {
+  constexpr std::size_t kBlock = 16;
+  constexpr std::size_t kPrompts = 32;
+  constexpr std::size_t kBlocksPerPrompt = 4;
+  constexpr std::size_t kCapacityBlocks = 64;  // < working set: churn forever
+
+  util::Rng rng(opt.seed);
+  std::vector<std::vector<tokenizer::TokenId>> prompts;
+  prompts.reserve(kPrompts);
+  for (std::size_t i = 0; i < kPrompts; ++i)
+    prompts.push_back(random_tokens(rng, kBlock * kBlocksPerPrompt));
+
+  // Cache-level churn: capacity-limited, every pass evicts and re-inserts.
+  cache::PrefixCache pc(cache::CacheConfig{kBlock, kCapacityBlocks, true});
+  const auto pass = [&] {
     for (const auto& p : prompts) {
       auto lease = pc.lookup(p);
       pc.admit(p, lease);
       pc.release(lease);
     }
-    benchmark::DoNotOptimize(pc.stats().hit_tokens);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
-}
-BENCHMARK(BM_RadixInsertMatch)->Unit(benchmark::kMillisecond);
+  };
+  const std::uint64_t before_warm = g_allocs.load(std::memory_order_relaxed);
+  pass();
+  pass();  // two warm-up passes: pools, slabs, scratch all reach high water
+  const std::uint64_t warmup_allocs =
+      g_allocs.load(std::memory_order_relaxed) - before_warm;
+  constexpr int kSteadyPasses = 3;
+  const std::uint64_t before_steady = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < kSteadyPasses; ++i) pass();
+  const std::uint64_t steady_allocs =
+      g_allocs.load(std::memory_order_relaxed) - before_steady;
+  if (steady_allocs != 0) fail("steady-state cache churn allocated");
 
-void BM_PromptEncode(benchmark::State& state) {
-  const auto& d = movies_1k();
-  const query::PromptEncoder enc(
-      query::PromptTemplate{"You are a data analyst.", "Filter the rows."});
-  std::vector<std::size_t> fields(d.table.num_cols());
-  for (std::size_t c = 0; c < fields.size(); ++c) fields[c] = c;
-  std::size_t row = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(enc.encode(d.table, row, fields));
-    row = (row + 1) % d.table.num_rows();
-  }
-}
-BENCHMARK(BM_PromptEncode);
+  // Tree-level churn: node slots must stay flat once warm (satellite:
+  // recycled slots reuse their storage instead of re-growing it).
+  cache::RadixTree tree(kBlock);
+  std::uint64_t now = 0;
+  const auto tree_pass = [&] {
+    for (const auto& p : prompts) tree.insert(p, ++now);
+    tree.evict_lru(tree.num_blocks());
+  };
+  tree_pass();
+  tree_pass();
+  const std::size_t slots_warm = tree.node_slots();
+  for (int i = 0; i < kSteadyPasses; ++i) tree_pass();
+  const std::size_t slots_delta = tree.node_slots() - slots_warm;
+  if (slots_delta != 0) fail("steady-state tree churn carved new node slots");
 
-void BM_MineFds(benchmark::State& state) {
-  data::GenOptions g;
-  g.n_rows = 500;
-  g.seed = 42;
-  const auto d = data::generate_beer(g);
-  for (auto _ : state) benchmark::DoNotOptimize(table::mine_fds(d.table));
+  std::printf("alloc_steadystate: warmup_allocs=%llu steady_allocs=%llu "
+              "node_slots_delta=%zu (over %d churn passes)\n\n",
+              static_cast<unsigned long long>(warmup_allocs),
+              static_cast<unsigned long long>(steady_allocs), slots_delta,
+              kSteadyPasses);
+  json.add("alloc_steadystate",
+           {{"steady_passes", static_cast<std::size_t>(kSteadyPasses)},
+            {"warmup_allocs", static_cast<std::size_t>(warmup_allocs)},
+            {"steady_allocs", static_cast<std::size_t>(steady_allocs)},
+            {"node_slots_delta", slots_delta}});
 }
-BENCHMARK(BM_MineFds)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::print_header("hot-path microbenchmarks", opt);
+  bench::JsonReport json("bench_micro", opt);
+
+  bench_token_ops(opt, json);
+  bench_radix_fanout(opt, json);
+  bench_radix_stream(opt, json);
+  bench_evict_batch(opt, json);
+  bench_alloc_steadystate(opt, json);
+
+  json.write();
+  return 0;
+}

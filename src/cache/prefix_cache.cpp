@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/token_ops.hpp"
+
 namespace llmq::cache {
 
 // Tripwire: growing CacheStats without extending the accumulate/delta
@@ -43,18 +45,16 @@ PrefixCache::PrefixCache(CacheConfig config)
 
 std::uint32_t PrefixCache::stripe_of(std::span<const TokenId> prompt) const {
   if (trees_.size() == 1) return 0;
-  // FNV-1a over the first (root) token block. Prompts can only share tree
-  // structure below the root when they share their entire first block, so
-  // hashing exactly that block guarantees related prompts land on the
-  // same stripe; unrelated prompts that collide merely coexist as
-  // distinct root children of the same per-stripe tree, exactly as they
-  // would in one tree.
+  // Vectorized hash over the first (root) token block. Prompts can only
+  // share tree structure below the root when they share their entire
+  // first block, so hashing exactly that block guarantees related prompts
+  // land on the same stripe; unrelated prompts that collide merely
+  // coexist as distinct root children of the same per-stripe tree,
+  // exactly as they would in one tree. Striped == unstriped behavior
+  // holds for ANY stripe hash (the tests pin it), so swapping the scalar
+  // FNV for token_ops::hash changed no observable.
   const std::size_t n = std::min(prompt.size(), config_.block_size);
-  std::uint64_t h = 1469598103934665603ull;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= static_cast<std::uint64_t>(prompt[i]);
-    h *= 1099511628211ull;
-  }
+  const std::uint64_t h = util::token_ops::hash(prompt.data(), n);
   return static_cast<std::uint32_t>(h % trees_.size());
 }
 
@@ -98,16 +98,27 @@ std::size_t PrefixCache::pinned_blocks() const {
   return n;
 }
 
+std::vector<NodeId> PrefixCache::acquire_path() {
+  if (path_pool_.empty()) return {};
+  std::vector<NodeId> v = std::move(path_pool_.back());
+  path_pool_.pop_back();
+  v.clear();
+  return v;
+}
+
+void PrefixCache::recycle_path(std::vector<NodeId>&& path) {
+  if (path.capacity() > 0) path_pool_.push_back(std::move(path));
+}
+
 CacheLease PrefixCache::pinning_match(RadixTree& tree, std::uint32_t stripe,
                                       std::span<const TokenId> prompt) {
   // Pre: stripe's mutex and the accounting mutex held (when striped).
   CacheLease lease;
-  RadixTree::Match m = tree.match(prompt);
-  tree.touch(m.path, clock_);
-  tree.pin(m.path);
-  outstanding_pins_ += m.path.size();
-  lease.path = std::move(m.path);
-  lease.cached_tokens = m.matched_tokens;
+  lease.path = acquire_path();
+  lease.cached_tokens = tree.match_into(prompt, lease.path);
+  tree.touch(lease.path, clock_);
+  tree.pin(lease.path);
+  outstanding_pins_ += lease.path.size();
   lease.stripe = stripe;
   return lease;
 }
@@ -150,7 +161,7 @@ std::size_t PrefixCache::peek(std::span<const TokenId> prompt) const {
   // mutation, but peek touches no counter, recency stamp, or clock — the
   // probe stays invisible to every observable the stats/LRU tests pin.
   auto stripe = lock_stripe(s);
-  return trees_[s].match(prompt).matched_tokens;
+  return trees_[s].match_tokens(prompt);
 }
 
 std::size_t PrefixCache::admit_insert(RadixTree& tree, std::uint32_t stripe,
@@ -160,17 +171,18 @@ std::size_t PrefixCache::admit_insert(RadixTree& tree, std::uint32_t stripe,
   const std::size_t path_before = lease.path.size();
   tree.unpin(lease.path);
   outstanding_pins_ -= lease.path.size();
-  RadixTree::InsertResult ins = tree.insert(prompt, clock_, need);
-  pool_.allocate(ins.new_blocks);
-  stats_.inserted_blocks += ins.new_blocks;
-  tree.pin(ins.path);
-  outstanding_pins_ += ins.path.size();
-  lease.cached_tokens = ins.path.size() * config_.block_size;
-  lease.path = std::move(ins.path);
+  std::vector<NodeId> path = acquire_path();
+  const std::size_t new_blocks = tree.insert_into(prompt, clock_, need, path);
+  pool_.allocate(new_blocks);
+  stats_.inserted_blocks += new_blocks;
+  tree.pin(path);
+  outstanding_pins_ += path.size();
+  lease.cached_tokens = path.size() * config_.block_size;
+  recycle_path(std::move(lease.path));
+  lease.path = std::move(path);
   lease.stripe = stripe;
-  trace(EventKind::CacheAdmit, ins.new_blocks, lease.path.size(),
-        path_before);
-  return ins.new_blocks;
+  trace(EventKind::CacheAdmit, new_blocks, lease.path.size(), path_before);
+  return new_blocks;
 }
 
 std::size_t PrefixCache::admit(std::span<const TokenId> prompt,
@@ -277,7 +289,8 @@ void PrefixCache::release_locked(CacheLease& lease) {
   tree.unpin(lease.path);
   outstanding_pins_ -= lease.path.size();
   trace(EventKind::CacheRelease, lease.path.size(), 0, 0);
-  lease.path.clear();
+  recycle_path(std::move(lease.path));
+  lease.path = std::vector<NodeId>();  // moved-from: restore a defined empty
   lease.cached_tokens = 0;
 }
 

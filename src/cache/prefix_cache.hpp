@@ -199,6 +199,13 @@ class PrefixCache {
   std::unique_lock<std::mutex> lock_acct() const;
   std::vector<std::unique_lock<std::mutex>> lock_all_stripes() const;
 
+  /// Lease-path vector recycling (pre: acct mutex held, when striped).
+  /// Leases carry their path vectors out to callers and bring them back
+  /// on release; pooling the buffers makes the steady-state
+  /// lookup→admit→release cycle allocation-free once capacities warm up.
+  std::vector<NodeId> acquire_path();
+  void recycle_path(std::vector<NodeId>&& path);
+
   CacheLease pinning_match(RadixTree& tree, std::uint32_t stripe,
                            std::span<const TokenId> prompt);
   /// Pre: caller holds lease.stripe's mutex and acct (when striped).
@@ -231,6 +238,8 @@ class PrefixCache {
   /// Outstanding (lease, node) pin edges — incremented when a lease pins
   /// a path, decremented on release; mirrors the trees' total ref count.
   std::uint64_t outstanding_pins_ = 0;
+  /// Retired lease-path buffers awaiting reuse (guarded by acct_mu).
+  std::vector<std::vector<NodeId>> path_pool_;
   std::unique_ptr<LockState> locks_;
   obs::TraceSink* trace_ = nullptr;
   std::uint32_t trace_replica_ = 0;

@@ -3,47 +3,127 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/token_ops.hpp"
+
 namespace llmq::cache {
 
-RadixTree::RadixTree(std::size_t block_size) : block_size_(block_size) {
+namespace ops = util::token_ops;
+
+RadixTree::RadixTree(std::size_t block_size)
+    : block_size_(block_size), pool_(kSlabNodes) {
   if (block_size == 0)
     throw std::invalid_argument("RadixTree: block_size must be positive");
-  nodes_.push_back(Node{});  // root
-  nodes_[0].alive = true;
+  const auto root = pool_.allocate();  // slot 0
+  pool_[root].alive = true;
+  pool_[root].parent = kNoNode;
 }
 
-NodeId RadixTree::find_child(NodeId node, std::span<const TokenId> block) const {
-  for (NodeId c : nodes_[node].children) {
-    const auto& b = nodes_[c].block;
-    if (std::equal(b.begin(), b.end(), block.begin(), block.end())) return c;
+// ---- Child index (open addressing, linear probing). ----
+
+void RadixTree::index_insert(ChildIndex& ix, NodeId id) {
+  const std::size_t mask = ix.table.size() - 1;
+  std::size_t pos = pool_[id].block_hash & mask;
+  while (ix.table[pos] != kNoNode) pos = (pos + 1) & mask;
+  ix.table[pos] = id;
+  ++ix.size;
+}
+
+void RadixTree::index_erase(ChildIndex& ix, NodeId id) {
+  const std::size_t mask = ix.table.size() - 1;
+  std::size_t i = pool_[id].block_hash & mask;
+  while (ix.table[i] != id) i = (i + 1) & mask;
+  ix.table[i] = kNoNode;
+  --ix.size;
+  // Backward-shift deletion: walk the probe chain after the hole and pull
+  // back any entry whose home slot does not lie strictly between the hole
+  // and it (else a later lookup would stop at the hole and miss it).
+  std::size_t j = i;
+  for (;;) {
+    j = (j + 1) & mask;
+    const NodeId c = ix.table[j];
+    if (c == kNoNode) return;
+    const std::size_t home = pool_[c].block_hash & mask;
+    const bool reachable =
+        (j >= i) ? (home > i && home <= j) : (home > i || home <= j);
+    if (!reachable) {
+      ix.table[i] = c;
+      ix.table[j] = kNoNode;
+      i = j;
+    }
+  }
+}
+
+void RadixTree::index_rebuild(Node& n, std::size_t min_capacity) {
+  std::size_t cap = 16;
+  while (cap < min_capacity) cap <<= 1;
+  if (n.index.table.size() < cap) n.index.table.resize(cap);
+  std::fill(n.index.table.begin(), n.index.table.end(), kNoNode);
+  n.index.size = 0;
+  for (NodeId c : n.children) index_insert(n.index, c);
+}
+
+// ---- Core tree ops. ----
+
+NodeId RadixTree::find_child(NodeId node,
+                             std::span<const TokenId> block) const {
+  const Node& n = pool_[node];
+  if (!n.index.table.empty()) {
+    const std::uint64_t h = ops::hash(block.data(), block.size());
+    const std::size_t mask = n.index.table.size() - 1;
+    for (std::size_t pos = h & mask;; pos = (pos + 1) & mask) {
+      const NodeId c = n.index.table[pos];
+      if (c == kNoNode) return kNoNode;
+      const Node& cn = pool_[c];
+      if (cn.block_hash == h &&
+          ops::equal(block_span(c).data(), block.data(), block.size()))
+        return c;
+    }
+  }
+  for (NodeId c : n.children) {
+    if (ops::equal(block_span(c).data(), block.data(), block.size())) return c;
   }
   return kNoNode;
 }
 
 NodeId RadixTree::add_child(NodeId node, std::span<const TokenId> block,
                             std::uint64_t now) {
-  NodeId id;
-  if (!free_list_.empty()) {
-    id = free_list_.back();
-    free_list_.pop_back();
-  } else {
-    id = static_cast<NodeId>(nodes_.size());
-    nodes_.push_back(Node{});
-  }
-  Node& n = nodes_[id];
-  n.block.assign(block.begin(), block.end());
+  const NodeId id = static_cast<NodeId>(pool_.allocate());
+  while (id / kSlabNodes >= block_slabs_.size())
+    block_slabs_.push_back(
+        std::make_unique<TokenId[]>(kSlabNodes * block_size_));
+  TokenId* dst =
+      block_slabs_[id / kSlabNodes].get() + (id % kSlabNodes) * block_size_;
+  std::copy(block.begin(), block.end(), dst);
+
+  Node& n = pool_[id];
+  n.block_hash = ops::hash(block.data(), block.size());
   n.parent = node;
-  n.children.clear();
+  n.children.clear();  // recycled slot: capacity retained, contents stale
+  n.index.size = 0;
+  if (!n.index.table.empty())
+    std::fill(n.index.table.begin(), n.index.table.end(), kNoNode);
   n.last_access = now;
   n.ref_count = 0;
   n.alive = true;
-  nodes_[node].children.push_back(id);
+
+  Node& p = pool_[node];
+  n.pos_in_parent = static_cast<std::uint32_t>(p.children.size());
+  p.children.push_back(id);
+  if (!p.index.table.empty()) {
+    // Keep the table at load factor <= 3/4.
+    if ((p.index.size + 1) * 4 > p.index.table.size() * 3)
+      index_rebuild(p, p.children.size() * 2);
+    else
+      index_insert(p.index, id);
+  } else if (p.children.size() >= kIndexMinFanout) {
+    index_rebuild(p, p.children.size() * 2);
+  }
   ++num_blocks_;
   return id;
 }
 
 void RadixTree::remove_node(NodeId id) {
-  Node& n = nodes_[id];
+  Node& n = pool_[id];
   // Eviction must never take a pinned block (an in-flight request's KV
   // would dangle) or an inner node (the tree must stay prefix-closed).
   // evict_lru filters for both; enforce here so any future caller that
@@ -52,88 +132,131 @@ void RadixTree::remove_node(NodeId id) {
     throw std::logic_error("RadixTree: removing a pinned node");
   if (!n.children.empty())
     throw std::logic_error("RadixTree: removing a non-leaf node");
-  auto& siblings = nodes_[n.parent].children;
-  siblings.erase(std::find(siblings.begin(), siblings.end(), id));
+  Node& p = pool_[n.parent];
+  // O(1) swap-remove: child order is unobservable (lookups go through the
+  // hash index or an unordered scan), so move the last sibling into the
+  // vacated position.
+  const std::uint32_t pos = n.pos_in_parent;
+  const NodeId moved = p.children.back();
+  p.children[pos] = moved;
+  pool_[moved].pos_in_parent = pos;
+  p.children.pop_back();
+  if (!p.index.table.empty()) index_erase(p.index, id);
   n.alive = false;
-  n.block.clear();
-  free_list_.push_back(id);
+  pool_.deallocate(id);
   --num_blocks_;
 }
 
 RadixTree::Match RadixTree::match(std::span<const TokenId> tokens) const {
   Match out;
+  out.matched_tokens = match_into(tokens, out.path);
+  return out;
+}
+
+std::size_t RadixTree::match_tokens(std::span<const TokenId> tokens) const {
   NodeId cur = 0;
   std::size_t offset = 0;
   while (offset + block_size_ <= tokens.size()) {
-    const NodeId child =
-        find_child(cur, tokens.subspan(offset, block_size_));
+    const NodeId child = find_child(cur, tokens.subspan(offset, block_size_));
     if (child == kNoNode) break;
-    out.path.push_back(child);
-    out.matched_tokens += block_size_;
     offset += block_size_;
     cur = child;
   }
-  return out;
+  return offset;
+}
+
+std::size_t RadixTree::match_into(std::span<const TokenId> tokens,
+                                  std::vector<NodeId>& path) const {
+  path.clear();
+  NodeId cur = 0;
+  std::size_t offset = 0;
+  while (offset + block_size_ <= tokens.size()) {
+    const NodeId child = find_child(cur, tokens.subspan(offset, block_size_));
+    if (child == kNoNode) break;
+    path.push_back(child);
+    offset += block_size_;
+    cur = child;
+  }
+  return offset;
 }
 
 RadixTree::InsertResult RadixTree::insert(std::span<const TokenId> tokens,
                                           std::uint64_t now,
                                           std::size_t max_new_blocks) {
   InsertResult out;
+  out.new_blocks = insert_into(tokens, now, max_new_blocks, out.path);
+  return out;
+}
+
+std::size_t RadixTree::insert_into(std::span<const TokenId> tokens,
+                                   std::uint64_t now,
+                                   std::size_t max_new_blocks,
+                                   std::vector<NodeId>& path) {
+  path.clear();
+  std::size_t new_blocks = 0;
   NodeId cur = 0;
   std::size_t offset = 0;
   while (offset + block_size_ <= tokens.size()) {
     const auto block = tokens.subspan(offset, block_size_);
     NodeId child = find_child(cur, block);
     if (child == kNoNode) {
-      if (out.new_blocks >= max_new_blocks) break;
+      if (new_blocks >= max_new_blocks) break;
       child = add_child(cur, block, now);
-      ++out.new_blocks;
+      ++new_blocks;
     } else {
-      nodes_[child].last_access = now;
+      pool_[child].last_access = now;
     }
-    out.path.push_back(child);
+    path.push_back(child);
     offset += block_size_;
     cur = child;
   }
-  return out;
+  return new_blocks;
 }
 
 void RadixTree::touch(const std::vector<NodeId>& path, std::uint64_t now) {
-  for (NodeId id : path) nodes_[id].last_access = now;
+  for (NodeId id : path) pool_[id].last_access = now;
 }
 
 void RadixTree::pin(const std::vector<NodeId>& path) {
-  for (NodeId id : path) ++nodes_[id].ref_count;
+  for (NodeId id : path) ++pool_[id].ref_count;
 }
 
 void RadixTree::unpin(const std::vector<NodeId>& path) {
   for (NodeId id : path) {
-    if (nodes_[id].ref_count == 0)
+    if (pool_[id].ref_count == 0)
       throw std::logic_error("RadixTree: unpin of unpinned node");
-    --nodes_[id].ref_count;
+    --pool_[id].ref_count;
   }
 }
 
 std::size_t RadixTree::evict_lru(std::size_t want) {
+  if (want == 0) return 0;
+  // One scan collects every current victim candidate into a min-heap of
+  // (last_access, id); std::greater pops the oldest, lowest-id first —
+  // the same victim order as the classic rescan-per-victim loop. Nothing
+  // mutates recency or pins during eviction, so heap entries only go
+  // stale one way: a popped parent that regained no children is still a
+  // leaf. Parents exposed by removing their last child are pushed as they
+  // become evictable.
+  evict_heap_.clear();
+  for (NodeId id = 1; id < pool_.slots(); ++id) {
+    const Node& n = pool_[id];
+    if (evictable(n)) evict_heap_.emplace_back(n.last_access, id);
+  }
+  const auto cmp = std::greater<>{};
+  std::make_heap(evict_heap_.begin(), evict_heap_.end(), cmp);
   std::size_t evicted = 0;
-  while (evicted < want) {
-    // Scan for the LRU unpinned leaf. O(nodes) per eviction; eviction is
-    // rare relative to matching in our workloads, and correctness
-    // (prefix-closed tree) is what matters for the simulator.
-    NodeId victim = kNoNode;
-    std::uint64_t oldest = UINT64_MAX;
-    for (NodeId id = 1; id < nodes_.size(); ++id) {
-      const Node& n = nodes_[id];
-      if (!n.alive || n.ref_count > 0 || !n.children.empty()) continue;
-      if (n.last_access < oldest) {
-        oldest = n.last_access;
-        victim = id;
-      }
-    }
-    if (victim == kNoNode) break;
+  while (evicted < want && !evict_heap_.empty()) {
+    std::pop_heap(evict_heap_.begin(), evict_heap_.end(), cmp);
+    const NodeId victim = evict_heap_.back().second;
+    evict_heap_.pop_back();
+    const NodeId parent = pool_[victim].parent;
     remove_node(victim);
     ++evicted;
+    if (parent != 0 && evictable(pool_[parent])) {
+      evict_heap_.emplace_back(pool_[parent].last_access, parent);
+      std::push_heap(evict_heap_.begin(), evict_heap_.end(), cmp);
+    }
   }
   return evicted;
 }
@@ -142,70 +265,80 @@ std::string RadixTree::check_invariants() const {
   const auto fail = [](NodeId id, const char* what) {
     return "node " + std::to_string(id) + ": " + what;
   };
-  if (nodes_.empty() || !nodes_[0].alive || nodes_[0].parent != kNoNode ||
-      !nodes_[0].block.empty())
-    return "root: missing, dead, parented, or non-empty block";
+  if (pool_.slots() == 0 || !pool_[0].alive || pool_[0].parent != kNoNode)
+    return "root: missing, dead, or parented";
 
   std::size_t alive = 0;
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    const Node& n = nodes_[id];
+  for (NodeId id = 0; id < pool_.slots(); ++id) {
+    const Node& n = pool_[id];
     if (!n.alive) continue;
     if (id != 0) {
       ++alive;
-      if (n.block.size() != block_size_) return fail(id, "block size mismatch");
-      if (n.parent >= nodes_.size() || !nodes_[n.parent].alive)
+      const auto blk = block_span(id);
+      if (blk.size() != block_size_) return fail(id, "block size mismatch");
+      if (n.block_hash != ops::hash(blk.data(), blk.size()))
+        return fail(id, "stale block hash");
+      if (n.parent >= pool_.slots() || !pool_[n.parent].alive)
         return fail(id, "dead or out-of-range parent");
-      const auto& sib = nodes_[n.parent].children;
+      const auto& sib = pool_[n.parent].children;
+      if (n.pos_in_parent >= sib.size() || sib[n.pos_in_parent] != id)
+        return fail(id, "pos_in_parent does not point back at the node");
       if (std::count(sib.begin(), sib.end(), id) != 1)
         return fail(id, "not exactly once in parent's child list");
       if (n.parent != 0) {
         // Touches and pins cover root-down path prefixes, so recency and
         // pin counts are monotone down every path.
-        if (nodes_[n.parent].last_access < n.last_access)
+        if (pool_[n.parent].last_access < n.last_access)
           return fail(id, "more recently used than its parent");
-        if (nodes_[n.parent].ref_count < n.ref_count)
+        if (pool_[n.parent].ref_count < n.ref_count)
           return fail(id, "more pinned than its parent");
       }
     }
     for (NodeId c : n.children) {
-      if (c >= nodes_.size() || !nodes_[c].alive || nodes_[c].parent != id)
+      if (c >= pool_.slots() || !pool_[c].alive || pool_[c].parent != id)
         return fail(id, "child dead, out of range, or mis-parented");
     }
     for (std::size_t a = 0; a < n.children.size(); ++a)
       for (std::size_t b = a + 1; b < n.children.size(); ++b)
-        if (nodes_[n.children[a]].block == nodes_[n.children[b]].block)
+        if (ops::equal(block_span(n.children[a]), block_span(n.children[b])))
           return fail(id, "duplicate sibling blocks");
+    if (!n.index.table.empty()) {
+      if (n.index.size != n.children.size())
+        return fail(id, "child index size out of sync");
+      std::size_t filled = 0;
+      for (NodeId c : n.index.table) filled += (c != kNoNode);
+      if (filled != n.index.size)
+        return fail(id, "child index occupancy out of sync");
+      for (NodeId c : n.children)
+        if (find_child(id, block_span(c)) != c)
+          return fail(id, "child not reachable through its index");
+    }
   }
   if (alive != num_blocks_) return "num_blocks out of sync with alive nodes";
-  if (free_list_.size() != nodes_.size() - 1 - alive)
-    return "free list does not cover the dead nodes";
-  for (NodeId id : free_list_)
-    if (id == 0 || id >= nodes_.size() || nodes_[id].alive)
-      return fail(id, "alive, root, or out-of-range node on the free list");
+  if (pool_.in_use() != alive + 1)  // +1: the root occupies a slot
+    return "arena in_use out of sync with alive nodes";
   return std::string();
 }
 
 std::uint64_t RadixTree::total_ref_count() const {
   std::uint64_t n = 0;
-  for (NodeId id = 1; id < nodes_.size(); ++id)
-    if (nodes_[id].alive) n += nodes_[id].ref_count;
+  for (NodeId id = 1; id < pool_.slots(); ++id)
+    if (pool_[id].alive) n += pool_[id].ref_count;
   return n;
 }
 
 std::size_t RadixTree::pinned_blocks() const {
   std::size_t n = 0;
-  for (NodeId id = 1; id < nodes_.size(); ++id)
-    if (nodes_[id].alive && nodes_[id].ref_count > 0) ++n;
+  for (NodeId id = 1; id < pool_.slots(); ++id)
+    if (pool_[id].alive && pool_[id].ref_count > 0) ++n;
   return n;
 }
 
 std::uint64_t RadixTree::lru_age() const {
-  // Same victim filter as evict_lru: alive, unpinned, leaf.
   std::uint64_t oldest = UINT64_MAX;
-  for (NodeId id = 1; id < nodes_.size(); ++id) {
-    const Node& n = nodes_[id];
-    if (!n.alive || n.ref_count > 0 || !n.children.empty()) continue;
-    oldest = std::min(oldest, n.last_access);
+  for (NodeId id = 1; id < pool_.slots(); ++id) {
+    const Node& n = pool_[id];
+    if (evictable(n)) oldest = std::min(oldest, n.last_access);
   }
   return oldest;
 }

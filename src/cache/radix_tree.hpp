@@ -7,13 +7,25 @@
 // deepest path whose blocks exactly match the request's leading blocks.
 // Reference counts pin paths of in-flight requests; unpinned nodes are
 // LRU-evictable (leaves first, so the tree stays prefix-closed).
+//
+// Hot-path layout (DESIGN.md §11): nodes live in a util::SlotPool slab
+// arena and their token blocks in parallel fixed-stride slabs keyed by
+// node id, so steady-state churn (evict + re-insert) recycles slots
+// without touching the heap. Every node caches the 64-bit token_ops hash
+// of its block; child lookup compares hashes before tokens, and nodes
+// whose fan-out reaches kIndexMinFanout carry an open-addressed child
+// table that turns find_child into O(1) probes. Batch eviction is one
+// scan plus a min-heap instead of a rescan per victim.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tokenizer/tokenizer.hpp"
+#include "util/arena.hpp"
 
 namespace llmq::cache {
 
@@ -38,6 +50,14 @@ class RadixTree {
   /// recency; callers that consume the match should follow with touch().
   Match match(std::span<const TokenId> tokens) const;
 
+  /// Allocation-free form of match(): only the matched token count.
+  std::size_t match_tokens(std::span<const TokenId> tokens) const;
+
+  /// Allocation-free form of match(): fills a caller-owned path vector
+  /// (cleared first; capacity is reused). Returns matched token count.
+  std::size_t match_into(std::span<const TokenId> tokens,
+                         std::vector<NodeId>& path) const;
+
   struct InsertResult {
     std::vector<NodeId> path;      // full path covering the inserted prefix
     std::size_t new_blocks = 0;    // nodes created by this insert
@@ -50,6 +70,12 @@ class RadixTree {
   InsertResult insert(std::span<const TokenId> tokens, std::uint64_t now,
                       std::size_t max_new_blocks = SIZE_MAX);
 
+  /// Allocation-free form of insert(): fills a caller-owned path vector
+  /// (cleared first; capacity is reused). Returns nodes created.
+  std::size_t insert_into(std::span<const TokenId> tokens, std::uint64_t now,
+                          std::size_t max_new_blocks,
+                          std::vector<NodeId>& path);
+
   /// Bump recency of a path (cache read).
   void touch(const std::vector<NodeId>& path, std::uint64_t now);
 
@@ -59,7 +85,10 @@ class RadixTree {
 
   /// Evict up to `want` least-recently-used, unpinned leaves. Returns the
   /// number actually evicted (may be fewer if everything is pinned or has
-  /// children).
+  /// children). One scan over the table builds a min-heap of victims;
+  /// parents exposed as new leaves join the heap as their last child
+  /// goes, so the victim sequence is identical to the classic
+  /// rescan-per-victim loop (ties broken toward the lower node id).
   std::size_t evict_lru(std::size_t want);
 
   /// Total pinned nodes (diagnostics / tests).
@@ -71,6 +100,8 @@ class RadixTree {
   /// oldest victim across per-stripe trees without merging them: every
   /// access stamps a globally unique clock value, so comparing per-tree
   /// ages reproduces exactly the eviction order a single tree would give.
+  /// Shares the evictable() predicate with evict_lru so the global-LRU
+  /// decision cannot drift from actual eviction order.
   std::uint64_t lru_age() const;
 
   /// Sum of ref_count over all alive nodes — the number of (lease, node)
@@ -78,35 +109,74 @@ class RadixTree {
   /// lease accounting in check_invariants().
   std::uint64_t total_ref_count() const;
 
-  /// Structural self-check for the property tests: parent/child
-  /// consistency, alive/free-list partitioning, per-node block sizing,
-  /// sibling-block uniqueness, node-count accounting, and the path-prefix
-  /// monotonicity invariants — a node's parent is always at least as
-  /// recently used and at least as pinned as the node, because touches and
-  /// pins only ever cover root-down path prefixes. Returns an empty string
-  /// when every invariant holds, else a description of the first
-  /// violation.
+  /// Node slots ever carved from the arena (high-water mark; never
+  /// shrinks). The arena microbench asserts this stays flat across
+  /// steady-state evict/insert churn.
+  std::size_t node_slots() const { return pool_.slots(); }
+
+  /// Structural self-check for the property tests: parent/child/position
+  /// consistency, arena accounting, per-node block hashing and sizing,
+  /// sibling-block uniqueness, child-index coherence, node-count
+  /// accounting, and the path-prefix monotonicity invariants — a node's
+  /// parent is always at least as recently used and at least as pinned as
+  /// the node, because touches and pins only ever cover root-down path
+  /// prefixes. Returns an empty string when every invariant holds, else a
+  /// description of the first violation.
   std::string check_invariants() const;
 
  private:
+  /// Open-addressed child table: power-of-2 capacity, linear probing,
+  /// backward-shift deletion. An empty `table` means the node is below
+  /// the fan-out threshold and children are scanned linearly (with the
+  /// cached block hash as a cheap first filter). Capacity is retained
+  /// when the owning slot is recycled.
+  struct ChildIndex {
+    std::vector<NodeId> table;   // kNoNode = empty slot
+    std::size_t size = 0;
+  };
+
   struct Node {
-    std::vector<TokenId> block;          // block_size tokens (root: empty)
-    NodeId parent = kNoNode;
-    std::vector<NodeId> children;
+    std::uint64_t block_hash = 0;     // token_ops::hash of the block
     std::uint64_t last_access = 0;
+    std::vector<NodeId> children;
+    ChildIndex index;
+    NodeId parent = kNoNode;
+    std::uint32_t pos_in_parent = 0;  // index in parent's children vector
     std::uint32_t ref_count = 0;
     bool alive = false;
   };
+
+  // Fan-out at which a node gains a child hash table.
+  static constexpr std::size_t kIndexMinFanout = 8;
+  // Nodes per token slab (block storage stride group).
+  static constexpr std::size_t kSlabNodes = 256;
+
+  std::span<const TokenId> block_span(NodeId id) const {
+    if (id == 0) return {};
+    const TokenId* base = block_slabs_[id / kSlabNodes].get() +
+                          (id % kSlabNodes) * block_size_;
+    return {base, block_size_};
+  }
+
+  bool evictable(const Node& n) const {
+    return n.alive && n.ref_count == 0 && n.children.empty();
+  }
 
   NodeId find_child(NodeId node, std::span<const TokenId> block) const;
   NodeId add_child(NodeId node, std::span<const TokenId> block,
                    std::uint64_t now);
   void remove_node(NodeId id);
 
+  void index_insert(ChildIndex& ix, NodeId id);
+  void index_erase(ChildIndex& ix, NodeId id);
+  void index_rebuild(Node& n, std::size_t min_capacity);
+
   std::size_t block_size_;
-  std::vector<Node> nodes_;      // index 0 is the root
-  std::vector<NodeId> free_list_;
+  util::SlotPool<Node> pool_;    // slot 0 is the root
+  std::vector<std::unique_ptr<TokenId[]>> block_slabs_;
   std::size_t num_blocks_ = 0;
+  // Scratch for evict_lru: (last_access, id) min-heap, capacity reused.
+  std::vector<std::pair<std::uint64_t, NodeId>> evict_heap_;
 };
 
 }  // namespace llmq::cache

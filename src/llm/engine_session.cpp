@@ -345,8 +345,8 @@ void EngineSession::run_prefill_chunks() {
   // chunk the batch prompt has left. One chunk per request per step; the
   // budget cap keeps the whole step short enough that decode-phase
   // requests are never stalled more than ~budget tokens of prefill.
-  std::vector<std::size_t> order;
-  order.reserve(running_.size());
+  std::vector<std::size_t>& order = prefill_order_;
+  order.clear();
   for (std::size_t i = 0; i < running_.size(); ++i)
     if (running_[i].phase == Phase::Prefill) order.push_back(i);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -443,8 +443,8 @@ EngineSession::StepEvents EngineSession::step() {
       std::max(metrics_.peak_batch_size, running_.size());
 
   // One decode step across the decode-phase batch.
-  std::vector<std::size_t> ctx;
-  ctx.reserve(running_.size());
+  std::vector<std::size_t>& ctx = decode_ctx_;
+  ctx.clear();
   for (const auto& r : running_)
     if (r.phase == Phase::Decode) ctx.push_back(r.context_len);
   if (!ctx.empty()) {

@@ -278,6 +278,11 @@ class EngineSession {
   std::size_t last_step_preempted_ = 0;
   double now_ = 0.0;
   EngineMetrics metrics_;
+  /// Per-step scratch (capacity reused across steps so the steady-state
+  /// step loop allocates nothing): prefill ordering for the chunk budget
+  /// and the decode-phase context-length batch.
+  std::vector<std::size_t> prefill_order_;
+  std::vector<std::size_t> decode_ctx_;
 
   /// One branch when tracing is off; no allocation either way.
   void trace(obs::EventKind kind, std::uint64_t id, std::uint64_t a,

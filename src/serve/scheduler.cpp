@@ -1,5 +1,6 @@
 #include "serve/scheduler.hpp"
 
+#include <array>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
@@ -86,16 +87,17 @@ Window OnlineScheduler::plan_window(std::vector<Arrival> batch,
   // time (aging promotes overdue arrivals), plan each class with the
   // configured policy, emit Interactive first. Reordering happens only
   // within a class, so the per-class FIFO order — which the engine's
-  // tie-breaking relies on for the aging guarantee — is preserved.
-  for (std::size_t c = 0; c < llm::kNumPriorityClasses; ++c) {
-    std::vector<Arrival> part;
-    for (const Arrival& a : batch) {
-      if (static_cast<std::size_t>(llm::aged_class(
-              a.priority, now - a.time, opt_.aging_seconds)) == c)
-        part.push_back(a);
-    }
-    if (!part.empty()) plan_into(w, std::move(part));
+  // tie-breaking relies on for the aging guarantee — is preserved. One
+  // pass over the batch: each arrival's effective class is computed
+  // exactly once, not once per candidate class.
+  std::array<std::vector<Arrival>, llm::kNumPriorityClasses> parts;
+  for (const Arrival& a : batch) {
+    const auto c = static_cast<std::size_t>(
+        llm::aged_class(a.priority, now - a.time, opt_.aging_seconds));
+    parts[c].push_back(a);
   }
+  for (auto& part : parts)
+    if (!part.empty()) plan_into(w, std::move(part));
   return w;
 }
 

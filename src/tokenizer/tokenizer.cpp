@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "util/rng.hpp"
+#include "util/token_ops.hpp"
 
 namespace llmq::tokenizer {
 
@@ -113,9 +114,7 @@ const Tokenizer& global_tokenizer() {
 
 std::size_t common_prefix_len(const TokenSeq& a, const TokenSeq& b) {
   const std::size_t n = std::min(a.size(), b.size());
-  std::size_t i = 0;
-  while (i < n && a[i] == b[i]) ++i;
-  return i;
+  return util::token_ops::lcp(a.data(), b.data(), n);
 }
 
 }  // namespace llmq::tokenizer

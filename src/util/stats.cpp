@@ -36,15 +36,19 @@ double median(std::vector<double> xs) {
 }
 
 double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
-  if (p <= 0.0) return *std::min_element(xs.begin(), xs.end());
-  if (p >= 100.0) return *std::max_element(xs.begin(), xs.end());
   std::sort(xs.begin(), xs.end());
-  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  return percentile_sorted(xs, p);
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= xs.size()) return xs[lo];
-  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+  if (lo + 1 >= sorted.size()) return sorted[lo];
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
 double min_of(std::span<const double> xs) {

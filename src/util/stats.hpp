@@ -22,6 +22,12 @@ double median(std::vector<double> xs);  // by value: sorts a copy
 /// Linear-interpolated percentile, p in [0, 100].
 double percentile(std::vector<double> xs, double p);
 
+/// Same statistic over an ALREADY-SORTED sample — no copy, no sort. For
+/// call sites that take many percentiles of one sample (latency
+/// summaries), sort once and read them all through this; the arithmetic
+/// is identical to percentile(), so the results are bit-identical.
+double percentile_sorted(std::span<const double> sorted, double p);
+
 double min_of(std::span<const double> xs);
 double max_of(std::span<const double> xs);
 

@@ -1,0 +1,254 @@
+#include "util/token_ops.hpp"
+
+#include "util/simd.hpp"
+
+#if defined(LLMQ_TOKEN_OPS_AVX2)
+#include <immintrin.h>
+#endif
+#if defined(LLMQ_TOKEN_OPS_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace llmq::util::token_ops {
+
+namespace {
+// FNV-1a constants. 32-bit per lane (vectorizable multiply everywhere:
+// vpmulld on AVX2, vmulq_u32 on NEON), 64-bit for the final fold.
+constexpr std::uint32_t kOffset32 = 2166136261u;
+constexpr std::uint32_t kPrime32 = 16777619u;
+constexpr std::uint64_t kOffset64 = 1469598103934665603ull;
+constexpr std::uint64_t kPrime64 = 1099511628211ull;
+
+// Fold the touched lane states and the length into the 64-bit result.
+// Runs shorter than 32 tokens leave lanes n..31 at the constant offset —
+// folding them would mix in nothing input-dependent, so the fold stops at
+// min(n, 32) (the same count on every path, keeping ISAs bit-identical;
+// short-block hashing is the radix tree's hot case). The length term
+// keeps runs of identical tokens at different lengths (and the empty
+// run) from colliding structurally.
+inline std::uint64_t finalize(const std::uint32_t lane[32], std::size_t n) {
+  const int nl = n < 32 ? static_cast<int>(n) : 32;
+  std::uint64_t h = kOffset64;
+  for (int l = 0; l < nl; ++l) h = (h ^ lane[l]) * kPrime64;
+  h = (h ^ static_cast<std::uint64_t>(n)) * kPrime64;
+  return h;
+}
+}  // namespace
+
+// ---- Scalar reference path: the specification. ----
+
+namespace scalar {
+
+std::size_t lcp(const Token* a, const Token* b, std::size_t n) {
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+bool equal(const Token* a, const Token* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+std::uint64_t hash(const Token* d, std::size_t n) {
+  std::uint32_t lane[32];
+  for (auto& l : lane) l = kOffset32;
+  for (std::size_t i = 0; i < n; ++i)
+    lane[i & 31] = (lane[i & 31] ^ d[i]) * kPrime32;
+  return finalize(lane, n);
+}
+
+}  // namespace scalar
+
+// ---- AVX2 path (x86-64). Compiled via target attribute so the rest of
+// the translation unit — and the whole build — needs no -mavx2; only
+// reached when cpuid says the host has it. ----
+
+#if defined(LLMQ_TOKEN_OPS_AVX2)
+namespace avx2 {
+
+namespace {
+__attribute__((target("avx2"))) inline __m256i load8(const Token* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+// One sign bit per 32-bit lane: 0xFF == all eight lanes equal.
+__attribute__((target("avx2"))) inline unsigned eqmask8(const Token* a,
+                                                        const Token* b) {
+  const __m256i eq = _mm256_cmpeq_epi32(load8(a), load8(b));
+  return static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+}
+}  // namespace
+
+__attribute__((target("avx2"))) std::size_t lcp(const Token* a,
+                                                const Token* b,
+                                                std::size_t n) {
+  std::size_t i = 0;
+  // 2x unrolled: the two compares are independent, and one combined
+  // 16-bit mask check per 16 tokens halves the branch overhead.
+  for (; i + 16 <= n; i += 16) {
+    const unsigned mask =
+        eqmask8(a + i, b + i) | (eqmask8(a + i + 8, b + i + 8) << 8);
+    if (mask != 0xFFFFu)
+      return i + static_cast<std::size_t>(__builtin_ctz(~mask));
+  }
+  for (; i + 8 <= n; i += 8) {
+    const unsigned mask = eqmask8(a + i, b + i);
+    if (mask != 0xFFu)
+      return i + static_cast<std::size_t>(__builtin_ctz(~mask));
+  }
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+__attribute__((target("avx2"))) bool equal(const Token* a, const Token* b,
+                                           std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i eq0 = _mm256_cmpeq_epi32(load8(a + i), load8(b + i));
+    const __m256i eq1 =
+        _mm256_cmpeq_epi32(load8(a + i + 8), load8(b + i + 8));
+    const __m256i both = _mm256_and_si256(eq0, eq1);
+    if (static_cast<unsigned>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(both))) != 0xFFu)
+      return false;
+  }
+  for (; i + 8 <= n; i += 8)
+    if (eqmask8(a + i, b + i) != 0xFFu) return false;
+  for (; i < n; ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+__attribute__((target("avx2"))) std::uint64_t hash(const Token* d,
+                                                   std::size_t n) {
+  // Four independent accumulators = four xor→vpmulld dependency chains in
+  // flight; one chain alone would serialize on the multiplier's latency.
+  __m256i h[4];
+  for (auto& acc : h) acc = _mm256_set1_epi32(static_cast<int>(kOffset32));
+  const __m256i p = _mm256_set1_epi32(static_cast<int>(kPrime32));
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32)
+    for (int k = 0; k < 4; ++k)
+      h[k] = _mm256_mullo_epi32(_mm256_xor_si256(h[k], load8(d + i + 8 * k)),
+                                p);
+  // 8-wide tail: i stays a multiple of 8, so tokens i..i+7 occupy lanes
+  // (i%32)..(i%32)+7 — exactly accumulator (i/8) % 4.
+  for (; i + 8 <= n; i += 8) {
+    __m256i& acc = h[(i >> 3) & 3];
+    acc = _mm256_mullo_epi32(_mm256_xor_si256(acc, load8(d + i)), p);
+  }
+  alignas(32) std::uint32_t lane[32];
+  for (int k = 0; k < 4; ++k)
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane + 8 * k), h[k]);
+  // Scalar remainder lands in lane i & 31 — exactly the scalar recurrence.
+  for (; i < n; ++i) lane[i & 31] = (lane[i & 31] ^ d[i]) * kPrime32;
+  return finalize(lane, n);
+}
+
+}  // namespace avx2
+#endif  // LLMQ_TOKEN_OPS_AVX2
+
+// ---- NEON path (aarch64). Eight 128-bit accumulators carry the 32-lane
+// recurrence (lanes 4k..4k+3 in accumulator k). ----
+
+#if defined(LLMQ_TOKEN_OPS_NEON)
+namespace neon {
+
+std::size_t lcp(const Token* a, const Token* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const uint32x4_t eq0 = vceqq_u32(vld1q_u32(a + i), vld1q_u32(b + i));
+    const uint32x4_t eq1 =
+        vceqq_u32(vld1q_u32(a + i + 4), vld1q_u32(b + i + 4));
+    if (vminvq_u32(vandq_u32(eq0, eq1)) != 0xFFFFFFFFu) break;
+  }
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t eq = vceqq_u32(vld1q_u32(a + i), vld1q_u32(b + i));
+    if (vminvq_u32(eq) != 0xFFFFFFFFu) break;  // some lane differs
+  }
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+bool equal(const Token* a, const Token* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const uint32x4_t eq0 = vceqq_u32(vld1q_u32(a + i), vld1q_u32(b + i));
+    const uint32x4_t eq1 =
+        vceqq_u32(vld1q_u32(a + i + 4), vld1q_u32(b + i + 4));
+    if (vminvq_u32(vandq_u32(eq0, eq1)) != 0xFFFFFFFFu) return false;
+  }
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t eq = vceqq_u32(vld1q_u32(a + i), vld1q_u32(b + i));
+    if (vminvq_u32(eq) != 0xFFFFFFFFu) return false;
+  }
+  for (; i < n; ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+std::uint64_t hash(const Token* d, std::size_t n) {
+  uint32x4_t h[8];
+  for (auto& acc : h) acc = vdupq_n_u32(kOffset32);
+  const uint32x4_t p = vdupq_n_u32(kPrime32);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32)
+    for (int k = 0; k < 8; ++k)
+      h[k] = vmulq_u32(veorq_u32(h[k], vld1q_u32(d + i + 4 * k)), p);
+  // 4-wide tail: i stays a multiple of 4, so tokens i..i+3 occupy lanes
+  // (i%32)..(i%32)+3 — exactly accumulator (i/4) % 8.
+  for (; i + 4 <= n; i += 4) {
+    uint32x4_t& acc = h[(i >> 2) & 7];
+    acc = vmulq_u32(veorq_u32(acc, vld1q_u32(d + i)), p);
+  }
+  std::uint32_t lane[32];
+  for (int k = 0; k < 8; ++k) vst1q_u32(lane + 4 * k, h[k]);
+  for (; i < n; ++i) lane[i & 31] = (lane[i & 31] ^ d[i]) * kPrime32;
+  return finalize(lane, n);
+}
+
+}  // namespace neon
+#endif  // LLMQ_TOKEN_OPS_NEON
+
+// ---- Dispatch: resolved once per process from simd::active_isa(). ----
+
+namespace {
+
+struct Kernels {
+  std::size_t (*lcp)(const Token*, const Token*, std::size_t);
+  bool (*equal)(const Token*, const Token*, std::size_t);
+  std::uint64_t (*hash)(const Token*, std::size_t);
+};
+
+const Kernels& kernels() {
+  static const Kernels k = [] {
+    switch (simd::active_isa()) {
+#if defined(LLMQ_TOKEN_OPS_AVX2)
+      case simd::Isa::Avx2:
+        return Kernels{avx2::lcp, avx2::equal, avx2::hash};
+#endif
+#if defined(LLMQ_TOKEN_OPS_NEON)
+      case simd::Isa::Neon:
+        return Kernels{neon::lcp, neon::equal, neon::hash};
+#endif
+      default:
+        return Kernels{scalar::lcp, scalar::equal, scalar::hash};
+    }
+  }();
+  return k;
+}
+
+}  // namespace
+
+std::size_t lcp(const Token* a, const Token* b, std::size_t n) {
+  return kernels().lcp(a, b, n);
+}
+bool equal(const Token* a, const Token* b, std::size_t n) {
+  return kernels().equal(a, b, n);
+}
+std::uint64_t hash(const Token* d, std::size_t n) {
+  return kernels().hash(d, n);
+}
+
+}  // namespace llmq::util::token_ops

@@ -148,6 +148,34 @@ const std::vector<BenchSpec>& bench_specs() {
           {"tokens_conserved", kStr}}},
         {"deep_backlog",
          {{"depth", kNum}, {"us_per_request", kNum}}}}},
+      {"bench_micro",
+       {{"token_ops",
+         {{"len", kNum},
+          {"isa", kStr},
+          {"lcp_us", kNum},
+          {"lcp_scalar_us", kNum},
+          {"lcp_speedup", kNum},
+          {"hash_us", kNum},
+          {"hash_scalar_us", kNum},
+          {"hash_speedup", kNum},
+          {"equal_us", kNum},
+          {"equal_scalar_us", kNum},
+          {"hash_check", kNum}}},
+        {"radix_fanout",
+         {{"fanout", kNum}, {"hit_us", kNum}, {"miss_us", kNum},
+          {"check", kNum}}},
+        {"radix_stream",
+         {{"requests", kNum},
+          {"us_per_request", kNum},
+          {"hit_tokens", kNum},
+          {"inserted_blocks", kNum}}},
+        {"evict_batch",
+         {{"nodes", kNum}, {"evicted", kNum}, {"us_per_block", kNum}}},
+        {"alloc_steadystate",
+         {{"steady_passes", kNum},
+          {"warmup_allocs", kNum},
+          {"steady_allocs", kNum},
+          {"node_slots_delta", kNum}}}}},
       {"bench_concurrent_queries",
        {{"queries_router",
          {{"queries", kNum},

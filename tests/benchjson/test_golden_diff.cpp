@@ -7,8 +7,10 @@
 // a pure function of (seed, config), so a drift here is a real behavior
 // change — a scheduler tweak moving p99 TTFT, a cache change moving PHR —
 // that must be acknowledged by regenerating the snapshot, not discovered
-// by downstream tooling. Wall-clock keys (trace_overhead, us_per_request)
-// are never compared; they measure the host, not the code.
+// by downstream tooling. Wall-clock keys measure the host, not the code:
+// virtual-time benches never compare them at all, and bench_micro's us/op
+// keys are compared only between release non-sanitizer builds (provenance
+// gate) within a coarse catastrophe band.
 
 #include <gtest/gtest.h>
 
@@ -37,6 +39,11 @@ struct DiffKey {
   const char* key;
   bool relative;  // tolerance as a fraction of the golden value
   double tol;
+  // Wall-clock keys (us/op) measure the host, not the simulation: they
+  // are only compared when BOTH the golden and the rerun were produced by
+  // a release, sanitizer-free build — a Debug or ASan/TSan rerun would
+  // fail any honest band. Virtual-time keys never set this.
+  bool wallclock = false;
 };
 
 struct GoldenSpec {
@@ -87,6 +94,27 @@ const std::vector<GoldenSpec>& golden_specs() {
         {"aging_sweep", "batch_p99_e2e_s", true, 0.10},
         {"aging_sweep", "batch_completed", true, 0.10},
         {"aging_sweep", "preemptions", true, 0.10}}},
+      // Hot-path microbench: the deterministic outputs (hash fingerprints,
+      // cache hit/insert/evict counts, the zero-steady-state-allocation
+      // audit) must match the snapshot exactly. us/op keys are compared
+      // only between release non-sanitizer builds, and in a 2x band —
+      // single-core hosts jitter +/-40% run to run, so the band is an
+      // anti-catastrophe tripwire (a lost SIMD dispatch is 4-5x, a lost
+      // child index 10x+), not a precision perf gate.
+      {"bench_micro",
+       "BENCH_micro.json",
+       {{"token_ops", "hash_check", false, 0.0},
+        {"token_ops", "lcp_us", true, 1.0, true},
+        {"token_ops", "hash_us", true, 1.0, true},
+        {"radix_fanout", "check", false, 0.0},
+        {"radix_fanout", "hit_us", true, 1.0, true},
+        {"radix_stream", "hit_tokens", false, 0.0},
+        {"radix_stream", "inserted_blocks", false, 0.0},
+        {"radix_stream", "us_per_request", true, 1.0, true},
+        {"evict_batch", "evicted", false, 0.0},
+        {"evict_batch", "us_per_block", true, 1.0, true},
+        {"alloc_steadystate", "steady_allocs", false, 0.0},
+        {"alloc_steadystate", "node_slots_delta", false, 0.0}}},
   };
   return specs;
 }
@@ -94,6 +122,17 @@ const std::vector<GoldenSpec>& golden_specs() {
 bool file_exists(const std::string& path) {
   std::ifstream f(path);
   return f.good();
+}
+
+/// True when a report's provenance says "release build, no sanitizer" —
+/// the only configuration whose wall-clock numbers are comparable.
+bool timing_comparable(const util::JsonValue& doc) {
+  const util::JsonValue* prov = doc.find("provenance");
+  if (prov == nullptr) return false;
+  const util::JsonValue* build = prov->find("build_type");
+  const util::JsonValue* san = prov->find("sanitizer");
+  return build != nullptr && san != nullptr &&
+         build->as_string() == "release" && san->as_string() == "none";
 }
 
 std::optional<util::JsonValue> parse_file(const std::string& path) {
@@ -142,7 +181,10 @@ TEST_P(BenchGoldenDiff, HeadlineNumbersMatchSnapshotWithinTolerance) {
   const util::JsonValue* fsec = fresh->find("sections");
   ASSERT_NE(gsec, nullptr);
   ASSERT_NE(fsec, nullptr);
+  const bool compare_wallclock =
+      timing_comparable(*golden) && timing_comparable(*fresh);
   for (const DiffKey& dk : spec.keys) {
+    if (dk.wallclock && !compare_wallclock) continue;
     const util::JsonValue* grecs = gsec->find(dk.section);
     const util::JsonValue* frecs = fsec->find(dk.section);
     ASSERT_NE(grecs, nullptr) << "golden lacks section " << dk.section;

@@ -120,6 +120,59 @@ TEST(CacheConcurrency, StripedMatchesUnstripedSerialized) {
   }
 }
 
+TEST(CacheConcurrency, EvictionSequenceMatchesUnstripedUnderChurn) {
+  // Eviction-order regression: under sustained churn on a tight capacity
+  // (so admits trigger implicit capacity eviction, not just explicit
+  // evict() calls), a striped cache must shed exactly the blocks the
+  // unstriped one does at every step. lru_age() and evict_lru() share
+  // one victim predicate; this pins that the cross-stripe global-LRU
+  // merge reproduces the single-tree order even while leases pin and
+  // unpin paths mid-stream.
+  const auto prompts = prompt_pool(8, 10, 4);
+  for (std::size_t stripes : {2u, 8u, 32u}) {
+    SCOPED_TRACE("stripes=" + std::to_string(stripes));
+    PrefixCache plain(cfg(0, 4, 40));     // tight: ~1/4 of the working set
+    PrefixCache striped(cfg(stripes, 4, 40));
+    std::vector<CacheLease> plain_leases, striped_leases;
+    util::Rng rng(777);
+    for (std::size_t step = 0; step < 600; ++step) {
+      const std::size_t op = rng.next_below(8);
+      if (op < 4 || plain_leases.empty()) {
+        const auto& p = prompts[rng.next_below(prompts.size())];
+        CacheLease a = plain.lookup(p);
+        CacheLease b = striped.lookup(p);
+        EXPECT_EQ(a.cached_tokens, b.cached_tokens);
+        EXPECT_EQ(plain.admit(p, a), striped.admit(p, b));
+        plain_leases.push_back(a);
+        striped_leases.push_back(b);
+      } else if (op < 6) {
+        const std::size_t i = rng.next_below(plain_leases.size());
+        plain.release(plain_leases[i]);
+        striped.release(striped_leases[i]);
+        plain_leases.erase(plain_leases.begin() + i);
+        striped_leases.erase(striped_leases.begin() + i);
+      } else {
+        const std::size_t k = 1 + rng.next_below(4);
+        EXPECT_EQ(plain.evict(k), striped.evict(k));
+      }
+      // Same evictions at the same step, block for block.
+      EXPECT_EQ(plain.stats().evicted_blocks, striped.stats().evicted_blocks);
+      EXPECT_EQ(plain.resident_blocks(), striped.resident_blocks());
+      if (step % 37 == 0) {  // full residency fingerprint now and then
+        for (const auto& p : prompts)
+          EXPECT_EQ(plain.peek(p), striped.peek(p)) << "step " << step;
+      }
+    }
+    for (std::size_t i = 0; i < plain_leases.size(); ++i) {
+      plain.release(plain_leases[i]);
+      striped.release(striped_leases[i]);
+    }
+    expect_stats_eq(plain.stats(), striped.stats());
+    EXPECT_EQ(plain.check_invariants(), "");
+    EXPECT_EQ(striped.check_invariants(), "");
+  }
+}
+
 // ---- peek() transparency (the satellite regression). ----
 
 TEST(CacheConcurrency, PeekIsSideEffectFreeOnStripedCache) {

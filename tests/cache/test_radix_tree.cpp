@@ -125,6 +125,115 @@ TEST(RadixTree, NodeReuseAfterEviction) {
   EXPECT_EQ(t.num_blocks(), 0u);
 }
 
+TEST(RadixTree, HighFanoutChildIndexFindsEveryChild) {
+  // Push root fan-out far past kIndexMinFanout so child lookup goes
+  // through the open-addressed index; every child must still be found
+  // exactly, misses must still miss, and the structural invariants
+  // (index coherence included) must hold throughout.
+  RadixTree t(4);
+  constexpr int kChildren = 400;
+  for (int i = 0; i < kChildren; ++i)
+    t.insert(iota_seq(4, static_cast<TokenId>(10 * i)), i + 1);
+  EXPECT_EQ(t.num_blocks(), static_cast<std::size_t>(kChildren));
+  EXPECT_EQ(t.check_invariants(), "");
+  for (int i = 0; i < kChildren; ++i) {
+    const auto probe = iota_seq(4, static_cast<TokenId>(10 * i));
+    EXPECT_EQ(t.match(probe).matched_tokens, 4u) << "child " << i;
+    EXPECT_EQ(t.match_tokens(probe), 4u);
+  }
+  // A block that collides with no child (distinct first token space).
+  EXPECT_EQ(t.match_tokens(iota_seq(4, 999'999)), 0u);
+}
+
+TEST(RadixTree, HighFanoutEvictionKeepsIndexCoherent) {
+  // Interleave eviction waves with re-inserts at high fan-out: the index
+  // erase path (backward-shift deletion) and slot recycling must keep
+  // lookups exact. Eviction takes the oldest children first.
+  RadixTree t(4);
+  constexpr int kChildren = 100;
+  for (int i = 0; i < kChildren; ++i)
+    t.insert(iota_seq(4, static_cast<TokenId>(10 * i)), i + 1);
+  const std::size_t slots_high_water = t.node_slots();
+
+  EXPECT_EQ(t.evict_lru(30), 30u);  // oldest 30 = children 0..29
+  EXPECT_EQ(t.check_invariants(), "");
+  for (int i = 0; i < kChildren; ++i) {
+    const auto probe = iota_seq(4, static_cast<TokenId>(10 * i));
+    EXPECT_EQ(t.match_tokens(probe), i < 30 ? 0u : 4u) << "child " << i;
+  }
+
+  // Re-insert the evicted 30: recycled slots, no new slab growth.
+  for (int i = 0; i < 30; ++i)
+    t.insert(iota_seq(4, static_cast<TokenId>(10 * i)), 1000 + i);
+  EXPECT_EQ(t.num_blocks(), static_cast<std::size_t>(kChildren));
+  EXPECT_EQ(t.node_slots(), slots_high_water);
+  EXPECT_EQ(t.check_invariants(), "");
+  for (int i = 0; i < kChildren; ++i)
+    EXPECT_EQ(t.match_tokens(iota_seq(4, static_cast<TokenId>(10 * i))), 4u);
+
+  // Drain completely through the heap-based batch path.
+  EXPECT_EQ(t.evict_lru(kChildren), static_cast<std::size_t>(kChildren));
+  EXPECT_EQ(t.num_blocks(), 0u);
+  EXPECT_EQ(t.check_invariants(), "");
+}
+
+TEST(RadixTree, BatchEvictMatchesOneByOneEviction) {
+  // The single-scan min-heap batch eviction must take exactly the victims
+  // the classic rescan-per-victim loop would: build two identical trees,
+  // evict k in one batch from one and k times singly from the other, and
+  // compare the surviving match sets.
+  auto build = [] {
+    RadixTree t(2);
+    // Mixed topology: shared chains + wide fan-out. Timestamps must be
+    // monotone (the tree's clock contract), so LRU diversity comes from
+    // a scrambled insertion order instead.
+    std::uint64_t now = 1;
+    for (int step = 0; step < 24; ++step) {
+      const int i = (step * 11) % 24;  // gcd(11,24)=1: a permutation
+      const auto a = static_cast<TokenId>(i % 6);
+      const auto b = static_cast<TokenId>(i);
+      t.insert(seq({a, a, b, b, static_cast<TokenId>(i * 7 % 5), 1}), now++);
+    }
+    return t;
+  };
+  auto survivors = [](RadixTree& t) {
+    std::vector<std::size_t> out;
+    for (int i = 0; i < 24; ++i) {
+      const auto a = static_cast<TokenId>(i % 6);
+      const auto b = static_cast<TokenId>(i);
+      out.push_back(t.match_tokens(
+          seq({a, a, b, b, static_cast<TokenId>(i * 7 % 5), 1})));
+    }
+    return out;
+  };
+  for (std::size_t k : {1u, 3u, 7u, 20u, 100u}) {
+    RadixTree batch = build();
+    RadixTree single = build();
+    const std::size_t got = batch.evict_lru(k);
+    std::size_t got_single = 0;
+    for (std::size_t i = 0; i < k; ++i) got_single += single.evict_lru(1);
+    EXPECT_EQ(got, got_single) << "k=" << k;
+    EXPECT_EQ(survivors(batch), survivors(single)) << "k=" << k;
+    EXPECT_EQ(batch.check_invariants(), "");
+    EXPECT_EQ(single.check_invariants(), "");
+  }
+}
+
+TEST(RadixTree, MatchVariantsAgree) {
+  RadixTree t(4);
+  t.insert(iota_seq(16), 1);
+  t.insert(iota_seq(8, 100), 2);
+  for (const auto& probe :
+       {iota_seq(16), iota_seq(12), iota_seq(8, 100), iota_seq(16, 100),
+        iota_seq(3), tokenizer::TokenSeq{}}) {
+    const auto m = t.match(probe);
+    EXPECT_EQ(t.match_tokens(probe), m.matched_tokens);
+    std::vector<NodeId> path{kNoNode};  // stale content must be cleared
+    EXPECT_EQ(t.match_into(probe, path), m.matched_tokens);
+    EXPECT_EQ(path, m.path);
+  }
+}
+
 TEST(RadixTree, DeepSharedHierarchy) {
   RadixTree t(2);
   // 4 sequences sharing progressively longer prefixes.

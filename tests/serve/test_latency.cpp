@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
 namespace llmq::serve {
 namespace {
 
@@ -121,6 +124,108 @@ TEST(Latency, NonPositiveSloDisablesTheCut) {
   // Sanity: a tiny positive SLO does cut.
   const LatencySummary cut = summarize_latency(rs, 1e-6);
   EXPECT_DOUBLE_EQ(cut.goodput_rps, 0.0);
+}
+
+// The pre-optimization summarize_latency, kept verbatim as the reference:
+// ttft() re-derived per consumer, means over the unsorted samples, and
+// every percentile through util::percentile (which copies and sorts its
+// input each call). The production path computes each quantity once and
+// sorts each sample once; this pins that the rewrite changed the work,
+// not one bit of the output.
+LatencySummary summarize_latency_reference(
+    const std::vector<ServedRequest>& requests, double ttft_slo_seconds) {
+  LatencySummary s;
+  s.ttft_slo = ttft_slo_seconds;
+  if (requests.empty()) return s;
+  s.count = requests.size();
+  std::vector<double> ttft, queue, e2e, itl;
+  double first_arrival = requests.front().arrival_time;
+  double last_finish = requests.front().finish_time;
+  std::size_t within_slo = 0;
+  for (const auto& r : requests) {
+    ttft.push_back(r.ttft());
+    queue.push_back(r.queue_delay());
+    e2e.push_back(r.e2e_latency());
+    if (r.output_tokens > 1) itl.push_back(r.mean_itl());
+    first_arrival = std::min(first_arrival, r.arrival_time);
+    last_finish = std::max(last_finish, r.finish_time);
+    if (ttft_slo_seconds <= 0.0 || r.ttft() <= ttft_slo_seconds)
+      ++within_slo;
+  }
+  s.mean_ttft = util::mean(ttft);
+  s.p50_ttft = util::percentile(ttft, 50.0);
+  s.p90_ttft = util::percentile(ttft, 90.0);
+  s.p95_ttft = util::percentile(ttft, 95.0);
+  s.p99_ttft = util::percentile(ttft, 99.0);
+  s.mean_queue_delay = util::mean(queue);
+  s.p90_queue_delay = util::percentile(queue, 90.0);
+  s.p99_queue_delay = util::percentile(queue, 99.0);
+  if (!itl.empty()) {
+    s.mean_itl = util::mean(itl);
+    s.p50_itl = util::percentile(itl, 50.0);
+    s.p90_itl = util::percentile(itl, 90.0);
+    s.p99_itl = util::percentile(itl, 99.0);
+  }
+  s.p50_e2e = util::percentile(e2e, 50.0);
+  s.p99_e2e = util::percentile(e2e, 99.0);
+  s.makespan = last_finish - first_arrival;
+  if (s.makespan > 0.0) {
+    s.throughput_rps = static_cast<double>(s.count) / s.makespan;
+    s.goodput_rps = static_cast<double>(within_slo) / s.makespan;
+  }
+  return s;
+}
+
+void expect_bit_identical(const LatencySummary& a, const LatencySummary& b) {
+  EXPECT_EQ(a.count, b.count);
+  // operator== on double: exact bit-level agreement, not ULP tolerance —
+  // the point is that downstream golden JSON bytes cannot move.
+  EXPECT_EQ(a.mean_ttft, b.mean_ttft);
+  EXPECT_EQ(a.p50_ttft, b.p50_ttft);
+  EXPECT_EQ(a.p90_ttft, b.p90_ttft);
+  EXPECT_EQ(a.p95_ttft, b.p95_ttft);
+  EXPECT_EQ(a.p99_ttft, b.p99_ttft);
+  EXPECT_EQ(a.mean_queue_delay, b.mean_queue_delay);
+  EXPECT_EQ(a.p90_queue_delay, b.p90_queue_delay);
+  EXPECT_EQ(a.p99_queue_delay, b.p99_queue_delay);
+  EXPECT_EQ(a.mean_itl, b.mean_itl);
+  EXPECT_EQ(a.p50_itl, b.p50_itl);
+  EXPECT_EQ(a.p90_itl, b.p90_itl);
+  EXPECT_EQ(a.p99_itl, b.p99_itl);
+  EXPECT_EQ(a.p50_e2e, b.p50_e2e);
+  EXPECT_EQ(a.p99_e2e, b.p99_e2e);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.throughput_rps, b.throughput_rps);
+  EXPECT_EQ(a.goodput_rps, b.goodput_rps);
+  EXPECT_EQ(a.ttft_slo, b.ttft_slo);
+}
+
+TEST(Latency, SingleSortRewriteIsBitIdenticalToReference) {
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.next_range(0, 200));
+    std::vector<ServedRequest> rs;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double arrival = rng.next_double() * 100.0;
+      const double admit = arrival + rng.next_double();
+      const double first = admit + rng.next_double() * 0.5;
+      ServedRequest r = req(arrival, admit, first,
+                            first + rng.next_double() * 10.0);
+      // Mix of single-token (ITL-excluded) and multi-token completions,
+      // including duplicate timestamps (ties stress sort stability).
+      r.output_tokens = static_cast<std::size_t>(rng.next_range(1, 40));
+      if (rng.next_below(8) == 0 && !rs.empty()) {
+        r.first_token_time = rs.back().first_token_time;
+        r.arrival_time = rs.back().arrival_time;
+      }
+      rs.push_back(r);
+    }
+    const double slo = trial % 3 == 0   ? 0.0
+                       : trial % 3 == 1 ? rng.next_double()
+                                        : -1.0;
+    expect_bit_identical(summarize_latency(rs, slo),
+                         summarize_latency_reference(rs, slo));
+  }
 }
 
 TEST(Latency, GoodputCountsOnlyWithinSlo) {
