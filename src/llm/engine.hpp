@@ -63,6 +63,16 @@ struct EngineConfig {
   /// prefill_chunk_tokens, i.e. one chunk per step. Ignored when
   /// prefill_chunk_tokens == 0.
   std::size_t step_token_budget = 0;
+
+  /// Shortest-predicted-job-first admission: within the best effective
+  /// priority class, admit the pending request with the smallest
+  /// Request::predicted_output_tokens (ties FIFO by sequence) instead of
+  /// strict FIFO. Class order and aging are unchanged — SPJF only
+  /// reorders inside one effective class, so aging still promotes a
+  /// starved request out of the contested class. When every prediction
+  /// is 0 (predictor disabled) the order degenerates to exact FIFO,
+  /// bit-identical to spjf == false.
+  bool spjf = false;
 };
 
 struct EngineMetrics {

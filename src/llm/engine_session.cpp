@@ -79,6 +79,38 @@ std::size_t EngineSession::pick_queue() const {
   return best;
 }
 
+EngineSession::PickedCandidate EngineSession::pick_candidate() const {
+  const std::size_t qi = pick_queue();
+  if (qi == kNumPriorityClasses || !engine_.config().spjf) return {qi, 0};
+  // SPJF: minimum (predicted, seq) over the equal-effective-class
+  // prefixes. With every prediction 0 this is min seq over the same
+  // candidate set — exactly the FIFO pick, so a disabled predictor is
+  // bit-identical to spjf == false.
+  const PriorityClass best_cls = effective_class(
+      pending_[qi].front().req.priority, pending_[qi].front().submit_time);
+  PickedCandidate best{qi, 0};
+  std::size_t best_pred = pending_[qi].front().req.predicted_output_tokens;
+  std::uint64_t best_seq = pending_[qi].front().seq;
+  for (std::size_t b = 0; b < kNumPriorityClasses; ++b) {
+    const auto& q = pending_[b];
+    if (q.empty() ||
+        effective_class(q.front().req.priority, q.front().submit_time) !=
+            best_cls)
+      continue;  // this queue's best candidate is in a worse class
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (effective_class(q[i].req.priority, q[i].submit_time) != best_cls)
+        break;  // seq-sorted queue: effective class only worsens deeper
+      const std::size_t pred = q[i].req.predicted_output_tokens;
+      if (pred < best_pred || (pred == best_pred && q[i].seq < best_seq)) {
+        best = {b, i};
+        best_pred = pred;
+        best_seq = q[i].seq;
+      }
+    }
+  }
+  return best;
+}
+
 EngineSession::Pending EngineSession::preempt_at(std::size_t idx,
                                                  bool automatic) {
   Running& r = running_[idx];
@@ -169,17 +201,19 @@ std::size_t EngineSession::try_admit() {
   last_step_preempted_ = 0;
 
   for (;;) {
-    const std::size_t qi = pick_queue();
+    const PickedCandidate cand = pick_candidate();
+    const std::size_t qi = cand.queue;
     if (qi == kNumPriorityClasses) break;
-    const PriorityClass cls = effective_class(
-        pending_[qi].front().req.priority, pending_[qi].front().submit_time);
+    const PriorityClass cls =
+        effective_class(pending_[qi][cand.pos].req.priority,
+                        pending_[qi][cand.pos].submit_time);
     if (running_.size() >= config.max_batch_size) {
       // Batch slots full. The head-of-line candidate may take a slot from
       // a strictly lower class; otherwise admission is over this step.
       if (!(config.preemption && preempt_below(cls))) break;
       continue;  // a slot freed (victim re-queued); re-pick
     }
-    Pending& p = pending_[qi].front();
+    Pending& p = pending_[qi][cand.pos];
     Request& req = p.req;
     const std::size_t prompt_len = req.prompt.size();
     const std::size_t output_len = std::max<std::size_t>(1, req.output_tokens);
@@ -308,7 +342,8 @@ std::size_t EngineSession::try_admit() {
       reserved_shared_ += new_shared;
     }
     running_.push_back(std::move(r));
-    pending_[qi].pop_front();
+    pending_[qi].erase(pending_[qi].begin() +
+                       static_cast<std::ptrdiff_t>(cand.pos));
     ++admitted;
   }
   return admitted;

@@ -234,6 +234,20 @@ class EngineSession {
   /// pick a full linear scan makes, in O(#classes). kNumPriorityClasses
   /// when everything is empty.
   std::size_t pick_queue() const;
+  /// The admission candidate's (queue, position). Without
+  /// EngineConfig::spjf this is (pick_queue(), 0) — the front, exact
+  /// FIFO. With spjf, the pick is the minimum (predicted_output_tokens,
+  /// seq) over every pending request whose effective class equals the
+  /// global best: within a seq-sorted base-class queue the effective
+  /// class is non-increasing in urgency along the deque (older = more
+  /// aged), so the equal-class candidates form a contiguous prefix and
+  /// the scan stops at the first element of a worse effective class.
+  /// queue == kNumPriorityClasses when everything is empty.
+  struct PickedCandidate {
+    std::size_t queue = kNumPriorityClasses;
+    std::size_t pos = 0;
+  };
+  PickedCandidate pick_candidate() const;
   /// Preempt the running request at `idx` and return its re-queueable
   /// state (caller decides pending vs parked). `automatic` only tags the
   /// trace event (engine-initiated vs explicit preempt()).

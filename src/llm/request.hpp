@@ -46,6 +46,12 @@ struct Request {
   /// Scheduling class (see PriorityClass). Standard preserves the classic
   /// FIFO admission behavior when every request carries it.
   PriorityClass priority = PriorityClass::Standard;
+  /// Predicted decode length (serve::LengthPredictor). 0 = no prediction;
+  /// with EngineConfig::spjf set, nonzero predictions order admission
+  /// within an effective priority class (shortest first, ties FIFO). The
+  /// engine never reads output_tokens for scheduling — the simulation's
+  /// oracle length stays hidden from the policy, like a real server.
+  std::size_t predicted_output_tokens = 0;
 };
 
 struct RequestResult {

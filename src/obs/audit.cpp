@@ -23,6 +23,7 @@ struct ReqState {
   std::uint64_t recompute = 0;
   std::uint64_t first_cached = 0;
   std::uint64_t last_generated = 0;  // at the latest preemption
+  std::uint64_t output = 0;          // Finish payload (turn chaining)
   std::int64_t routed_to = -1;       // RouteDecision target, if any
 };
 
@@ -46,6 +47,10 @@ AuditResult audit_trace(const TraceLog& log) {
 
   std::map<std::uint64_t, ReqState> reqs;
   std::map<std::uint32_t, double> track_time;
+  // Session turn chaining: last spawned turn per session, and the floor
+  // the child's Enqueue prompt must reach (parent prompt + output).
+  std::map<std::uint64_t, std::uint64_t> session_last_turn;
+  std::map<std::uint64_t, std::uint64_t> expected_child_prompt;
   std::uint64_t finish_output_sum = 0;
   std::int64_t last_window = -1;
 
@@ -75,6 +80,9 @@ AuditResult audit_trace(const TraceLog& log) {
         if (r.routed_to >= 0 &&
             r.routed_to != static_cast<std::int64_t>(e.replica))
           fail("enqueued on a different replica than routed: " + tag(e));
+        const auto xit = expected_child_prompt.find(e.id);
+        if (xit != expected_child_prompt.end() && e.a < xit->second)
+          fail("turn prompt shorter than parent prompt+output: " + tag(e));
         ++out.enqueued;
         break;
       }
@@ -167,6 +175,7 @@ AuditResult audit_trace(const TraceLog& log) {
         if (e.b != r.prompt) fail("finish prompt mismatch: " + tag(e));
         if (e.c != r.first_cached)
           fail("finish first-admission cache mismatch: " + tag(e));
+        r.output = e.a;
         finish_output_sum += e.a;
         ++out.finished;
         if (e.cls < out.per_class_finished.size())
@@ -211,6 +220,31 @@ AuditResult audit_trace(const TraceLog& log) {
           fail("window ordinal not increasing: " + tag(e));
         last_window = static_cast<std::int64_t>(e.id);
         ++out.windows;
+        break;
+      }
+      case EventKind::TurnSpawn: {
+        // Payload: id=child request id, a=session, b=turn, c=parent id.
+        if (e.replica != kGlobalTrack)
+          fail("turn spawn off the global track: " + tag(e));
+        const auto pit = reqs.find(e.c);
+        if (pit == reqs.end() || !pit->second.finished)
+          fail("turn spawn before its parent finished: " + tag(e));
+        const auto cit = reqs.find(e.id);
+        if (cit != reqs.end() && cit->second.enqueued)
+          fail("turn spawn after its child enqueued: " + tag(e));
+        auto [sit, sfresh] = session_last_turn.emplace(e.a, e.b);
+        if (sfresh) {
+          if (e.b != 1)
+            fail("session's first spawned turn is not 1: " + tag(e));
+        } else if (e.b != sit->second + 1) {
+          fail("session turns not spawned contiguously: " + tag(e));
+        } else {
+          sit->second = e.b;
+        }
+        if (pit != reqs.end() && pit->second.finished)
+          expected_child_prompt[e.id] =
+              pit->second.prompt + pit->second.output;
+        ++out.turn_spawns;
         break;
       }
     }

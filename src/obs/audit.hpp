@@ -23,6 +23,11 @@
 //     Finish outputs once nothing is left unfinished;
 //   * the cache pin ledger: pins handed out by lookups and admissions
 //     balance the unpins of releases (zero outstanding at quiescence);
+//   * session turn chaining: a TurnSpawn rides the global track, names a
+//     parent that already finished, spawns each session's turns
+//     contiguously (1, 2, 3, ...) exactly once, and the child's later
+//     Enqueue must carry a prompt at least the parent's prompt + output
+//     (a follow-up extends its own history, never truncates it);
 //   * exactly-once lookup stats: counted lookups are fresh lookups minus
 //     deferred-admission cancellations, never resume probes.
 //
@@ -70,6 +75,7 @@ struct AuditResult {
 
   std::size_t windows = 0;
   std::size_t route_decisions = 0;
+  std::size_t turn_spawns = 0;
 
   bool ok() const { return violation_count == 0; }
   std::string first_violation() const {

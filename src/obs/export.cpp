@@ -151,7 +151,8 @@ std::string perfetto_trace_json(const TraceLog& log,
       case EventKind::Defer:
       case EventKind::CacheEvict:
       case EventKind::RouteDecision:
-      case EventKind::WindowPlan: {
+      case EventKind::WindowPlan:
+      case EventKind::TurnSpawn: {
         event_common(w, to_string(e.kind), "i", e);
         w.key("s").value("t");  // thread-scoped instant
         w.key("args").begin_object();

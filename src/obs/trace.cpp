@@ -20,6 +20,7 @@ const char* to_string(EventKind k) {
     case EventKind::CacheEvict: return "cache_evict";
     case EventKind::RouteDecision: return "route_decision";
     case EventKind::WindowPlan: return "window_plan";
+    case EventKind::TurnSpawn: return "turn_spawn";
   }
   return "unknown";
 }

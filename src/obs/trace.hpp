@@ -63,6 +63,10 @@ enum class EventKind : std::uint8_t {
                  //                          the chosen replica (global track)
   WindowPlan,    // scheduler emitted window id=ordinal a=window size
                  //                          b=policy c=still buffered
+  TurnSpawn,     // session follow-up fed    id=child request id a=session
+                 //                          b=turn c=parent request id
+                 //                          (global track, time = child's
+                 //                          arrival time)
 };
 
 const char* to_string(EventKind k);

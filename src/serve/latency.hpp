@@ -49,6 +49,11 @@ struct ServedRequest {
   /// uninterrupted) and the prefill tokens replayed across its resumes.
   std::size_t preemptions = 0;
   std::uint64_t recomputed_tokens = 0;
+  /// Session linkage for multi-turn / agentic streams (see
+  /// serve/workload.hpp). session == uint64 max (serve::kNoSession) and
+  /// turn == 0 for classic one-shot arrivals.
+  std::uint64_t session = static_cast<std::uint64_t>(-1);
+  std::uint32_t turn = 0;
 
   double ttft() const { return first_token_time - arrival_time; }
   double queue_delay() const { return admit_time - arrival_time; }

@@ -15,13 +15,16 @@ namespace llmq::serve {
 // Arrival indexing, prompt encoding, request materialization, completion
 // stitching, and finalization are shared with the threaded driver — see
 // serve/online_driver.hpp.
+using detail::ArrivalFeed;
 using detail::count_tenant;
 using detail::EncoderMap;
 using detail::finalize_emitted;
 using detail::index_arrivals;
 using detail::InFlight;
 using detail::make_request;
+using detail::SessionTracker;
 using detail::stitch;
+using detail::validate_sessions;
 
 void OnlineConfig::scale_kv_pool(double fraction) {
   engine.kv_pool_blocks_override =
@@ -51,7 +54,8 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
   out.per_class = summarize_by_class({}, config.ttft_slo_seconds);
   if (arrivals.empty()) return out;
 
-  const auto index_of = index_arrivals(t, arrivals);
+  validate_sessions(config, arrivals);
+  auto index_of = index_arrivals(t, arrivals);
 
   OnlineScheduler scheduler(t, fds, config.scheduler);
   llm::ServingEngine engine(llm::CostModel(config.model, config.gpu),
@@ -67,6 +71,11 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
                            config.trace.sample_interval_seconds);
   const llm::TaskModel task_model(config.model_profile);
   EncoderMap encoders(config.prompt);
+  LengthPredictor predictor(config.predictor);
+  scheduler.set_predictor(&predictor);
+  SessionTracker tracker(config.sessions);
+  ArrivalFeed feed(arrivals);
+  std::vector<Arrival> spawned;  // feedback arrivals, in spawn order
 
   std::unordered_map<std::uint64_t, InFlight> inflight;
   std::vector<std::size_t> emitted_rows;
@@ -80,10 +89,13 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
     for (std::size_t i = 0; i < w.arrivals.size(); ++i) {
       const Arrival& a = w.arrivals[i];
       const std::vector<std::size_t>& fo = w.field_orders[i];
-      llm::Request r = make_request(
-          a, encoders.for_tenant(a.tenant).encode(t, a.row, fo), task_model,
-          config);
+      tokenizer::TokenSeq prompt =
+          a.turn > 0 ? tracker.make_child_prompt(a, t, fo)
+                     : encoders.for_tenant(a.tenant).encode(t, a.row, fo);
+      llm::Request r =
+          make_request(a, std::move(prompt), task_model, config, &predictor);
       out.replicas[0].routed_prompt_tokens += r.prompt.size();
+      tracker.on_dispatch(a, r.prompt);
       session.submit(std::move(r));
       inflight.emplace(a.id, InFlight{a, w.planned_at, 0});
       emitted_rows.push_back(index_of.at(a.id));
@@ -96,20 +108,35 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
     ServedRequest sr = stitch(res, f);
     count_tenant(out.per_tenant, sr.tenant);
     out.requests.push_back(sr);
+    if (predictor.enabled()) predictor.observe(f.arrival.tenant, res.output_tokens);
+    if (auto child = tracker.on_complete(f.arrival, res)) {
+      index_of.emplace(child->id, arrivals.size() + spawned.size());
+      spawned.push_back(*child);
+      feed.push_feedback(*child);
+    }
     inflight.erase(res.id);
   };
 
+  const auto feed_due = [&](double now) {
+    while (!feed.exhausted() && feed.next_time() <= now) {
+      const Arrival a = feed.pop();
+      if (a.turn > 0 && config.trace.sink)
+        config.trace.sink->emit({obs::EventKind::TurnSpawn,
+                                 static_cast<std::uint8_t>(a.priority),
+                                 obs::kGlobalTrack, a.time, a.id, a.session,
+                                 a.turn, a.parent});
+      scheduler.push(a);
+    }
+  };
+
   // ---- Event loop over the session's simulated clock. ----
-  std::size_t next = 0;
-  const std::size_t n = arrivals.size();
-  while (next < n || scheduler.buffered() > 0 || session.has_work()) {
+  while (!feed.exhausted() || scheduler.buffered() > 0 || session.has_work()) {
     if (sampler.due(session.now())) {
       sampler.series()->append(session.now(), 0, session.gauges());
       sampler.advance_past(session.now());
     }
-    // 1. Feed arrivals that have occurred.
-    while (next < n && arrivals[next].time <= session.now())
-      scheduler.push(arrivals[next++]);
+    // 1. Feed arrivals that have occurred (static stream + spawned turns).
+    feed_due(session.now());
     // 2. Dispatch every due window.
     while (auto w = scheduler.pop_ready(session.now())) dispatch(*w);
     // 3. Execute or advance time.
@@ -118,8 +145,7 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
       for (const llm::RequestResult& res : ev.completed) record(res);
       continue;
     }
-    double t_next = scheduler.next_deadline();
-    if (next < n) t_next = std::min(t_next, arrivals[next].time);
+    double t_next = std::min(scheduler.next_deadline(), feed.next_time());
     if (std::isfinite(t_next)) {
       session.advance_to(t_next);
     } else if (auto w = scheduler.flush(session.now())) {
@@ -134,8 +160,15 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
   out.replicas[0].engine = session.metrics();
   out.engine = out.replicas[0].engine;
   out.load_imbalance = 1.0;
-  finalize_emitted(out, t, arrivals, config, std::move(emitted_rows),
-                   std::move(emitted_fields));
+  if (spawned.empty()) {
+    finalize_emitted(out, t, arrivals, config, std::move(emitted_rows),
+                     std::move(emitted_fields));
+  } else {
+    std::vector<Arrival> all = arrivals;
+    all.insert(all.end(), spawned.begin(), spawned.end());
+    finalize_emitted(out, t, all, config, std::move(emitted_rows),
+                     std::move(emitted_fields));
+  }
   return out;
 }
 
@@ -153,7 +186,8 @@ OnlineRunResult run_online_replicated(const table::Table& t,
   out.per_class = summarize_by_class({}, config.ttft_slo_seconds);
   if (arrivals.empty()) return out;
 
-  const auto index_of = index_arrivals(t, arrivals);
+  validate_sessions(config, arrivals);
+  auto index_of = index_arrivals(t, arrivals);
 
   OnlineScheduler scheduler(t, fds, config.scheduler);
   ReplicaFleet fleet(config.fleet());
@@ -166,6 +200,11 @@ OnlineRunResult run_online_replicated(const table::Table& t,
                            config.trace.sample_interval_seconds);
   const llm::TaskModel task_model(config.model_profile);
   EncoderMap encoders(config.prompt);
+  LengthPredictor predictor(config.predictor);
+  scheduler.set_predictor(&predictor);
+  SessionTracker tracker(config.sessions);
+  ArrivalFeed feed(arrivals);
+  std::vector<Arrival> spawned;  // feedback arrivals, in spawn order
 
   std::unordered_map<std::uint64_t, InFlight> inflight;
   std::vector<std::size_t> emitted_rows;
@@ -184,9 +223,12 @@ OnlineRunResult run_online_replicated(const table::Table& t,
     for (std::size_t i = 0; i < w.arrivals.size(); ++i) {
       const Arrival& a = w.arrivals[i];
       const std::vector<std::size_t>& fo = w.field_orders[i];
-      llm::Request req = make_request(
-          a, encoders.for_tenant(a.tenant).encode(t, a.row, fo), task_model,
-          config);
+      tokenizer::TokenSeq prompt =
+          a.turn > 0 ? tracker.make_child_prompt(a, t, fo)
+                     : encoders.for_tenant(a.tenant).encode(t, a.row, fo);
+      llm::Request req =
+          make_request(a, std::move(prompt), task_model, config, &predictor);
+      tracker.on_dispatch(a, req.prompt);
       const std::size_t target = fleet.dispatch(std::move(req), a.tenant, now);
       inflight.emplace(a.id, InFlight{a, w.planned_at, target});
       emitted_rows.push_back(index_of.at(a.id));
@@ -199,22 +241,37 @@ OnlineRunResult run_online_replicated(const table::Table& t,
     ServedRequest sr = stitch(res, f);
     count_tenant(out.per_tenant, sr.tenant);
     out.requests.push_back(sr);
+    if (predictor.enabled()) predictor.observe(f.arrival.tenant, res.output_tokens);
+    if (auto child = tracker.on_complete(f.arrival, res)) {
+      index_of.emplace(child->id, arrivals.size() + spawned.size());
+      spawned.push_back(*child);
+      feed.push_feedback(*child);
+    }
     inflight.erase(res.id);
   };
 
+  const auto feed_due = [&](double t_now) {
+    while (!feed.exhausted() && feed.next_time() <= t_now) {
+      const Arrival a = feed.pop();
+      if (a.turn > 0 && config.trace.sink)
+        config.trace.sink->emit({obs::EventKind::TurnSpawn,
+                                 static_cast<std::uint8_t>(a.priority),
+                                 obs::kGlobalTrack, a.time, a.id, a.session,
+                                 a.turn, a.parent});
+      scheduler.push(a);
+    }
+  };
+
   // ---- Merged event loop over the replicas' virtual clocks. ----
-  std::size_t next = 0;
-  const std::size_t n = arrivals.size();
-  while (next < n || scheduler.buffered() > 0 || fleet.any_work()) {
+  while (!feed.exhausted() || scheduler.buffered() > 0 || fleet.any_work()) {
     // 0. Advance the merged clock to the execution frontier.
     now = fleet.frontier(now);
     if (sampler.due(now)) {
       fleet.sample_gauges(*sampler.series(), now);
       sampler.advance_past(now);
     }
-    // 1. Feed arrivals that have occurred.
-    while (next < n && arrivals[next].time <= now)
-      scheduler.push(arrivals[next++]);
+    // 1. Feed arrivals that have occurred (static stream + spawned turns).
+    feed_due(now);
     // 2. Dispatch every due window (routing each request).
     while (auto w = scheduler.pop_ready(now)) dispatch(*w);
     // 3. Execute: step the busy replica with the earliest clock.
@@ -224,8 +281,7 @@ OnlineRunResult run_online_replicated(const table::Table& t,
       continue;
     }
     // 4. Everything idle: jump to the next arrival or deadline, or drain.
-    double t_next = scheduler.next_deadline();
-    if (next < n) t_next = std::min(t_next, arrivals[next].time);
+    double t_next = std::min(scheduler.next_deadline(), feed.next_time());
     if (std::isfinite(t_next)) {
       now = std::max(now, t_next);
     } else if (auto w = scheduler.flush(now)) {
@@ -239,8 +295,15 @@ OnlineRunResult run_online_replicated(const table::Table& t,
   out.replicas = fleet.replica_metrics();
   out.engine = aggregate_replica_engines(out.replicas);
   out.load_imbalance = fleet.load_imbalance();
-  finalize_emitted(out, t, arrivals, config, std::move(emitted_rows),
-                   std::move(emitted_fields));
+  if (spawned.empty()) {
+    finalize_emitted(out, t, arrivals, config, std::move(emitted_rows),
+                     std::move(emitted_fields));
+  } else {
+    std::vector<Arrival> all = arrivals;
+    all.insert(all.end(), spawned.begin(), spawned.end());
+    finalize_emitted(out, t, all, config, std::move(emitted_rows),
+                     std::move(emitted_fields));
+  }
   return out;
 }
 

@@ -66,8 +66,32 @@ struct OnlineConfig {
   /// model (the classic stream).
   std::array<double, llm::kNumPriorityClasses> class_output_multiplier = {
       1.0, 1.0, 1.0};
+  /// Per-tenant decode-length multiplier over avg_output_tokens: tenant t
+  /// uses tenant_output_multiplier[t % size()]. Empty = all 1.0 (the
+  /// classic stream). Composes multiplicatively with
+  /// class_output_multiplier — this is the knob that gives tenants of ONE
+  /// class genuinely different output lengths, which is what makes
+  /// length-aware (SPJF) scheduling measurable.
+  std::vector<double> tenant_output_multiplier;
   /// TTFT SLO for goodput accounting; 0 = none.
   double ttft_slo_seconds = 0.0;
+
+  /// Session workload (multi-turn chat / agentic loops, workload.hpp).
+  /// Null = classic one-shot stream. When set, the `arrivals` passed to a
+  /// driver MUST be sessions->roots (validated); follow-up turns
+  /// materialize as feedback arrivals when their parent completes, with
+  /// arrival time = parent finish + the planned gap, and ids allocated
+  /// past the roots in completion order — a pure function of the run, so
+  /// every driver (virtual-clock, replicated, threaded) spawns the exact
+  /// same stream.
+  const SessionWorkload* sessions = nullptr;
+
+  /// Output-length predictor (serve/length_predictor.hpp). Each driver
+  /// builds one predictor per run, observes every completion in oracle
+  /// order, and stamps Request::predicted_output_tokens at dispatch.
+  /// Pair with engine.spjf and/or scheduler.spjf to act on the
+  /// predictions; with both off the predictor only adds bookkeeping.
+  LengthPredictorOptions predictor;
 
   /// Replication: number of independent engine+cache replicas. `engine`,
   /// `model`, and `gpu` describe ONE replica (n_replicas doubles the

@@ -10,6 +10,9 @@
 // cannot drift apart. Internal to src/serve; not part of the public API.
 
 #include <cstdint>
+#include <optional>
+#include <set>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +31,105 @@ struct InFlight {
 /// id -> arrival index (for the emitted Ordering over the arrival table).
 std::unordered_map<std::uint64_t, std::size_t> index_arrivals(
     const table::Table& t, const std::vector<Arrival>& arrivals);
+
+/// When config.sessions is set, the arrivals handed to the driver must be
+/// exactly sessions->roots (same ids, same session tags, in order) — the
+/// follow-up planner indexes plans by root position. Throws
+/// std::invalid_argument on any mismatch; no-op when sessions is null.
+void validate_sessions(const OnlineConfig& config,
+                       const std::vector<Arrival>& arrivals);
+
+/// Merged arrival source: the static time-sorted stream plus feedback
+/// arrivals (session follow-up turns) injected mid-run. Pop order is
+/// (time, id) across both sources — deterministic because feedback ids
+/// are allocated in oracle completion order, which every driver
+/// reproduces bit-identically.
+class ArrivalFeed {
+ public:
+  explicit ArrivalFeed(const std::vector<Arrival>& statics)
+      : statics_(&statics) {}
+
+  bool exhausted() const { return next_ >= statics_->size() && heap_.empty(); }
+
+  /// Index of the next unfed static arrival (== size when drained) — the
+  /// threaded runtime's static-stream lookaheads key off this.
+  std::size_t next_static() const { return next_; }
+
+  /// Time of the next arrival from either source; +infinity when drained.
+  double next_time() const;
+
+  /// Remove and return the (time, id)-least pending arrival. Precondition:
+  /// !exhausted().
+  Arrival pop();
+
+  /// Inject a feedback arrival. Its time may be anywhere at or after the
+  /// current feed position; the heap merges it into (time, id) order.
+  void push_feedback(const Arrival& a);
+
+ private:
+  const std::vector<Arrival>* statics_;
+  std::size_t next_ = 0;
+  std::vector<Arrival> heap_;  // min-heap on (time, id)
+};
+
+/// Session follow-up engine, shared verbatim by all three drivers so the
+/// feedback stream they spawn is identical. Lifecycle per spawning
+/// arrival: on_dispatch (remember the parent's prompt + register its
+/// think-time gap) -> on_complete (materialize the child arrival at
+/// finish + gap and precompute its prompt prefix = parent prompt +
+/// synthetic output) -> make_child_prompt at the child's own dispatch
+/// (prefix + segment label + the follow-up row rendered with the child's
+/// planned field order). Inactive (null sessions) trackers no-op.
+class SessionTracker {
+ public:
+  explicit SessionTracker(const SessionWorkload* sessions)
+      : sessions_(sessions),
+        next_id_(sessions != nullptr ? sessions->roots.size() : 0) {}
+
+  bool active() const { return sessions_ != nullptr; }
+
+  /// Will this arrival spawn a follow-up turn when it completes?
+  bool will_spawn(const Arrival& a) const {
+    return sessions_ != nullptr && a.session != kNoSession &&
+           a.turn < sessions_->plans[a.session].follow_ups.size();
+  }
+
+  void on_dispatch(const Arrival& a, const tokenizer::TokenSeq& prompt);
+
+  /// The follow-up arrival spawned by this completion (nullopt when the
+  /// session is exhausted or inactive). Call once per completion, in
+  /// oracle completion order — child ids are allocated sequentially here.
+  std::optional<Arrival> on_complete(const Arrival& a,
+                                     const llm::RequestResult& res);
+
+  /// Materialize a follow-up turn's full prompt (consumes the stored
+  /// prefix; call exactly once per spawned child, at its dispatch).
+  tokenizer::TokenSeq make_child_prompt(const Arrival& a,
+                                        const table::Table& t,
+                                        std::span<const std::size_t> fo);
+
+  /// Smallest finish->arrival gap among dispatched-but-unfinished
+  /// spawning requests; +infinity when none. The threaded runtime caps
+  /// every epoch at frontier + this so a turn born mid-epoch matures
+  /// strictly after the barrier (the feedback-arrival clock rule,
+  /// DESIGN.md §12) — keeping the epoch cut set a superset of all
+  /// observable due-times.
+  double min_inflight_gap() const;
+
+ private:
+  struct SpawnCtx {
+    tokenizer::TokenSeq prompt;  // the parent's prompt, verbatim
+    double gap = 0.0;
+  };
+
+  const SessionWorkload* sessions_;
+  std::uint64_t next_id_ = 0;
+  std::unordered_map<std::uint64_t, SpawnCtx> ctx_;  // by parent id
+  /// Child id -> parent prompt + synthetic parent output: the token-exact
+  /// prefix contract the session property tests (and audit_trace) pin.
+  std::unordered_map<std::uint64_t, tokenizer::TokenSeq> child_prefix_;
+  std::multiset<double> gaps_;  // in-flight spawners' gaps
+};
 
 /// Per-tenant prompt encoders, built lazily: each tenant's instruction
 /// prefix differs, so rows share the instruction prefix only within a
@@ -56,10 +158,12 @@ class EncoderMap {
 /// Materialize the engine request for an arrival: id/row tagging, the
 /// priority class, and the task model's per-request decode length (keyed
 /// so the same arrival always gets the same length, scaled by the class
-/// output multiplier).
+/// and per-tenant output multipliers). A non-null enabled predictor
+/// stamps predicted_output_tokens (0 otherwise = no prediction).
 llm::Request make_request(const Arrival& a, tokenizer::TokenSeq prompt,
                           const llm::TaskModel& task_model,
-                          const OnlineConfig& config);
+                          const OnlineConfig& config,
+                          const LengthPredictor* predictor);
 
 /// Join an engine completion with its dispatch bookkeeping.
 ServedRequest stitch(const llm::RequestResult& res, const InFlight& f);

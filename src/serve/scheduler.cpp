@@ -1,5 +1,6 @@
 #include "serve/scheduler.hpp"
 
+#include <algorithm>
 #include <array>
 #include <limits>
 #include <numeric>
@@ -102,6 +103,15 @@ Window OnlineScheduler::plan_window(std::vector<Arrival> batch,
 }
 
 void OnlineScheduler::plan_into(Window& w, std::vector<Arrival> batch) const {
+  if (opt_.spjf && predictor_ != nullptr && predictor_->enabled()) {
+    // Stable: equal predictions (in particular, same-tenant runs) keep
+    // their arrival order, so SPJF never inverts FIFO gratuitously.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [this](const Arrival& x, const Arrival& y) {
+                       return predictor_->predict(x.tenant) <
+                              predictor_->predict(y.tenant);
+                     });
+  }
   const std::size_t m = table_.num_cols();
   std::vector<std::size_t> schema_order(m);
   std::iota(schema_order.begin(), schema_order.end(), 0);

@@ -33,6 +33,7 @@
 
 #include "core/ggr.hpp"
 #include "obs/trace.hpp"
+#include "serve/length_predictor.hpp"
 #include "serve/workload.hpp"
 #include "table/fd.hpp"
 #include "table/table.hpp"
@@ -65,6 +66,17 @@ struct SchedulerOptions {
   /// value as EngineConfig::priority_aging_seconds so the scheduler and
   /// the engine agree on what "overdue" means.
   double aging_seconds = 0.0;
+
+  /// Shortest-predicted-job-first dispatch: stable-sort each planned
+  /// (sub-)batch by the bound LengthPredictor's per-tenant prediction
+  /// before the policy runs, so short-predicted requests reach the engine
+  /// earlier within their window (and their class partition, when
+  /// priority_order is on). Requires set_predictor(); a null or disabled
+  /// predictor leaves the order untouched. Note the GGR policies reorder
+  /// rows for cache affinity anyway — SPJF dispatch bites hardest under
+  /// Fifo, while the engine-side EngineConfig::spjf reorders admission
+  /// regardless of the window policy.
+  bool spjf = false;
 };
 
 /// One dispatched window: arrivals in emission (post-reordering) order and
@@ -108,6 +120,10 @@ class OnlineScheduler {
   /// a WindowPlan event on the driver's global track. nullptr disables.
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Bind the output-length predictor SchedulerOptions::spjf sorts by
+  /// (caller-owned, must outlive the scheduler; nullptr disables).
+  void set_predictor(const LengthPredictor* p) { predictor_ = p; }
+
  private:
   Window plan_window(std::vector<Arrival> batch, double now) const;
   /// WindowPlan emission for one dispatched window.
@@ -118,7 +134,8 @@ class OnlineScheduler {
                   static_cast<std::uint64_t>(opt_.policy), buffer_.size()});
   }
   /// Run the configured policy over one (sub-)batch, appending its
-  /// emission to `w`.
+  /// emission to `w`. With spjf + a live predictor, stable-sorts the
+  /// batch by predicted length first (ties keep arrival order).
   void plan_into(Window& w, std::vector<Arrival> batch) const;
 
   const table::Table& table_;
@@ -126,6 +143,7 @@ class OnlineScheduler {
   SchedulerOptions opt_;
   std::deque<Arrival> buffer_;
   obs::TraceSink* trace_ = nullptr;
+  const LengthPredictor* predictor_ = nullptr;
   std::uint64_t window_seq_ = 0;
 };
 

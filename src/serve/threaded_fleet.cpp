@@ -273,7 +273,8 @@ OnlineRunResult run_online_threaded(const table::Table& t,
   out.per_class = summarize_by_class({}, config.ttft_slo_seconds);
   if (arrivals.empty()) return out;
 
-  const auto index_of = detail::index_arrivals(t, arrivals);
+  detail::validate_sessions(config, arrivals);
+  auto index_of = detail::index_arrivals(t, arrivals);
 
   OnlineScheduler scheduler(t, fds, config.scheduler);
   ThreadedFleet fleet(config.fleet(), options);
@@ -287,6 +288,11 @@ OnlineRunResult run_online_threaded(const table::Table& t,
                            config.trace.sample_interval_seconds);
   const llm::TaskModel task_model(config.model_profile);
   detail::EncoderMap encoders(config.prompt);
+  LengthPredictor predictor(config.predictor);
+  scheduler.set_predictor(&predictor);
+  detail::SessionTracker tracker(config.sessions);
+  detail::ArrivalFeed feed(arrivals);
+  std::vector<Arrival> spawned;  // feedback arrivals, in spawn order
 
   std::unordered_map<std::uint64_t, detail::InFlight> inflight;
   std::vector<std::size_t> emitted_rows;
@@ -295,7 +301,6 @@ OnlineRunResult run_online_threaded(const table::Table& t,
   emitted_fields.reserve(arrivals.size());
 
   double now = 0.0;
-  std::size_t next = 0;
   const std::size_t n = arrivals.size();
 
   const auto dispatch = [&](const Window& w) {
@@ -304,9 +309,13 @@ OnlineRunResult run_online_threaded(const table::Table& t,
     for (std::size_t i = 0; i < w.arrivals.size(); ++i) {
       const Arrival& a = w.arrivals[i];
       const std::vector<std::size_t>& fo = w.field_orders[i];
-      llm::Request req = detail::make_request(
-          a, encoders.for_tenant(a.tenant).encode(t, a.row, fo), task_model,
-          config);
+      tokenizer::TokenSeq prompt =
+          a.turn > 0 ? tracker.make_child_prompt(a, t, fo)
+                     : encoders.for_tenant(a.tenant).encode(t, a.row, fo);
+      llm::Request req =
+          detail::make_request(a, std::move(prompt), task_model, config,
+                               &predictor);
+      tracker.on_dispatch(a, req.prompt);
       const std::size_t target = fleet.dispatch(std::move(req), a.tenant, now);
       inflight.emplace(a.id, detail::InFlight{a, w.planned_at, target});
       emitted_rows.push_back(index_of.at(a.id));
@@ -314,12 +323,33 @@ OnlineRunResult run_online_threaded(const table::Table& t,
     }
   };
 
+  // Completions arrive here in oracle (merged) order at epoch barriers, so
+  // predictor observations and feedback-arrival id allocation match the
+  // sequential drivers exactly.
   const auto record = [&](const llm::RequestResult& res) {
     const detail::InFlight& f = inflight.at(res.id);
     ServedRequest sr = detail::stitch(res, f);
     detail::count_tenant(out.per_tenant, sr.tenant);
     out.requests.push_back(sr);
+    if (predictor.enabled())
+      predictor.observe(f.arrival.tenant, res.output_tokens);
+    if (auto child = tracker.on_complete(f.arrival, res)) {
+      index_of.emplace(child->id, arrivals.size() + spawned.size());
+      spawned.push_back(*child);
+      feed.push_feedback(*child);
+    }
     inflight.erase(res.id);
+  };
+
+  const auto feed_due = [&](double t_now) {
+    while (!feed.exhausted() && feed.next_time() <= t_now) {
+      const Arrival a = feed.pop();
+      if (a.turn > 0 && config.trace.sink)
+        merger.emit({obs::EventKind::TurnSpawn,
+                     static_cast<std::uint8_t>(a.priority), obs::kGlobalTrack,
+                     a.time, a.id, a.session, a.turn, a.parent});
+      scheduler.push(a);
+    }
   };
 
   // Next virtual time anything observable can happen — the epoch cut.
@@ -337,6 +367,17 @@ OnlineRunResult run_online_threaded(const table::Table& t,
     // after it can tighten it).
     cut = std::min(cut, scheduler.next_deadline());
     const SchedulerOptions& sopt = scheduler.options();
+    if (tracker.active()) {
+      // Session streams: cut at every pending arrival, static or spawned.
+      // Coarser than the static lookaheads below but still exact — extra
+      // cuts are harmless, and a barrier at each arrival covers both a
+      // deadline start and a row-bound fill at that arrival. Turns not in
+      // the feed yet (their parent is still running) are handled by the
+      // run_epoch cap below, not here.
+      cut = std::min(cut, feed.next_time());
+      return cut;
+    }
+    const std::size_t next = feed.next_static();
     if (next < n) {
       // A future arrival entering an empty buffer starts a new deadline.
       if (scheduler.buffered() == 0 && sopt.max_wait_seconds > 0)
@@ -354,27 +395,33 @@ OnlineRunResult run_online_threaded(const table::Table& t,
 
   // ---- Barrier loop: same event order as the sequential merged loop,
   // with contiguous stepping runs delegated to the workers. ----
-  while (next < n || scheduler.buffered() > 0 || fleet.any_work()) {
+  while (!feed.exhausted() || scheduler.buffered() > 0 || fleet.any_work()) {
     // 0. Advance the merged clock to the execution frontier.
     now = fleet.frontier(now);
     if (sampler.due(now)) {
       fleet.sample_gauges(*sampler.series(), now);
       sampler.advance_past(now);
     }
-    // 1. Feed arrivals that have occurred.
-    while (next < n && arrivals[next].time <= now)
-      scheduler.push(arrivals[next++]);
+    // 1. Feed arrivals that have occurred (static stream + spawned turns).
+    feed_due(now);
     // 2. Dispatch every due window (routing each request).
     while (auto w = scheduler.pop_ready(now)) dispatch(*w);
-    // 3. Execute one epoch up to the next observable event.
+    // 3. Execute one epoch up to the next observable event. A completion
+    // inside the epoch may spawn a follow-up turn that is not in the feed
+    // yet (it only materializes at this barrier's record), so the epoch is
+    // additionally capped at frontier + the smallest in-flight think-time
+    // gap: any such turn arrives strictly after its parent's finish plus
+    // that gap, hence strictly after the cap — it becomes a regular
+    // next_cut() source before any worker can step past it.
     if (fleet.any_work()) {
-      for (const llm::RequestResult& res : fleet.run_epoch(next_cut()))
-        record(res);
+      double limit = next_cut();
+      if (tracker.active())
+        limit = std::min(limit, now + tracker.min_inflight_gap());
+      for (const llm::RequestResult& res : fleet.run_epoch(limit)) record(res);
       continue;
     }
     // 4. Everything idle: jump to the next arrival or deadline, or drain.
-    double t_next = scheduler.next_deadline();
-    if (next < n) t_next = std::min(t_next, arrivals[next].time);
+    double t_next = std::min(scheduler.next_deadline(), feed.next_time());
     if (std::isfinite(t_next)) {
       now = std::max(now, t_next);
     } else if (auto w = scheduler.flush(now)) {
@@ -390,8 +437,15 @@ OnlineRunResult run_online_threaded(const table::Table& t,
   out.engine = aggregate_replica_engines(out.replicas);
   out.load_imbalance = fleet.load_imbalance();
   merger.finish();
-  detail::finalize_emitted(out, t, arrivals, config, std::move(emitted_rows),
-                           std::move(emitted_fields));
+  if (spawned.empty()) {
+    detail::finalize_emitted(out, t, arrivals, config, std::move(emitted_rows),
+                             std::move(emitted_fields));
+  } else {
+    std::vector<Arrival> all = arrivals;
+    all.insert(all.end(), spawned.begin(), spawned.end());
+    detail::finalize_emitted(out, t, all, config, std::move(emitted_rows),
+                             std::move(emitted_fields));
+  }
   return out;
 }
 

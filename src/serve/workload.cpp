@@ -93,6 +93,67 @@ std::vector<Arrival> generate_arrivals(std::size_t n_rows,
   return out;
 }
 
+SessionWorkload generate_sessions(std::size_t n_rows,
+                                  const WorkloadOptions& options,
+                                  const SessionOptions& sessions) {
+  if (sessions.turns == 0)
+    throw std::invalid_argument("sessions: turns must be >= 1");
+  if (sessions.mean_gap_seconds <= 0.0)
+    throw std::invalid_argument("sessions: mean_gap_seconds must be > 0");
+
+  SessionWorkload out;
+  out.kind = sessions.kind;
+  out.roots = generate_arrivals(n_rows, options);
+  for (Arrival& a : out.roots) {
+    a.session = a.id;  // roots get ids 0..n-1 in time order
+    a.turn = 0;
+    a.parent = kNoSession;
+  }
+
+  // Follow-up rows/gaps come from fork(3) of a fresh seed rng: forks 1/2
+  // and the shuffle consumption inside generate_arrivals never see it,
+  // so the roots stay bit-identical to the one-shot stream.
+  util::Rng base(options.seed);
+  util::Rng follow_rng = base.fork(3);
+  out.plans.resize(out.roots.size());
+  for (std::size_t s = 0; s < out.roots.size(); ++s) {
+    SessionPlan& plan = out.plans[s];
+    plan.follow_ups.reserve(sessions.turns - 1);
+    for (std::size_t k = 1; k < sessions.turns; ++k) {
+      FollowUpPlan fo;
+      fo.row = sessions.kind == SessionKind::Agent
+                   ? out.roots[s].row
+                   : follow_rng.next_below(n_rows);
+      fo.gap_seconds =
+          std::max(1e-3, -sessions.mean_gap_seconds *
+                             std::log(1.0 - follow_rng.next_double()));
+      plan.follow_ups.push_back(fo);
+    }
+  }
+  return out;
+}
+
+tokenizer::TokenSeq synth_output_tokens(std::uint64_t session,
+                                        std::uint32_t turn,
+                                        std::size_t len) {
+  tokenizer::TokenSeq out;
+  out.reserve(len);
+  const std::uint64_t base =
+      util::hash_combine(util::hash64(session + 1),
+                         util::hash64(static_cast<std::uint64_t>(turn)));
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint64_t h = util::hash_combine(base, util::hash64(i));
+    out.push_back(static_cast<tokenizer::TokenId>(h));
+  }
+  return out;
+}
+
+std::string session_segment_label(SessionKind kind, std::uint32_t turn) {
+  return kind == SessionKind::Agent
+             ? "\n[tool result " + std::to_string(turn) + "]\n"
+             : "\n[user turn " + std::to_string(turn) + "]\n";
+}
+
 std::vector<llm::PriorityClass> classes_for_tenants(
     const std::vector<std::uint32_t>& tenants,
     const std::vector<llm::PriorityClass>& tenant_classes) {

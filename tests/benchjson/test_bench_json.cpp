@@ -191,6 +191,31 @@ const std::vector<BenchSpec>& bench_specs() {
           {"p50_ttft_s", kNum},
           {"p99_ttft_s", kNum},
           {"load_imbalance", kNum}}}}},
+      {"bench_scenarios",
+       {{"session_turns",
+         {{"turns", kNum},
+          {"requests", kNum},
+          {"agg_phr", kNum},
+          {"p99_ttft_s", kNum},
+          {"p50_e2e_s", kNum},
+          {"windows", kNum}}},
+        {"agentic",
+         {{"replicas", kNum},
+          {"roots", kNum},
+          {"turns", kNum},
+          {"requests", kNum},
+          {"turn_spawns", kNum},
+          {"audit_ok", kNum},
+          {"agg_phr", kNum}}},
+        {"spjf_overload",
+         {{"arm", kStr},
+          {"completions", kNum},
+          {"short_p99_ttft_s", kNum},
+          {"long_p99_ttft_s", kNum},
+          {"p99_ttft_s", kNum},
+          {"agg_phr", kNum}}},
+        {"penalty_ablation",
+         {{"penalty", kNum}, {"mean_predicted_tokens", kNum}}}}},
   };
   return specs;
 }

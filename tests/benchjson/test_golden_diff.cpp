@@ -94,6 +94,42 @@ const std::vector<GoldenSpec>& golden_specs() {
         {"aging_sweep", "batch_p99_e2e_s", true, 0.10},
         {"aging_sweep", "batch_completed", true, 0.10},
         {"aging_sweep", "preemptions", true, 0.10}}},
+      {"bench_threaded_fleet",
+       "BENCH_threaded_fleet.json",
+       {{"threaded_scaling", "agg_phr", false, 0.02},
+        {"threaded_scaling", "p99_ttft_s", true, 0.10},
+        {"threaded_scaling", "load_imbalance", true, 0.10},
+        // The threaded run must STILL match the virtual-clock oracle —
+        // exact, not banded (wall_s_* keys measure the host and are
+        // deliberately not compared).
+        {"threaded_scaling", "determinism_match", false, 0.0}}},
+      {"bench_concurrent_queries",
+       "BENCH_concurrent_queries.json",
+       {{"queries_router", "agg_phr", false, 0.02},
+        {"queries_router", "effective_hit_fraction", false, 0.02},
+        {"queries_router", "dedup_hits", false, 0.0},
+        {"queries_router", "makespan_s", true, 0.10},
+        {"queries_router", "speedup_vs_serial", true, 0.10},
+        {"queries_router", "p99_ttft_s", true, 0.10},
+        {"queries_router", "load_imbalance", true, 0.10}}},
+      // Sessions / agents / length-aware scheduling. Conservation counts
+      // (requests, turn spawns, audit verdict, completions) are exact;
+      // PHR and tails use the standard bands; predictor means are exact
+      // up to the absolute band (pure EWMA replay, no simulation noise).
+      {"bench_scenarios",
+       "BENCH_scenarios.json",
+       {{"session_turns", "agg_phr", false, 0.02},
+        {"session_turns", "requests", false, 0.0},
+        {"session_turns", "windows", true, 0.10},
+        {"session_turns", "p99_ttft_s", true, 0.10},
+        {"agentic", "requests", false, 0.0},
+        {"agentic", "turn_spawns", false, 0.0},
+        {"agentic", "audit_ok", false, 0.0},
+        {"agentic", "agg_phr", false, 0.02},
+        {"spjf_overload", "completions", false, 0.0},
+        {"spjf_overload", "short_p99_ttft_s", true, 0.10},
+        {"spjf_overload", "agg_phr", false, 0.02},
+        {"penalty_ablation", "mean_predicted_tokens", false, 0.01}}},
       // Hot-path microbench: the deterministic outputs (hash fingerprints,
       // cache hit/insert/evict counts, the zero-steady-state-allocation
       // audit) must match the snapshot exactly. us/op keys are compared

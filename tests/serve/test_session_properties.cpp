@@ -1,0 +1,254 @@
+// Session-level conservation properties for multi-turn / agentic streams.
+//
+// Across 20 seeds of chat-session workloads, every run must prove:
+//
+//   * exactly-once per turn — each (session, turn) pair completes exactly
+//     once, sessions x turns pairs in total, and every follow-up id is
+//     allocated past the root id range;
+//   * token-exact history extension — turn k's prompt length equals
+//     turn k-1's prompt + output plus the tokenized segment label + the
+//     follow-up row's JSON rendering (the prompt prefix is the parent's
+//     transcript verbatim, never re-encoded or truncated);
+//   * prefix reuse is real — with an ample cache, a follow-up's KV hit
+//     covers at least its parent's block-floored prompt, and the session
+//     run's aggregate PHR is >= the one-shot PHR over the same roots at
+//     depth >= 2;
+//   * accounting closure — per-class and per-tenant completion sums equal
+//     the aggregate, for session streams exactly as for one-shot ones;
+//   * determinism — re-running the same session workload reproduces every
+//     completion bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/prompt.hpp"
+#include "serve/online.hpp"
+#include "tokenizer/tokenizer.hpp"
+#include "util/rng.hpp"
+
+namespace llmq::serve {
+namespace {
+
+using table::Schema;
+using table::Table;
+
+Table session_table(util::Rng& rng, std::size_t n) {
+  // Deliberately wordy cells that diverge at the very first token of the
+  // payload (unique row id up front): one-shot arrivals then share only
+  // the instruction prefix, while a follow-up re-hits its parent's whole
+  // prompt — instructions AND row payload — so the session-beats-one-shot
+  // PHR margin is structural, not an artifact of repeated cell text.
+  Table t(Schema::of_names({"item", "region", "status"}));
+  for (std::size_t r = 0; r < n; ++r)
+    t.append_row({"item " + std::to_string(r) + " flavor " +
+                      std::to_string(rng.next_below(1u << 20)) +
+                      " with a long descriptive product label",
+                  "region " + std::to_string(rng.next_below(3)) +
+                      " covering several distribution warehouses",
+                  r % 2 ? "active and currently shipping to customers"
+                        : "archived pending quarterly inventory review"});
+  return t;
+}
+
+OnlineConfig session_config() {
+  OnlineConfig cfg;
+  cfg.prompt.system_prompt = "You are a chat assistant.";
+  cfg.prompt.user_prompt = "Answer about the row.";
+  cfg.avg_output_tokens = 2.0;  // outputs are never cached: keep them small
+                                // so turn chaining's reuse signal dominates
+  cfg.scheduler.policy = Policy::Fifo;  // schema field order: arithmetic
+  cfg.scheduler.window_rows = 8;        // below is exact, not approximate
+  cfg.scheduler.max_wait_seconds = 0.2;
+  cfg.scheduler.ggr.measure = core::LengthMeasure::Unit;
+  cfg.engine.kv_pool_blocks_override = 4096;  // ample: no eviction noise
+  return cfg;
+}
+
+SessionWorkload make_sessions(std::size_t n_rows, std::uint64_t seed,
+                              std::size_t turns, SessionKind kind) {
+  WorkloadOptions w;
+  w.arrival_rate = 20.0;
+  w.n_tenants = 3;
+  w.n_requests = 24;
+  w.seed = seed;
+  SessionOptions so;
+  so.kind = kind;
+  so.turns = turns;
+  so.mean_gap_seconds = 0.25;
+  return generate_sessions(n_rows, w, so);
+}
+
+TEST(SessionProperties, ConservationAcrossTwentySeeds) {
+  util::Rng rng(71);
+  const Table t = session_table(rng, 32);
+  const table::FdSet fds;
+  const OnlineConfig cfg = session_config();
+  const std::size_t turns = 3;
+
+  std::vector<std::size_t> schema_order(t.num_cols());
+  for (std::size_t c = 0; c < t.num_cols(); ++c) schema_order[c] = c;
+  const tokenizer::Tokenizer& tok = tokenizer::global_tokenizer();
+
+  for (std::uint64_t seed = 500; seed < 520; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const SessionWorkload sw =
+        make_sessions(t.num_rows(), seed, turns, SessionKind::Chat);
+    const OnlineConfig run_cfg = [&] {
+      OnlineConfig c = cfg;
+      c.sessions = &sw;
+      return c;
+    }();
+    const OnlineRunResult r = run_online(t, fds, sw.roots, run_cfg);
+
+    // Exactly-once per (session, turn).
+    const std::size_t n_roots = sw.roots.size();
+    ASSERT_EQ(r.requests.size(), n_roots * turns);
+    std::set<std::pair<std::uint64_t, std::uint32_t>> seen;
+    std::map<std::pair<std::uint64_t, std::uint32_t>, const ServedRequest*>
+        by_turn;
+    for (const ServedRequest& sr : r.requests) {
+      ASSERT_NE(sr.session, kNoSession);
+      ASSERT_LT(sr.turn, turns);
+      EXPECT_TRUE(seen.emplace(sr.session, sr.turn).second)
+          << "duplicate (session, turn)";
+      by_turn[{sr.session, sr.turn}] = &sr;
+      if (sr.turn == 0)
+        EXPECT_LT(sr.id, n_roots);  // roots keep the static id range
+      else
+        EXPECT_GE(sr.id, n_roots);  // follow-ups allocated past it
+    }
+    EXPECT_EQ(seen.size(), n_roots * turns);
+
+    // Token-exact history extension + block-floored prefix reuse.
+    for (std::size_t s = 0; s < n_roots; ++s) {
+      for (std::uint32_t k = 1; k < turns; ++k) {
+        const ServedRequest& parent =
+            *by_turn.at({static_cast<std::uint64_t>(s), k - 1});
+        const ServedRequest& child =
+            *by_turn.at({static_cast<std::uint64_t>(s), k});
+        const std::size_t follow_row = sw.plans[s].follow_ups[k - 1].row;
+        const std::size_t added =
+            tok.count(session_segment_label(sw.kind, k) +
+                      query::render_row_json(t, follow_row, schema_order));
+        EXPECT_EQ(child.prompt_tokens,
+                  parent.prompt_tokens + parent.output_tokens + added)
+            << "session " << s << " turn " << k;
+        // The parent's full prompt was inserted at its admission and the
+        // pool is ample, so the child's hit covers at least its
+        // block-floored length (synthetic output tokens are not in the
+        // cache — they were never prefilled).
+        const std::size_t bs = run_cfg.engine.block_size;
+        EXPECT_GE(child.cached_tokens, (parent.prompt_tokens / bs) * bs)
+            << "session " << s << " turn " << k;
+        EXPECT_GT(child.arrival_time, parent.finish_time);
+      }
+    }
+
+    // Accounting closure: per-class and per-tenant sums equal aggregates.
+    std::size_t class_sum = 0;
+    for (const PriorityClassMetrics& pc : r.per_class)
+      class_sum += pc.requests;
+    EXPECT_EQ(class_sum, r.requests.size());
+    std::size_t tenant_sum = 0;
+    for (std::size_t c : r.per_tenant) tenant_sum += c;
+    EXPECT_EQ(tenant_sum, r.requests.size());
+
+    // Session PHR beats the one-shot PHR over the same roots.
+    const OnlineRunResult one_shot = run_online(t, fds, sw.roots, cfg);
+    EXPECT_GE(r.engine.prompt_cache_hit_rate(),
+              one_shot.engine.prompt_cache_hit_rate());
+
+    // Determinism: the exact same stream replays bit-for-bit.
+    const OnlineRunResult again = run_online(t, fds, sw.roots, run_cfg);
+    ASSERT_EQ(again.requests.size(), r.requests.size());
+    for (std::size_t i = 0; i < r.requests.size(); ++i) {
+      EXPECT_EQ(again.requests[i].id, r.requests[i].id);
+      EXPECT_EQ(again.requests[i].session, r.requests[i].session);
+      EXPECT_EQ(again.requests[i].turn, r.requests[i].turn);
+      EXPECT_DOUBLE_EQ(again.requests[i].finish_time,
+                       r.requests[i].finish_time);
+      EXPECT_EQ(again.requests[i].prompt_tokens, r.requests[i].prompt_tokens);
+      EXPECT_EQ(again.requests[i].cached_tokens, r.requests[i].cached_tokens);
+      EXPECT_EQ(again.requests[i].output_tokens, r.requests[i].output_tokens);
+    }
+  }
+}
+
+TEST(SessionProperties, AgentLoopsReuseTheSameRowAndChainStrictly) {
+  util::Rng rng(11);
+  const Table t = session_table(rng, 24);
+  const table::FdSet fds;
+  const SessionWorkload sw =
+      make_sessions(t.num_rows(), 901, 4, SessionKind::Agent);
+  OnlineConfig cfg = session_config();
+  cfg.sessions = &sw;
+  const OnlineRunResult r = run_online(t, fds, sw.roots, cfg);
+  ASSERT_EQ(r.requests.size(), sw.roots.size() * 4);
+
+  // Agent loops call the tool on the same row every turn, and a turn's
+  // arrival strictly follows its predecessor's finish (the think gap).
+  std::map<std::pair<std::uint64_t, std::uint32_t>, const ServedRequest*>
+      by_turn;
+  for (const ServedRequest& sr : r.requests)
+    by_turn[{sr.session, sr.turn}] = &sr;
+  for (std::size_t s = 0; s < sw.roots.size(); ++s) {
+    for (std::uint32_t k = 0; k < 4; ++k) {
+      const ServedRequest& sr =
+          *by_turn.at({static_cast<std::uint64_t>(s), k});
+      EXPECT_EQ(sr.row, sw.roots[s].row);
+      EXPECT_EQ(sr.tenant, sw.roots[s].tenant);
+      if (k > 0) {
+        const ServedRequest& prev =
+            *by_turn.at({static_cast<std::uint64_t>(s), k - 1});
+        EXPECT_GT(sr.arrival_time, prev.finish_time);
+        EXPECT_GT(sr.prompt_tokens,
+                  prev.prompt_tokens + prev.output_tokens);
+      }
+    }
+  }
+}
+
+TEST(SessionProperties, GenerateSessionsValidatesAndIsDeterministic) {
+  WorkloadOptions w;
+  w.n_requests = 10;
+  w.seed = 5;
+  SessionOptions so;
+  so.turns = 0;
+  EXPECT_THROW(generate_sessions(8, w, so), std::invalid_argument);
+  so.turns = 2;
+  so.mean_gap_seconds = 0.0;
+  EXPECT_THROW(generate_sessions(8, w, so), std::invalid_argument);
+
+  so.mean_gap_seconds = 0.5;
+  const SessionWorkload a = generate_sessions(8, w, so);
+  const SessionWorkload b = generate_sessions(8, w, so);
+  ASSERT_EQ(a.roots.size(), 10u);
+  ASSERT_EQ(a.plans.size(), 10u);
+  for (std::size_t i = 0; i < a.roots.size(); ++i) {
+    EXPECT_EQ(a.roots[i].session, a.roots[i].id);
+    EXPECT_EQ(a.roots[i].turn, 0u);
+    EXPECT_EQ(a.roots[i].parent, kNoSession);
+    ASSERT_EQ(a.plans[i].follow_ups.size(), 1u);
+    EXPECT_EQ(a.plans[i].follow_ups[0].row, b.plans[i].follow_ups[0].row);
+    EXPECT_DOUBLE_EQ(a.plans[i].follow_ups[0].gap_seconds,
+                     b.plans[i].follow_ups[0].gap_seconds);
+    EXPECT_GE(a.plans[i].follow_ups[0].gap_seconds, 1e-3);
+  }
+
+  // The driver rejects a stream that is not the session roots.
+  util::Rng rng(2);
+  const Table t = session_table(rng, 8);
+  const table::FdSet fds;
+  OnlineConfig cfg = session_config();
+  cfg.sessions = &a;
+  const auto other = generate_arrivals(8, w);
+  EXPECT_THROW(run_online(t, fds, other, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace llmq::serve

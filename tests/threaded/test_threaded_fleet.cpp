@@ -149,6 +149,8 @@ void expect_requests_eq(const std::vector<ServedRequest>& a,
     EXPECT_EQ(a[i].priority, b[i].priority);
     EXPECT_EQ(a[i].preemptions, b[i].preemptions);
     EXPECT_EQ(a[i].recomputed_tokens, b[i].recomputed_tokens);
+    EXPECT_EQ(a[i].session, b[i].session);
+    EXPECT_EQ(a[i].turn, b[i].turn);
   }
 }
 
@@ -393,6 +395,137 @@ TEST(ThreadedFleetProperty, TracedRunMatchesUntracedRun) {
   traced_cfg.trace.timeseries = &ts;
   const auto traced = run_online_threaded(t, fds, arrivals, traced_cfg);
   expect_result_eq(plain, traced);
+}
+
+// ---- Feedback-arrival (session / agentic) axis. ----
+//
+// Follow-up turns materialize as feedback arrivals at parent finish +
+// gap, so the threaded runtime must cut an epoch before every spawn it
+// cannot yet see (the min-inflight-gap cap in threaded_fleet.cpp). The
+// matrix pins the whole result — including the spawned stream itself —
+// bit-identical to the virtual-clock oracle across replica counts and
+// both session kinds, plus threaded-rerun determinism.
+
+TEST(ThreadedFleetProperty, SessionRunsBitIdenticalAcrossKindsAndReplicas) {
+  util::Rng rng(17);
+  const Table t = groupy_table(rng, 48, 3, 3);
+  const table::FdSet fds;
+  std::uint64_t seed = 301;
+  for (std::size_t replicas : {1u, 2u, 4u}) {
+    for (const SessionKind kind : {SessionKind::Chat, SessionKind::Agent}) {
+      SCOPED_TRACE("replicas=" + std::to_string(replicas) +
+                   " kind=" + std::to_string(static_cast<int>(kind)) +
+                   " seed=" + std::to_string(seed));
+      OnlineConfig cfg = small_config();
+      cfg.n_replicas = replicas;
+      cfg.router = RouterPolicy::PrefixAffinity;
+      cfg.scheduler.window_rows = 8;
+      cfg.scheduler.max_wait_seconds = 0.15;
+      cfg.engine.preemption = true;
+      cfg.engine.kv_pool_blocks_override = 192;  // tight enough to evict
+
+      WorkloadOptions w;
+      w.arrival_rate = 30.0;
+      w.n_tenants = 4;
+      w.n_requests = 36;
+      w.tenant_classes = {llm::PriorityClass::Interactive,
+                          llm::PriorityClass::Standard,
+                          llm::PriorityClass::Batch};
+      w.seed = seed++;
+      SessionOptions so;
+      so.kind = kind;
+      so.turns = 3;
+      so.mean_gap_seconds = 0.2;
+      const SessionWorkload sw = generate_sessions(48, w, so);
+      cfg.sessions = &sw;
+
+      const OnlineRunResult oracle = run_online(t, fds, sw.roots, cfg);
+      const OnlineRunResult threaded =
+          run_online_threaded(t, fds, sw.roots, cfg);
+      expect_result_eq(oracle, threaded);
+      ASSERT_EQ(oracle.requests.size(), sw.roots.size() * so.turns);
+      // Rerun determinism: the threaded runtime spawns the exact same
+      // feedback stream again.
+      expect_result_eq(threaded, run_online_threaded(t, fds, sw.roots, cfg));
+    }
+  }
+}
+
+TEST(ThreadedFleetProperty, SessionWithSpjfPredictorAlsoBitIdentical) {
+  // Predictor state feeds SPJF decisions; it advances in oracle
+  // completion order, so the threaded run must reproduce every
+  // admission choice bit-for-bit too.
+  util::Rng rng(23);
+  const Table t = groupy_table(rng, 48, 3, 3);
+  const table::FdSet fds;
+  OnlineConfig cfg = small_config();
+  cfg.n_replicas = 3;
+  cfg.scheduler.window_rows = 8;
+  cfg.scheduler.max_wait_seconds = 0.1;
+  cfg.tenant_output_multiplier = {0.5, 3.0};
+  cfg.predictor.enabled = true;
+  cfg.scheduler.spjf = true;
+  cfg.engine.spjf = true;
+
+  WorkloadOptions w;
+  w.arrival_rate = 40.0;
+  w.n_tenants = 4;
+  w.n_requests = 32;
+  w.seed = 311;
+  SessionOptions so;
+  so.kind = SessionKind::Agent;
+  so.turns = 2;
+  so.mean_gap_seconds = 0.15;
+  const SessionWorkload sw = generate_sessions(48, w, so);
+  cfg.sessions = &sw;
+
+  expect_result_eq(run_online(t, fds, sw.roots, cfg),
+                   run_online_threaded(t, fds, sw.roots, cfg));
+}
+
+TEST(ThreadedFleetProperty, SessionTraceBytesIdenticalToReplicatedOracle) {
+  util::Rng rng(29);
+  const Table t = groupy_table(rng, 40, 3, 3);
+  const table::FdSet fds;
+  for (std::size_t replicas : {1u, 2u}) {
+    SCOPED_TRACE("replicas=" + std::to_string(replicas));
+    OnlineConfig cfg = small_config();
+    cfg.n_replicas = replicas;
+    cfg.router = RouterPolicy::PrefixAffinity;
+    cfg.scheduler.window_rows = 8;
+    cfg.scheduler.max_wait_seconds = 0.12;
+
+    WorkloadOptions w;
+    w.arrival_rate = 25.0;
+    w.n_tenants = 3;
+    w.n_requests = 24;
+    w.seed = 401;
+    SessionOptions so;
+    so.kind = SessionKind::Chat;
+    so.turns = 3;
+    so.mean_gap_seconds = 0.2;
+    const SessionWorkload sw = generate_sessions(40, w, so);
+    cfg.sessions = &sw;
+
+    obs::TraceLog oracle_log;
+    OnlineConfig oracle_cfg = cfg;
+    oracle_cfg.trace.sink = &oracle_log;
+    const auto oracle = run_online_replicated(t, fds, sw.roots, oracle_cfg);
+
+    obs::TraceLog threaded_log;
+    OnlineConfig threaded_cfg = cfg;
+    threaded_cfg.trace.sink = &threaded_log;
+    const auto threaded = run_online_threaded(t, fds, sw.roots, threaded_cfg);
+
+    // Turn chaining is on the tape: one TurnSpawn per follow-up, byte-
+    // identical between the two runtimes.
+    std::size_t spawns = 0;
+    for (const obs::TraceEvent& e : oracle_log.events())
+      if (e.kind == obs::EventKind::TurnSpawn) ++spawns;
+    EXPECT_EQ(spawns, sw.roots.size() * 2);
+    expect_trace_eq(oracle_log, threaded_log);
+    expect_requests_eq(oracle.requests, threaded.requests);
+  }
 }
 
 TEST(ThreadedFleet, EmptyStreamAndZeroReplicas) {
