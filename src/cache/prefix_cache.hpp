@@ -39,11 +39,21 @@ namespace llmq::cache {
 
 struct CacheConfig {
   std::size_t block_size = 16;      // tokens per KV block (vLLM default)
-  std::size_t capacity_blocks = 0;  // 0 = unlimited
+  std::size_t capacity_blocks = 0;  // GPU-tier capacity; 0 = unlimited
   bool enabled = true;              // false = the paper's "No Cache" arm
   /// 0 = single-threaded (no locks, one tree — the simulator default).
   /// S > 0 = thread-safe with S lock stripes / per-stripe trees.
   std::size_t lock_stripes = 0;
+  /// Tier count: 1 = flat GPU-only pool (the pre-tier behavior, bit-
+  /// exact), 2 = GPU + host DRAM, 3 = GPU + host + disk. With tiers > 1
+  /// GPU pressure demotes cold blocks down instead of destroying them,
+  /// and a lower-tier hit is promoted back before the lease pins it
+  /// (DESIGN.md §13).
+  std::size_t tiers = 1;
+  /// Capacity of the host / disk tiers in blocks; 0 = unlimited. Only
+  /// read when the corresponding tier exists.
+  std::size_t host_capacity_blocks = 0;
+  std::size_t disk_capacity_blocks = 0;
 };
 
 struct CacheStats {
@@ -51,7 +61,13 @@ struct CacheStats {
   std::uint64_t hit_tokens = 0;     // tokens served from cache
   std::uint64_t lookup_tokens = 0;  // prompt tokens across lookups
   std::uint64_t inserted_blocks = 0;
-  std::uint64_t evicted_blocks = 0;
+  std::uint64_t evicted_blocks = 0;  // destroyed outright (bottom tier)
+  /// Tier traffic (always 0 on a flat cache): blocks pushed down one
+  /// tier under GPU/host pressure, and blocks pulled back to GPU —
+  /// whether priced (lookup hit on a lower tier) or free (prefill
+  /// recomputed them on-GPU anyway).
+  std::uint64_t demoted_blocks = 0;
+  std::uint64_t promoted_blocks = 0;
   double hit_rate() const {
     return lookup_tokens ? static_cast<double>(hit_tokens) /
                                static_cast<double>(lookup_tokens)
@@ -81,6 +97,21 @@ struct CacheLease {
   /// Stripe the path lives in (always 0 when unstriped). Recorded at
   /// lookup so release/admit relock the right tree without rehashing.
   std::uint32_t stripe = 0;
+  /// Blocks this lookup promoted from the host / disk tier back to GPU
+  /// (always 0 on a flat cache). The engine prices the transfer into
+  /// TTFT before it reuses the prefix — a lower-tier hit is cheaper than
+  /// recompute but is not free.
+  std::size_t promoted_host_blocks = 0;
+  std::size_t promoted_disk_blocks = 0;
+};
+
+/// Side-effect-free tier split of a prompt's cached prefix (the router's
+/// tier-aware affinity probe): how many matched tokens sit at each tier.
+struct TierPeek {
+  std::size_t gpu_tokens = 0;
+  std::size_t host_tokens = 0;
+  std::size_t disk_tokens = 0;
+  std::size_t total() const { return gpu_tokens + host_tokens + disk_tokens; }
 };
 
 class PrefixCache {
@@ -100,7 +131,13 @@ class PrefixCache {
   /// the copy is taken under the accounting mutex so concurrent readers
   /// never see a half-updated struct.
   CacheStats stats() const;
+  /// Blocks resident across ALL tiers (== the tree's node count).
   std::size_t resident_blocks() const;
+  /// Blocks resident in GPU memory only — what engine admission budgets
+  /// against. Equal to resident_blocks() on a flat cache.
+  std::size_t gpu_resident_blocks() const;
+  /// Blocks resident at one tier (0 = GPU, 1 = host, 2 = disk).
+  std::size_t tier_resident_blocks(std::uint8_t tier) const;
   /// Blocks currently pinned by outstanding leases (gauge sampling).
   std::size_t pinned_blocks() const;
 
@@ -139,6 +176,12 @@ class PrefixCache {
   /// concurrent mutation by tests/cache/test_cache_concurrency.cpp.
   std::size_t peek(std::span<const TokenId> prompt) const;
 
+  /// peek() with the matched tokens split by tier — the same no-side-
+  /// effect contract, so the router can score a GPU hit above a host hit
+  /// above a miss without perturbing any replica it probes. On a flat
+  /// cache everything lands in gpu_tokens (total == peek()).
+  TierPeek peek_tiers(std::span<const TokenId> prompt) const;
+
   /// After prefill: insert the prompt's full blocks, evicting LRU blocks
   /// as needed. Under memory pressure only the longest admissible prefix
   /// is kept (prefix-closed property preserved). Re-pins the lease to
@@ -157,10 +200,34 @@ class PrefixCache {
   /// deliberately not undone — the prompt really was seen.
   void cancel_lookup(CacheLease& lease, std::size_t prompt_tokens);
 
-  /// Evict up to `n` unpinned blocks (LRU leaves first). Used by the
-  /// serving engine, which owns the global KV budget across cached and
-  /// per-request private blocks. Returns blocks actually evicted.
+  /// Free up to `n` GPU blocks for the serving engine, which owns the
+  /// global KV budget across cached and per-request private blocks.
+  /// Flat cache: LRU leaves are destroyed. Tiered cache: the same LRU
+  /// victims are demoted to the host tier instead (cascading host->disk
+  /// and finally destroying bottom-tier LRU leaves as capacities fill).
+  /// Returns GPU blocks actually freed.
   std::size_t evict(std::size_t n);
+
+  /// Insert a migrated prefix (fleet warm-up: a donor replica streamed
+  /// these tokens to this cache). Inserts like an admit — new blocks land
+  /// GPU-resident, LRU demotion/eviction makes room — but counts NO
+  /// lookup or hit stats and pins nothing, so migrated prefixes are
+  /// never double-counted as prefix hits; only inserted_blocks grows.
+  /// Returns blocks newly inserted.
+  std::size_t admit_migrated(std::span<const TokenId> tokens);
+
+  /// Donor side of a fleet prefix migration: the hottest GPU-resident
+  /// root-down prefixes (up to roughly `max_blocks` blocks), each pinned
+  /// by a lease so donor eviction is deferred until the transfer lands.
+  /// The fleet calls end_migration() when it completes (or abandons) the
+  /// transfer; until then the blocks stay resident and servable.
+  struct MigrationBatch {
+    std::vector<tokenizer::TokenSeq> prefixes;  // tokens to stream out
+    std::vector<CacheLease> leases;             // donor pins, one per prefix
+    std::size_t blocks = 0;  // path blocks covered (ancestors may repeat)
+  };
+  MigrationBatch begin_migration(std::size_t max_blocks);
+  void end_migration(MigrationBatch& batch);
 
   /// Blocks that a prompt of `n_tokens` would newly occupy beyond
   /// `cached_tokens` (full blocks only).
@@ -206,8 +273,39 @@ class PrefixCache {
   std::vector<NodeId> acquire_path();
   void recycle_path(std::vector<NodeId>&& path);
 
+  bool tiered() const { return config_.tiers > 1; }
+
   CacheLease pinning_match(RadixTree& tree, std::uint32_t stripe,
                            std::span<const TokenId> prompt);
+
+  // ---- Tier helpers. Pre for all: every stripe mutex + acct held (all
+  // tiered mutations take the full lock set: demotion victims and
+  // cross-tier rebalancing can touch any stripe). ----
+
+  /// Demote up to `n` GPU-LRU blocks to host (globally oldest across
+  /// stripes), then rebalance host/disk to capacity. Returns GPU blocks
+  /// freed (fewer when everything left is pinned).
+  std::size_t demote_gpu_locked(std::size_t n);
+  /// Demote until the GPU pool has `need` free blocks (best effort).
+  void make_gpu_room_locked(std::size_t need);
+  /// Push host overflow to disk (3-tier) or destroy bottom-tier LRU
+  /// leaves so host/disk stay within their capacities.
+  void rebalance_lower_tiers_locked();
+  /// Destroy up to `n` LRU unpinned leaves of the bottom tier `tier`.
+  std::size_t evict_bottom_locked(std::uint8_t tier, std::size_t n);
+  /// Promote every lower-tier node of the pinned root-down `path` to
+  /// GPU, demoting cold blocks for room. If the pool is pin-saturated,
+  /// unpins and drops the non-fitting tail (returns true). `host`/`disk`
+  /// receive the blocks promoted from each tier; `cls` tags the
+  /// TierPromote event (0 = priced transfer, 1 = recompute refresh).
+  bool promote_pinned_path_locked(RadixTree& tree, std::vector<NodeId>& path,
+                                  std::size_t& host, std::size_t& disk,
+                                  std::uint8_t cls);
+  /// Tiered admit(): refresh-promote the matched prefix, then insert the
+  /// remaining new blocks GPU-resident.
+  std::size_t admit_tiered_locked(RadixTree& tree, std::uint32_t stripe,
+                                  std::span<const TokenId> prompt,
+                                  CacheLease& lease);
   /// Pre: caller holds lease.stripe's mutex and acct (when striped).
   void release_locked(CacheLease& lease);
   /// Insert + repin half of admit(). Pre: stripe + acct held; `need` caps
@@ -232,7 +330,11 @@ class PrefixCache {
   /// rather than one tree with striped node locks — keep the hot node
   /// vector free of cross-thread reallocation races by construction.
   std::vector<RadixTree> trees_;
-  BlockPool pool_;
+  BlockPool pool_;  // the GPU tier: pool_.used() == GPU-resident blocks
+  /// Blocks resident at the host / disk tiers (acct-guarded; both stay 0
+  /// on a flat cache).
+  std::size_t host_used_ = 0;
+  std::size_t disk_used_ = 0;
   CacheStats stats_;
   std::uint64_t clock_ = 0;
   /// Outstanding (lease, node) pin edges — incremented when a lease pins

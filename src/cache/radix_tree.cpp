@@ -104,6 +104,7 @@ NodeId RadixTree::add_child(NodeId node, std::span<const TokenId> block,
     std::fill(n.index.table.begin(), n.index.table.end(), kNoNode);
   n.last_access = now;
   n.ref_count = 0;
+  n.tier = 0;  // new blocks are always born GPU-resident
   n.alive = true;
 
   Node& p = pool_[node];
@@ -213,15 +214,15 @@ std::size_t RadixTree::insert_into(std::span<const TokenId> tokens,
   return new_blocks;
 }
 
-void RadixTree::touch(const std::vector<NodeId>& path, std::uint64_t now) {
+void RadixTree::touch(std::span<const NodeId> path, std::uint64_t now) {
   for (NodeId id : path) pool_[id].last_access = now;
 }
 
-void RadixTree::pin(const std::vector<NodeId>& path) {
+void RadixTree::pin(std::span<const NodeId> path) {
   for (NodeId id : path) ++pool_[id].ref_count;
 }
 
-void RadixTree::unpin(const std::vector<NodeId>& path) {
+void RadixTree::unpin(std::span<const NodeId> path) {
   for (NodeId id : path) {
     if (pool_[id].ref_count == 0)
       throw std::logic_error("RadixTree: unpin of unpinned node");
@@ -292,7 +293,15 @@ std::string RadixTree::check_invariants() const {
           return fail(id, "more recently used than its parent");
         if (pool_[n.parent].ref_count < n.ref_count)
           return fail(id, "more pinned than its parent");
+        // Demotion is oldest-first and promotion covers root-down
+        // prefixes, so tiers are monotone down every path too.
+        if (pool_[n.parent].tier > n.tier)
+          return fail(id, "in a higher tier than its parent");
       }
+      // In-flight requests read KV from GPU memory; a pinned block in a
+      // lower tier would mean a lease points at data that is not there.
+      if (n.ref_count > 0 && n.tier != 0)
+        return fail(id, "pinned but not GPU-resident");
     }
     for (NodeId c : n.children) {
       if (c >= pool_.slots() || !pool_[c].alive || pool_[c].parent != id)
@@ -341,6 +350,161 @@ std::uint64_t RadixTree::lru_age() const {
     if (evictable(n)) oldest = std::min(oldest, n.last_access);
   }
   return oldest;
+}
+
+// ---- Tier operations. ----
+
+std::size_t RadixTree::tier_blocks(std::uint8_t tier) const {
+  std::size_t n = 0;
+  for (NodeId id = 1; id < pool_.slots(); ++id)
+    if (pool_[id].alive && pool_[id].tier == tier) ++n;
+  return n;
+}
+
+std::uint64_t RadixTree::demote_age(std::uint8_t tier) const {
+  std::uint64_t oldest = UINT64_MAX;
+  for (NodeId id = 1; id < pool_.slots(); ++id) {
+    const Node& n = pool_[id];
+    if (n.alive && n.ref_count == 0 && n.tier == tier)
+      oldest = std::min(oldest, n.last_access);
+  }
+  return oldest;
+}
+
+std::size_t RadixTree::demote_lru(std::size_t want, std::uint8_t from_tier) {
+  if (want == 0) return 0;
+  // Same single-scan min-heap as evict_lru, but over unpinned blocks of
+  // one tier and with no structural change. A node with a same-tier child
+  // must not demote before that child (tier monotonicity down paths);
+  // recency monotonicity means the child is at least as old, but one
+  // insert stamps a whole path with one clock value, so parent and child
+  // can tie and the id tiebreak can order them either way. Popped nodes
+  // that still have a same-tier child are therefore skipped — a deepest
+  // minimal-age node always qualifies, so a caller looping want=1 drains
+  // the tier in exact oldest-first order anyway.
+  evict_heap_.clear();
+  for (NodeId id = 1; id < pool_.slots(); ++id) {
+    const Node& n = pool_[id];
+    if (n.alive && n.ref_count == 0 && n.tier == from_tier)
+      evict_heap_.emplace_back(n.last_access, id);
+  }
+  const auto cmp = std::greater<>{};
+  std::make_heap(evict_heap_.begin(), evict_heap_.end(), cmp);
+  std::size_t demoted = 0;
+  while (demoted < want && !evict_heap_.empty()) {
+    std::pop_heap(evict_heap_.begin(), evict_heap_.end(), cmp);
+    const NodeId victim = evict_heap_.back().second;
+    evict_heap_.pop_back();
+    const Node& n = pool_[victim];
+    bool blocked = false;
+    for (NodeId c : n.children) blocked |= (pool_[c].tier == from_tier);
+    if (blocked) continue;
+    pool_[victim].tier = from_tier + 1;
+    ++demoted;
+  }
+  return demoted;
+}
+
+std::uint64_t RadixTree::evict_age(std::uint8_t tier) const {
+  std::uint64_t oldest = UINT64_MAX;
+  for (NodeId id = 1; id < pool_.slots(); ++id) {
+    const Node& n = pool_[id];
+    if (evictable(n) && n.tier == tier) oldest = std::min(oldest, n.last_access);
+  }
+  return oldest;
+}
+
+std::size_t RadixTree::evict_lru_tier(std::size_t want, std::uint8_t tier) {
+  if (want == 0) return 0;
+  evict_heap_.clear();
+  for (NodeId id = 1; id < pool_.slots(); ++id) {
+    const Node& n = pool_[id];
+    if (evictable(n) && n.tier == tier)
+      evict_heap_.emplace_back(n.last_access, id);
+  }
+  const auto cmp = std::greater<>{};
+  std::make_heap(evict_heap_.begin(), evict_heap_.end(), cmp);
+  std::size_t evicted = 0;
+  while (evicted < want && !evict_heap_.empty()) {
+    std::pop_heap(evict_heap_.begin(), evict_heap_.end(), cmp);
+    const NodeId victim = evict_heap_.back().second;
+    evict_heap_.pop_back();
+    const NodeId parent = pool_[victim].parent;
+    remove_node(victim);
+    ++evicted;
+    if (parent != 0 && evictable(pool_[parent]) &&
+        pool_[parent].tier == tier) {
+      evict_heap_.emplace_back(pool_[parent].last_access, parent);
+      std::push_heap(evict_heap_.begin(), evict_heap_.end(), cmp);
+    }
+  }
+  return evicted;
+}
+
+void RadixTree::match_tier_tokens(std::span<const TokenId> tokens,
+                                  std::size_t& gpu, std::size_t& host,
+                                  std::size_t& disk) const {
+  NodeId cur = 0;
+  std::size_t offset = 0;
+  while (offset + block_size_ <= tokens.size()) {
+    const NodeId child = find_child(cur, tokens.subspan(offset, block_size_));
+    if (child == kNoNode) break;
+    switch (pool_[child].tier) {
+      case 0: gpu += block_size_; break;
+      case 1: host += block_size_; break;
+      default: disk += block_size_; break;
+    }
+    offset += block_size_;
+    cur = child;
+  }
+}
+
+void RadixTree::count_tiered(std::span<const NodeId> path, std::size_t& host,
+                             std::size_t& disk) const {
+  for (NodeId id : path) {
+    const std::uint8_t t = pool_[id].tier;
+    host += (t == 1);
+    disk += (t == 2);
+  }
+}
+
+void RadixTree::promote_path(std::span<const NodeId> path) {
+  for (NodeId id : path) pool_[id].tier = 0;
+}
+
+void RadixTree::hottest_leaves(std::size_t max_leaves,
+                               std::vector<NodeId>& out) const {
+  out.clear();
+  if (max_leaves == 0) return;
+  // (last_access, id) of every leaf, sorted most-recent-first with the
+  // lower id winning ties — deterministic regardless of slot layout.
+  std::vector<std::pair<std::uint64_t, NodeId>> leaves;
+  for (NodeId id = 1; id < pool_.slots(); ++id) {
+    const Node& n = pool_[id];
+    if (n.alive && n.children.empty()) leaves.emplace_back(n.last_access, id);
+  }
+  std::sort(leaves.begin(), leaves.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  if (leaves.size() > max_leaves) leaves.resize(max_leaves);
+  for (const auto& [age, id] : leaves) out.push_back(id);
+}
+
+void RadixTree::path_tokens(NodeId id, tokenizer::TokenSeq& out) const {
+  std::vector<NodeId> chain;
+  path_nodes(id, chain);
+  for (NodeId n : chain) {
+    const auto blk = block_span(n);
+    out.insert(out.end(), blk.begin(), blk.end());
+  }
+}
+
+void RadixTree::path_nodes(NodeId id, std::vector<NodeId>& out) const {
+  out.clear();
+  for (NodeId cur = id; cur != 0; cur = pool_[cur].parent) out.push_back(cur);
+  std::reverse(out.begin(), out.end());
 }
 
 }  // namespace llmq::cache

@@ -16,6 +16,17 @@
 // whose fan-out reaches kIndexMinFanout carry an open-addressed child
 // table that turns find_child into O(1) probes. Batch eviction is one
 // scan plus a min-heap instead of a rescan per victim.
+//
+// Tiers (DESIGN.md §13): each node carries a tier tag — 0 = GPU, 1 =
+// host DRAM, 2 = disk. A flat cache leaves every node at tier 0 and the
+// tier machinery is never touched. The tree maintains tier monotonicity
+// down every path (child.tier >= parent.tier): demotion always takes the
+// oldest unpinned block of a tier first, and recency is monotone down
+// paths (a child is strictly older than its parent because touches cover
+// root-down prefixes and clock stamps are unique), so a node's same-tier
+// children always demote before it; promotion covers root-down path
+// prefixes only. Pinned nodes are never demoted, which with promotion-
+// before-pin gives "pinned => GPU-resident" as a walked invariant.
 
 #include <cstdint>
 #include <memory>
@@ -77,11 +88,11 @@ class RadixTree {
                           std::vector<NodeId>& path);
 
   /// Bump recency of a path (cache read).
-  void touch(const std::vector<NodeId>& path, std::uint64_t now);
+  void touch(std::span<const NodeId> path, std::uint64_t now);
 
   /// Pin / unpin every node on a path (in-flight request holds its prefix).
-  void pin(const std::vector<NodeId>& path);
-  void unpin(const std::vector<NodeId>& path);
+  void pin(std::span<const NodeId> path);
+  void unpin(std::span<const NodeId> path);
 
   /// Evict up to `want` least-recently-used, unpinned leaves. Returns the
   /// number actually evicted (may be fewer if everything is pinned or has
@@ -108,6 +119,71 @@ class RadixTree {
   /// pin edges outstanding. PrefixCache cross-checks this against its own
   /// lease accounting in check_invariants().
   std::uint64_t total_ref_count() const;
+
+  // ---- Tier operations (no-ops on a flat, all-tier-0 tree). ----
+
+  /// Tier of one alive node (0 = GPU).
+  std::uint8_t node_tier(NodeId id) const { return pool_[id].tier; }
+
+  /// Recency stamp of one alive node (for cross-stripe recency merges —
+  /// stamps are globally unique, so the merged order is total).
+  std::uint64_t node_last_access(NodeId id) const {
+    return pool_[id].last_access;
+  }
+
+  /// Alive blocks currently at `tier` (ledger walk; O(slots)).
+  std::size_t tier_blocks(std::uint8_t tier) const;
+
+  /// last_access of the oldest unpinned block at `tier` (the next
+  /// demotion victim), or UINT64_MAX when none. Mirrors lru_age() for the
+  /// sharded owner's cross-stripe global-LRU demotion decision.
+  std::uint64_t demote_age(std::uint8_t tier) const;
+
+  /// Demote up to `want` oldest unpinned blocks from `from_tier` to
+  /// `from_tier + 1`. No structural change; returns blocks demoted.
+  /// Oldest-first order makes this tier-monotone by construction: an
+  /// unpinned node's same-tier children are strictly older (and unpinned,
+  /// since pins are monotone up paths), so they demote first.
+  std::size_t demote_lru(std::size_t want, std::uint8_t from_tier);
+
+  /// last_access of the oldest evictable (unpinned leaf) block at `tier`,
+  /// or UINT64_MAX when none. Companion of evict_lru_tier.
+  std::uint64_t evict_age(std::uint8_t tier) const;
+
+  /// Evict up to `want` LRU unpinned leaves restricted to `tier` (the
+  /// bottom tier sheds blocks for real; upper tiers demote instead).
+  /// Parents exposed as leaves join the heap only if they sit at `tier`.
+  std::size_t evict_lru_tier(std::size_t want, std::uint8_t tier);
+
+  /// Read-only walk of the longest cached prefix (exactly match_tokens'
+  /// traversal) that splits the matched tokens by the tier each block
+  /// currently sits in. The router's tier-aware affinity probe.
+  void match_tier_tokens(std::span<const TokenId> tokens, std::size_t& gpu,
+                         std::size_t& host, std::size_t& disk) const;
+
+  /// Count blocks of `path` at each non-GPU tier (no mutation).
+  void count_tiered(std::span<const NodeId> path, std::size_t& host,
+                    std::size_t& disk) const;
+
+  /// Set every node of `path` to tier 0. `path` must be a root-down path
+  /// prefix so tier monotonicity survives. The caller owns the GPU-pool
+  /// accounting for the blocks that moved.
+  void promote_path(std::span<const NodeId> path);
+
+  // ---- Migration support (donor-side hot-prefix extraction). ----
+
+  /// Ids of up to `max_leaves` most recently used leaves, most recent
+  /// first (ties toward the lower id). A leaf's root-down path is the
+  /// longest prefix it uniquely represents, so the hottest leaves name
+  /// the hottest prefixes a donor should stream to a warming peer.
+  void hottest_leaves(std::size_t max_leaves, std::vector<NodeId>& out) const;
+
+  /// Append the token sequence of the root-down path ending at `id` to
+  /// `out` (the raw bytes a migration actually transfers).
+  void path_tokens(NodeId id, tokenizer::TokenSeq& out) const;
+
+  /// Fill `out` with the root-down node path ending at `id`.
+  void path_nodes(NodeId id, std::vector<NodeId>& out) const;
 
   /// Node slots ever carved from the arena (high-water mark; never
   /// shrinks). The arena microbench asserts this stays flat across
@@ -143,6 +219,7 @@ class RadixTree {
     NodeId parent = kNoNode;
     std::uint32_t pos_in_parent = 0;  // index in parent's children vector
     std::uint32_t ref_count = 0;
+    std::uint8_t tier = 0;            // 0 = GPU, 1 = host, 2 = disk
     bool alive = false;
   };
 

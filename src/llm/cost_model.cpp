@@ -56,6 +56,19 @@ double CostModel::decode_step_seconds(
   return std::max(bw_time, compute_time);
 }
 
+double CostModel::promote_seconds(std::size_t host_blocks,
+                                  std::size_t disk_blocks,
+                                  std::size_t block_size) const {
+  double s = 0.0;
+  if (host_blocks > 0)
+    s += host_link.latency +
+         kv_bytes(host_blocks * block_size) / host_link.bandwidth;
+  if (disk_blocks > 0)
+    s += disk_link.latency +
+         kv_bytes(disk_blocks * block_size) / disk_link.bandwidth;
+  return s;
+}
+
 std::size_t CostModel::kv_pool_tokens() const {
   const double free_bytes = gpu_.total_memory() - model_.weight_bytes();
   if (free_bytes <= 0.0) return 0;

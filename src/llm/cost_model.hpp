@@ -25,6 +25,27 @@ class CostModel {
   const ModelSpec& model() const { return model_; }
   const GpuSpec& gpu() const { return gpu_; }
 
+  /// One interconnect link of the KV tier hierarchy (DESIGN.md §13):
+  /// effective bandwidth plus a fixed per-transfer setup latency.
+  struct TierLink {
+    double bandwidth = 0.0;  // bytes/s
+    double latency = 0.0;    // seconds, paid once per transfer batch
+  };
+
+  /// KV transfer links for tiered prefix caches. Host ~= PCIe gen4 x16
+  /// effective (~25 GB/s); disk ~= a datacenter NVMe read (~3.5 GB/s).
+  /// Mutable by benches/tests that sweep the hierarchy.
+  TierLink host_link{25.0e9, 50.0e-6};
+  TierLink disk_link{3.5e9, 100.0e-6};
+
+  /// Seconds to pull `host_blocks` + `disk_blocks` KV blocks (of
+  /// `block_size` tokens each) back into GPU memory — what a lower-tier
+  /// prefix hit costs before prefill can reuse it. Each source tier pays
+  /// its link latency once plus bytes over bandwidth; 0 when nothing
+  /// moved, so flat caches never charge.
+  double promote_seconds(std::size_t host_blocks, std::size_t disk_blocks,
+                         std::size_t block_size) const;
+
   /// FLOPs to prefill `new_tokens` given that the sequence already has
   /// `cached_tokens` of context in the KV cache (total length afterwards =
   /// cached_tokens + new_tokens).

@@ -20,6 +20,9 @@ cache::PrefixCache ServingEngine::make_session_cache(
   cc.capacity_blocks = 0;  // engine-enforced budget
   cc.enabled = config_.cache_enabled;
   cc.lock_stripes = lock_stripes;
+  cc.tiers = config_.cache_tiers;
+  cc.host_capacity_blocks = config_.host_capacity_blocks;
+  cc.disk_capacity_blocks = config_.disk_capacity_blocks;
   return cache::PrefixCache(cc);
 }
 

@@ -33,6 +33,18 @@ struct EngineConfig {
   /// Cap on KV pool blocks; 0 = derive from GPU memory minus weights.
   std::size_t kv_pool_blocks_override = 0;
 
+  /// Prefix-cache tier hierarchy (cache::CacheConfig::tiers). 1 = flat
+  /// GPU-only cache, bit-exact to the pre-tier build. 2 adds a host-DRAM
+  /// tier, 3 adds disk below it: GPU pressure demotes cold blocks down
+  /// instead of destroying them, a lower-tier hit is promoted back before
+  /// reuse, and the admission charges CostModel::promote_seconds into
+  /// TTFT (DESIGN.md §13).
+  std::size_t cache_tiers = 1;
+  /// Host / disk tier capacities in blocks; 0 = unlimited. Only read when
+  /// the corresponding tier exists.
+  std::size_t host_capacity_blocks = 0;
+  std::size_t disk_capacity_blocks = 0;
+
   /// Priority preemption (vLLM-style recompute mode): when the
   /// highest-priority admissible request is blocked on KV blocks or batch
   /// slots, the session may evict the lowest-effective-class running
@@ -111,6 +123,14 @@ struct EngineMetrics {
   /// request. Monolithic admission prefill shows up here as multi-second
   /// stalls under long-prompt traffic; chunking bounds it.
   double max_decode_stall_seconds = 0.0;
+  /// Tiered-cache promotion pricing (always 0 on a flat cache): blocks a
+  /// lookup pulled back from the host / disk tier, and the transfer time
+  /// admissions charged into the clock (hence into TTFT) for them. The
+  /// cache's own promoted_blocks counter additionally includes free
+  /// recompute refreshes; these fields are the PRICED subset.
+  std::uint64_t promoted_host_blocks = 0;
+  std::uint64_t promoted_disk_blocks = 0;
+  double promote_seconds = 0.0;
   cache::CacheStats cache;
 
   double prompt_cache_hit_rate() const {

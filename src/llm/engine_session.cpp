@@ -239,12 +239,15 @@ std::size_t EngineSession::try_admit() {
     const std::size_t private_blocks = ceil_div(private_tokens, bs);
     const std::size_t needed = new_shared + private_blocks;
 
+    // Budget against GPU-RESIDENT blocks only: lower-tier blocks occupy
+    // host/disk memory, not the KV pool. On a flat cache this is exactly
+    // resident_blocks(). A tiered evict() demotes instead of destroying.
     std::size_t used =
-        cache_.resident_blocks() + private_in_use_ + reserved_shared_;
+        cache_.gpu_resident_blocks() + private_in_use_ + reserved_shared_;
     if (used + needed > pool_blocks) {
       const std::size_t shortfall = used + needed - pool_blocks;
       cache_.evict(shortfall);
-      used = cache_.resident_blocks() + private_in_use_ + reserved_shared_;
+      used = cache_.gpu_resident_blocks() + private_in_use_ + reserved_shared_;
     }
     if (used + needed > pool_blocks) {
       trace(obs::EventKind::Defer, req.id, needed, used, pool_blocks,
@@ -266,6 +269,21 @@ std::size_t EngineSession::try_admit() {
         throw std::runtime_error(
             "ServingEngine: request cannot fit in KV memory even alone");
       break;  // wait for completions to free memory
+    }
+
+    // Tier promotion pricing: a lower-tier hit physically copied its KV
+    // back into GPU memory at lookup; the admission pays the transfer
+    // BEFORE any prefill reuse, so TTFT honestly includes it. (A lookup
+    // that promoted but then deferred pays nothing on retry — the blocks
+    // are already GPU-resident.) Zero on a flat cache: the clock advance
+    // below is bit-identical to the pre-tier build.
+    const double promote_s = engine_.cost_model().promote_seconds(
+        lease.promoted_host_blocks, lease.promoted_disk_blocks, bs);
+    if (promote_s > 0.0) {
+      now_ += promote_s;
+      metrics_.promote_seconds += promote_s;
+      metrics_.promoted_host_blocks += lease.promoted_host_blocks;
+      metrics_.promoted_disk_blocks += lease.promoted_disk_blocks;
     }
 
     // The uncached suffix to prefill (quadratic attention against the
@@ -563,6 +581,8 @@ void EngineSession::advance_to(double t) {
 obs::GaugeSample EngineSession::gauges() const {
   obs::GaugeSample g;
   g.kv_resident_blocks = cache_.resident_blocks();
+  g.kv_host_blocks = cache_.tier_resident_blocks(1);
+  g.kv_disk_blocks = cache_.tier_resident_blocks(2);
   g.kv_private_blocks = private_in_use_;
   g.kv_reserved_blocks = reserved_shared_;
   g.kv_pinned_blocks = cache_.pinned_blocks();

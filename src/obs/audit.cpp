@@ -53,6 +53,12 @@ AuditResult audit_trace(const TraceLog& log) {
   std::map<std::uint64_t, std::uint64_t> expected_child_prompt;
   std::uint64_t finish_output_sum = 0;
   std::int64_t last_window = -1;
+  // Per-track lower-tier residency re-derived from demote/promote/evict
+  // events (exactly-once tier transitions).
+  std::map<std::uint32_t, std::uint64_t> lower_resident;
+  // Active-replica count chained through ReplicaSpawn/ReplicaDrain; -1
+  // until the first elasticity event seeds it.
+  std::int64_t active_count = -1;
 
   for (const TraceEvent& e : log.events()) {
     // Monotone per-track clocks: replica tracks run on their session
@@ -205,7 +211,71 @@ AuditResult audit_trace(const TraceLog& log) {
         break;
       case EventKind::CacheEvict:
         out.cache_evicted_blocks += e.a;
+        if (e.b > 0) {  // bottom-tier overflow death on a tiered cache
+          std::uint64_t& low = lower_resident[e.replica];
+          if (e.a > low) {
+            fail("lower-tier eviction exceeds demoted residency: " + tag(e));
+            low = 0;
+          } else {
+            low -= e.a;
+          }
+          out.tier_evicted_blocks += e.a;
+        }
         break;
+      case EventKind::TierDemote: {
+        if (e.a == 0) fail("tier demote of zero blocks: " + tag(e));
+        if (e.b != e.c + 1 || e.b > 2)
+          fail("tier demote not one tier down: " + tag(e));
+        if (e.c == 0) {  // GPU -> host enters the lower tiers
+          lower_resident[e.replica] += e.a;
+          out.tier_demoted_blocks += e.a;
+        }
+        break;
+      }
+      case EventKind::TierPromote: {
+        const std::uint64_t up = e.a + e.b;
+        if (up == 0) fail("tier promote of zero blocks: " + tag(e));
+        std::uint64_t& low = lower_resident[e.replica];
+        if (up > low) {
+          fail("promoted blocks were never demoted on this track: " + tag(e));
+          low = 0;
+        } else {
+          low -= up;
+        }
+        out.tier_promoted_blocks += up;
+        break;
+      }
+      case EventKind::ReplicaSpawn: {
+        if (e.replica != kGlobalTrack)
+          fail("replica spawn off the global track: " + tag(e));
+        if (active_count >= 0 &&
+            static_cast<std::int64_t>(e.a) != active_count + 1)
+          fail("replica spawn does not chain the active count: " + tag(e));
+        active_count = static_cast<std::int64_t>(e.a);
+        ++out.replica_spawns;
+        break;
+      }
+      case EventKind::ReplicaDrain: {
+        if (e.replica != kGlobalTrack)
+          fail("replica drain off the global track: " + tag(e));
+        if (active_count >= 0 &&
+            static_cast<std::int64_t>(e.a) != active_count - 1)
+          fail("replica drain does not chain the active count: " + tag(e));
+        if (e.a == 0) fail("replica drain left zero active replicas: " + tag(e));
+        active_count = static_cast<std::int64_t>(e.a);
+        ++out.replica_drains;
+        break;
+      }
+      case EventKind::PrefixMigrate: {
+        if (e.replica != kGlobalTrack)
+          fail("prefix migrate off the global track: " + tag(e));
+        if (e.a == 0) fail("prefix migrate of zero blocks: " + tag(e));
+        if (e.b == e.c)
+          fail("prefix migrate donor == recipient: " + tag(e));
+        ++out.prefix_migrations;
+        out.migrated_blocks += e.a;
+        break;
+      }
       case EventKind::RouteDecision: {
         if (e.replica != kGlobalTrack)
           fail("route decision off the global track: " + tag(e));

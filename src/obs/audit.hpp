@@ -29,7 +29,15 @@
 //     Enqueue must carry a prompt at least the parent's prompt + output
 //     (a follow-up extends its own history, never truncates it);
 //   * exactly-once lookup stats: counted lookups are fresh lookups minus
-//     deferred-admission cancellations, never resume probes.
+//     deferred-admission cancellations, never resume probes;
+//   * exactly-once tier transitions: per track, blocks promoted to (or
+//     bottom-evicted from) a lower tier never exceed blocks demoted into
+//     the lower tiers, and an intra-lower demotion (host -> disk) steps
+//     exactly one tier down;
+//   * elasticity chaining: every ReplicaSpawn / ReplicaDrain advances the
+//     fleet's active count by exactly +-1 from the previous event, and a
+//     PrefixMigrate moves a positive block count between two distinct
+//     replicas on the global track.
 //
 // The re-derived totals are exposed so tests can equate them with
 // EngineMetrics; a future threaded runtime is validated by running this
@@ -72,6 +80,22 @@ struct AuditResult {
   std::uint64_t cache_inserted_blocks = 0;
   std::uint64_t cache_evicted_blocks = 0;
   std::int64_t pin_balance = 0;  // pins minus unpins; 0 at quiescence
+
+  // Re-derived tier ledgers (all zero on a flat-cache trace): every
+  // promoted or bottom-evicted lower-tier block must earlier have been
+  // demoted out of the GPU tier on the same track — the exactly-once
+  // tier-transition rule.
+  std::uint64_t tier_demoted_blocks = 0;   // GPU -> lower transitions
+  std::uint64_t tier_promoted_blocks = 0;  // lower -> GPU transitions
+  std::uint64_t tier_evicted_blocks = 0;   // died at a lower tier
+
+  // Elasticity events: ReplicaSpawn/ReplicaDrain must chain the active
+  // count (+1 / -1 per event); PrefixMigrate must move a positive block
+  // count between two distinct replicas.
+  std::size_t replica_spawns = 0;
+  std::size_t replica_drains = 0;
+  std::size_t prefix_migrations = 0;
+  std::uint64_t migrated_blocks = 0;
 
   std::size_t windows = 0;
   std::size_t route_decisions = 0;

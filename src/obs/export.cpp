@@ -152,7 +152,12 @@ std::string perfetto_trace_json(const TraceLog& log,
       case EventKind::CacheEvict:
       case EventKind::RouteDecision:
       case EventKind::WindowPlan:
-      case EventKind::TurnSpawn: {
+      case EventKind::TurnSpawn:
+      case EventKind::TierDemote:
+      case EventKind::TierPromote:
+      case EventKind::ReplicaSpawn:
+      case EventKind::ReplicaDrain:
+      case EventKind::PrefixMigrate: {
         event_common(w, to_string(e.kind), "i", e);
         w.key("s").value("t");  // thread-scoped instant
         w.key("args").begin_object();
@@ -192,6 +197,10 @@ std::string perfetto_trace_json(const TraceLog& log,
           static_cast<std::int64_t>(timeseries->kv_private_blocks[i]));
       w.key("reserved").value(
           static_cast<std::int64_t>(timeseries->kv_reserved_blocks[i]));
+      w.key("host").value(
+          static_cast<std::int64_t>(timeseries->kv_host_blocks[i]));
+      w.key("disk").value(
+          static_cast<std::int64_t>(timeseries->kv_disk_blocks[i]));
       w.key("pinned").value(
           static_cast<std::int64_t>(timeseries->kv_pinned_blocks[i]));
       w.end_object();

@@ -6,6 +6,8 @@ void TimeSeries::append(double t, std::uint32_t r, const GaugeSample& g) {
   time.push_back(t);
   replica.push_back(r);
   kv_resident_blocks.push_back(g.kv_resident_blocks);
+  kv_host_blocks.push_back(g.kv_host_blocks);
+  kv_disk_blocks.push_back(g.kv_disk_blocks);
   kv_private_blocks.push_back(g.kv_private_blocks);
   kv_reserved_blocks.push_back(g.kv_reserved_blocks);
   kv_pinned_blocks.push_back(g.kv_pinned_blocks);

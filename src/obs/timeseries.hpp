@@ -21,6 +21,10 @@ namespace llmq::obs {
 /// One replica's instantaneous gauge snapshot (EngineSession::gauges()).
 struct GaugeSample {
   std::uint64_t kv_resident_blocks = 0;  // shared cache-resident blocks
+                                         // (every tier; GPU share is
+                                         // resident - host - disk)
+  std::uint64_t kv_host_blocks = 0;      // resident at the host tier
+  std::uint64_t kv_disk_blocks = 0;      // resident at the disk tier
   std::uint64_t kv_private_blocks = 0;   // per-request private blocks
   std::uint64_t kv_reserved_blocks = 0;  // chunked-prefill reservations
   std::uint64_t kv_pinned_blocks = 0;    // cache blocks pinned by leases
@@ -49,6 +53,8 @@ class TimeSeries {
   std::vector<double> time;
   std::vector<std::uint32_t> replica;
   std::vector<std::uint64_t> kv_resident_blocks;
+  std::vector<std::uint64_t> kv_host_blocks;
+  std::vector<std::uint64_t> kv_disk_blocks;
   std::vector<std::uint64_t> kv_private_blocks;
   std::vector<std::uint64_t> kv_reserved_blocks;
   std::vector<std::uint64_t> kv_pinned_blocks;

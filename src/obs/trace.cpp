@@ -21,6 +21,11 @@ const char* to_string(EventKind k) {
     case EventKind::RouteDecision: return "route_decision";
     case EventKind::WindowPlan: return "window_plan";
     case EventKind::TurnSpawn: return "turn_spawn";
+    case EventKind::TierDemote: return "tier_demote";
+    case EventKind::TierPromote: return "tier_promote";
+    case EventKind::ReplicaSpawn: return "replica_spawn";
+    case EventKind::ReplicaDrain: return "replica_drain";
+    case EventKind::PrefixMigrate: return "prefix_migrate";
   }
   return "unknown";
 }

@@ -57,7 +57,9 @@ enum class EventKind : std::uint8_t {
   CacheCancelLookup,  // deferred request undid its lookup stats
                       // a=prompt_tokens b=hit_tokens (the internal release
                       // emits its own CacheRelease for the pins)
-  CacheEvict,    // LRU eviction             a=blocks evicted
+  CacheEvict,    // LRU eviction             a=blocks evicted b=tier they
+                 //                          died at (0=GPU, bottom-tier
+                 //                          overflow on a tiered cache)
   RouteDecision, // fleet routed a request   a=chosen replica b=peek tokens
                  //                          c=outstanding prompt tokens at
                  //                          the chosen replica (global track)
@@ -67,6 +69,20 @@ enum class EventKind : std::uint8_t {
                  //                          b=turn c=parent request id
                  //                          (global track, time = child's
                  //                          arrival time)
+  TierDemote,    // cold blocks pushed down  a=blocks b=destination tier
+                 //                          (1=host 2=disk) c=source tier
+  TierPromote,   // blocks pulled up to GPU  a=from host b=from disk
+                 //                          c=path blocks after; cls=1 when
+                 //                          a recompute refresh (unpriced)
+  ReplicaSpawn,  // replica activated        a=active replicas after
+                 //                          b=1 if warmed by migration
+                 //                          (global track)
+  ReplicaDrain,  // replica stopped routing  a=active replicas after
+                 //                          (global track)
+  PrefixMigrate, // hot prefixes landed      a=blocks transferred b=donor
+                 //                          c=recipient (global track,
+                 //                          time = dispatch observing
+                 //                          the landing)
 };
 
 const char* to_string(EventKind k);

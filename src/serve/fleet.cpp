@@ -34,6 +34,9 @@ llm::EngineMetrics aggregate_replica_engines(
     agg.chunked_prefill_tokens += m.chunked_prefill_tokens;
     agg.max_decode_stall_seconds =
         std::max(agg.max_decode_stall_seconds, m.max_decode_stall_seconds);
+    agg.promoted_host_blocks += m.promoted_host_blocks;
+    agg.promoted_disk_blocks += m.promoted_disk_blocks;
+    agg.promote_seconds += m.promote_seconds;
     agg.cache += m.cache;
   }
   return agg;
@@ -41,23 +44,154 @@ llm::EngineMetrics aggregate_replica_engines(
 
 ReplicaFleet::ReplicaFleet(const FleetConfig& config)
     : router_(config.router,
-              config.n_replicas ? config.n_replicas : 1) {
+              config.elasticity.enabled
+                  ? config.elasticity.ceiling(config.n_replicas)
+                  : (config.n_replicas ? config.n_replicas : 1)),
+      elastic_(config.elasticity),
+      block_size_(config.engine.block_size) {
   if (config.n_replicas == 0)
     throw std::invalid_argument("ReplicaFleet: n_replicas must be positive");
-  replicas_.reserve(config.n_replicas);
-  for (std::size_t r = 0; r < config.n_replicas; ++r)
+  const std::size_t total = elastic_.enabled
+                                ? elastic_.ceiling(config.n_replicas)
+                                : config.n_replicas;
+  replicas_.reserve(total);
+  for (std::size_t r = 0; r < total; ++r)
     replicas_.push_back(std::make_unique<Replica>(config));
-  counters_.resize(config.n_replicas);
+  counters_.resize(total);
+  active_.assign(total, 0);
+  draining_.assign(total, 0);
+  for (std::size_t r = 0; r < config.n_replicas; ++r) active_[r] = 1;
+}
+
+std::size_t ReplicaFleet::active_replicas() const {
+  std::size_t n = 0;
+  for (char a : active_) n += a ? 1u : 0u;
+  return n;
+}
+
+void ReplicaFleet::complete_migrations(double now) {
+  for (std::size_t i = 0; i < pending_.size();) {
+    PendingMigration& m = pending_[i];
+    if (m.land_time > now) {
+      ++i;
+      continue;
+    }
+    // The transfer landed: the recipient materializes the prefixes (no
+    // lookup/hit stats — migrated blocks must not count as prefix hits),
+    // then the donor's transfer pins come off so its LRU may finally
+    // evict them. Event time is the dispatch that OBSERVES the landing,
+    // not land_time itself: other global-track events (window plans)
+    // may have been emitted between land_time and this dispatch, and
+    // the trace contract keeps every track's clock monotone.
+    cache::PrefixCache& dst = replicas_[m.recipient]->cache;
+    for (const tokenizer::TokenSeq& p : m.batch.prefixes) dst.admit_migrated(p);
+    if (trace_)
+      trace_->emit({obs::EventKind::PrefixMigrate, 0, obs::kGlobalTrack,
+                    now, 0, m.batch.blocks, m.donor, m.recipient});
+    replicas_[m.donor]->cache.end_migration(m.batch);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+void ReplicaFleet::maybe_scale(double now) {
+  complete_migrations(now);
+  // A draining replica parks once its in-flight work AND any transfer it
+  // is party to have finished; its cache stays warm for re-activation.
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    if (!draining_[r] || replicas_[r]->session.has_work()) continue;
+    bool migrating = false;
+    for (const PendingMigration& m : pending_)
+      migrating |= (m.donor == r || m.recipient == r);
+    if (migrating) continue;
+    draining_[r] = 0;
+    active_[r] = 0;
+    if (trace_)
+      trace_->emit({obs::EventKind::ReplicaDrain, 0, obs::kGlobalTrack, now, 0,
+                    active_replicas(), 0, 0});
+  }
+  if (now - last_scale_ < elastic_.cooldown_seconds) return;
+  // Serving load: mean outstanding prompt tokens per active non-draining
+  // replica (a draining replica finishes its backlog but takes nothing
+  // new, so it neither serves nor counts).
+  std::size_t serving = 0, outstanding = 0;
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    if (!active_[r] || draining_[r]) continue;
+    ++serving;
+    outstanding += replicas_[r]->session.outstanding_prompt_tokens();
+  }
+  if (serving == 0) return;
+  const double mean =
+      static_cast<double>(outstanding) / static_cast<double>(serving);
+  if (elastic_.high_watermark_tokens > 0 &&
+      mean > static_cast<double>(elastic_.high_watermark_tokens)) {
+    std::size_t spawn = replicas_.size();
+    for (std::size_t r = 0; r < replicas_.size(); ++r)
+      if (!active_[r]) {
+        spawn = r;
+        break;
+      }
+    if (spawn == replicas_.size()) return;  // at the ceiling
+    active_[spawn] = 1;
+    last_scale_ = now;
+    bool warmed = false;
+    if (elastic_.migrate_max_blocks > 0) {
+      // Warm the spawn from the most-loaded serving peer (tie: lowest
+      // index). Until the transfer lands the spawn serves cold.
+      std::size_t donor = replicas_.size(), donor_out = 0;
+      for (std::size_t r = 0; r < replicas_.size(); ++r) {
+        if (!active_[r] || draining_[r] || r == spawn) continue;
+        const std::size_t o =
+            replicas_[r]->session.outstanding_prompt_tokens();
+        if (donor == replicas_.size() || o > donor_out) {
+          donor = r;
+          donor_out = o;
+        }
+      }
+      if (donor < replicas_.size()) {
+        cache::PrefixCache::MigrationBatch batch =
+            replicas_[donor]->cache.begin_migration(
+                elastic_.migrate_max_blocks);
+        if (batch.blocks > 0) {
+          // Inter-replica KV streaming priced like a host-tier transfer.
+          const double land =
+              now + replicas_[donor]->engine.cost_model().promote_seconds(
+                        batch.blocks, 0, block_size_);
+          warmed = true;
+          pending_.push_back({donor, spawn, std::move(batch), land});
+        } else {
+          replicas_[donor]->cache.end_migration(batch);
+        }
+      }
+    }
+    if (trace_)
+      trace_->emit({obs::EventKind::ReplicaSpawn, 0, obs::kGlobalTrack, now, 0,
+                    active_replicas(), warmed ? 1u : 0u, 0});
+    return;
+  }
+  if (elastic_.low_watermark_tokens > 0 && serving > elastic_.min_replicas &&
+      mean < static_cast<double>(elastic_.low_watermark_tokens)) {
+    // Drain the highest-index serving replica; ReplicaDrain is emitted
+    // when it actually parks, above.
+    for (std::size_t r = replicas_.size(); r-- > 0;) {
+      if (active_[r] && !draining_[r]) {
+        draining_[r] = 1;
+        last_scale_ = now;
+        break;
+      }
+    }
+  }
 }
 
 std::size_t ReplicaFleet::dispatch(llm::Request req, std::uint32_t tenant,
                                    double now) {
+  if (elastic_.enabled) maybe_scale(now);
   const std::size_t n_rep = replicas_.size();
   views_.resize(n_rep);  // member buffer: dispatch is the per-request hot path
   for (std::size_t r = 0; r < n_rep; ++r) {
     views_[r].cache = &replicas_[r]->session.cache();
     views_[r].outstanding_prompt_tokens =
         replicas_[r]->session.outstanding_prompt_tokens();
+    views_[r].draining = !active_[r] || draining_[r] != 0;
   }
   const std::size_t target = router_.route(req.prompt, tenant, views_);
   Replica& rep = *replicas_[target];
@@ -78,15 +212,18 @@ std::size_t ReplicaFleet::dispatch(llm::Request req, std::uint32_t tenant,
   ++counters_[target].requests;
   rep.session.submit(std::move(req));
 
-  // Outstanding-load imbalance, sampled after every routing decision.
-  std::size_t max_out = 0, sum_out = 0;
+  // Outstanding-load imbalance over the active set, sampled after every
+  // routing decision (every replica is active in a fixed-size fleet).
+  std::size_t max_out = 0, sum_out = 0, n_act = 0;
   for (std::size_t r = 0; r < n_rep; ++r) {
+    if (!active_[r]) continue;
     const std::size_t o = replicas_[r]->session.outstanding_prompt_tokens();
     max_out = std::max(max_out, o);
     sum_out += o;
+    ++n_act;
   }
   const double mean_out =
-      static_cast<double>(sum_out) / static_cast<double>(n_rep);
+      static_cast<double>(sum_out) / static_cast<double>(n_act);
   imbalance_sum_ += static_cast<double>(max_out) / mean_out;
   ++imbalance_samples_;
   return target;

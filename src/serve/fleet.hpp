@@ -11,7 +11,9 @@
 //     queries submit their per-row invocations into the same fleet.
 //
 // The fleet owns routing, per-replica submission, the merged-clock frontier
-// rule, per-replica attribution counters, and the outstanding-load
+// rule, per-replica attribution counters, elasticity (watermark-driven
+// scale-up/down with warm-spawn prefix migration — see ElasticityConfig),
+// and the outstanding-load
 // imbalance sampling; drivers own arrival semantics (what to dispatch
 // when) and completion bookkeeping. The clock-merge rule is documented in
 // online.hpp and DESIGN.md §3.1 and is unchanged by the extraction — the
@@ -28,6 +30,54 @@
 
 namespace llmq::serve {
 
+/// Elastic fleet sizing (DESIGN.md §13): the fleet pre-constructs
+/// `max_replicas` replicas but only the first n_replicas start active.
+/// Load watermarks — mean outstanding prompt tokens per serving replica,
+/// evaluated at every dispatch — drive scale decisions:
+///
+///   * mean > high watermark: activate the lowest-index parked replica.
+///     With migrate_max_blocks > 0 the spawn is WARM: the most-loaded
+///     serving peer donates its hottest root-down prefixes
+///     (PrefixCache::begin_migration), the transfer is priced like a
+///     host-tier link (CostModel::promote_seconds), and only when it
+///     lands does the recipient admit the prefixes (admit_migrated) and
+///     the donor release its transfer pins (end_migration) — so donor
+///     eviction of in-flight blocks is deferred and nothing is
+///     double-counted as a prefix hit.
+///   * mean < low watermark (and more than min_replicas serving): the
+///     highest-index serving replica starts DRAINING — it finishes its
+///     in-flight work but every router policy steers new requests around
+///     it; once idle it parks (leaves the active set, cache kept warm).
+///
+/// All decisions happen at dispatch points as a pure function of fleet
+/// state and the merged clock, so the virtual-clock and threaded drivers
+/// scale bit-identically. Disabled (the default) leaves every code path
+/// byte-for-byte the fixed-size fleet.
+struct ElasticityConfig {
+  bool enabled = false;
+  /// Scale-down floor: never drain below this many serving replicas.
+  std::size_t min_replicas = 1;
+  /// Replica ceiling (pre-constructed); 0 = n_replicas (no headroom).
+  std::size_t max_replicas = 0;
+  /// Scale up when mean outstanding prompt tokens per serving replica
+  /// exceeds this. 0 disables scale-up.
+  std::size_t high_watermark_tokens = 0;
+  /// Scale down when the mean falls below this. 0 disables scale-down.
+  std::size_t low_watermark_tokens = 0;
+  /// Hot-prefix budget migrated into a newly activated replica from the
+  /// most-loaded peer. 0 = cold spawns.
+  std::size_t migrate_max_blocks = 0;
+  /// Minimum virtual seconds between scale decisions (completed
+  /// migrations and drain-parking are not decisions and never wait).
+  double cooldown_seconds = 0.0;
+
+  /// Total replicas a fleet constructs for `n_replicas` initial actives.
+  std::size_t ceiling(std::size_t n_replicas) const {
+    const std::size_t cap = max_replicas ? max_replicas : n_replicas;
+    return cap > n_replicas ? cap : n_replicas;
+  }
+};
+
 /// One replica's configuration is `engine` + `model` + `gpu`; n_replicas
 /// scales the fleet (use scale_kv_pool to divide a fixed total budget).
 struct FleetConfig {
@@ -36,6 +86,7 @@ struct FleetConfig {
   llm::GpuSpec gpu = llm::l4();
   std::size_t n_replicas = 1;
   RouterPolicy router = RouterPolicy::PrefixAffinity;
+  ElasticityConfig elasticity;
 
   /// Shrink each replica's KV pool to `fraction` of the GPU-derived
   /// capacity (same scaling contract as query::ExecConfig::scale_kv_pool).
@@ -104,6 +155,13 @@ class ReplicaFleet {
     return replicas_[r]->session;
   }
 
+  /// Elasticity observers (constant under a disabled ElasticityConfig:
+  /// every replica active, none draining, nothing pending).
+  std::size_t active_replicas() const;
+  bool replica_active(std::size_t r) const { return active_[r] != 0; }
+  bool replica_draining(std::size_t r) const { return draining_[r] != 0; }
+  std::size_t pending_migrations() const { return pending_.size(); }
+
   /// Bind an event sink: each replica session (and its cache) emits on
   /// track r; dispatch() additionally emits a RouteDecision per request
   /// on the global track (the merged driver clock can be ahead of a busy
@@ -126,11 +184,32 @@ class ReplicaFleet {
           session(engine, cache) {}
   };
 
+  /// One in-flight warm-spawn transfer: the donor's batch (its leases pin
+  /// the donor blocks until the transfer lands) and the virtual landing
+  /// time, priced over the inter-replica link.
+  struct PendingMigration {
+    std::size_t donor = 0;
+    std::size_t recipient = 0;
+    cache::PrefixCache::MigrationBatch batch;
+    double land_time = 0.0;
+  };
+
+  /// Dispatch-point elasticity hook: lands due migrations, parks idle
+  /// draining replicas, then applies at most one watermark decision.
+  void maybe_scale(double now);
+  void complete_migrations(double now);
+
   std::vector<std::unique_ptr<Replica>> replicas_;
   Router router_;
   obs::TraceSink* trace_ = nullptr;
   std::vector<ReplicaMetrics> counters_;  // engine filled by replica_metrics
   std::vector<Router::ReplicaView> views_;  // reused per-dispatch buffer
+  ElasticityConfig elastic_;
+  std::size_t block_size_ = 16;
+  std::vector<char> active_;
+  std::vector<char> draining_;
+  std::vector<PendingMigration> pending_;
+  double last_scale_ = -1.0e300;  // cooldown anchor
   double imbalance_sum_ = 0.0;
   std::size_t imbalance_samples_ = 0;
 };

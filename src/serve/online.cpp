@@ -38,6 +38,7 @@ FleetConfig OnlineConfig::fleet() const {
   f.gpu = gpu;
   f.n_replicas = n_replicas;
   f.router = router;
+  f.elasticity = elasticity;
   return f;
 }
 
@@ -46,7 +47,7 @@ OnlineRunResult run_online(const table::Table& t, const table::FdSet& fds,
                            const OnlineConfig& config) {
   if (config.n_replicas == 0)
     throw std::invalid_argument("run_online: n_replicas must be positive");
-  if (config.n_replicas > 1)
+  if (config.n_replicas > 1 || config.elasticity.enabled)
     return run_online_replicated(t, fds, arrivals, config);
 
   OnlineRunResult out;

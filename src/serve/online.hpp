@@ -100,6 +100,11 @@ struct OnlineConfig {
   std::size_t n_replicas = 1;
   /// How scheduled requests are assigned to replicas (see router.hpp).
   RouterPolicy router = RouterPolicy::PrefixAffinity;
+  /// Elastic fleet sizing (fleet.hpp): watermark-driven scale-up/down
+  /// with warm-spawn prefix migration. n_replicas is the INITIAL active
+  /// count; the fleet may grow to elasticity.max_replicas. Enabling this
+  /// routes even n_replicas == 1 runs through the replicated driver.
+  ElasticityConfig elasticity;
 
   /// Observability: optional event sink + time-series sampler threaded
   /// through every component the run constructs (sessions, caches,
@@ -180,7 +185,8 @@ struct OnlineRunResult {
   std::vector<std::size_t> per_tenant;
 
   /// Per-replica breakdown; size == n_replicas (size 1 for the single
-  /// path).
+  /// path; the elasticity ceiling when elastic scaling is enabled —
+  /// replicas that never activated report all-zero slices).
   std::vector<ReplicaMetrics> replicas;
   /// Per-priority-class breakdown (always kNumPriorityClasses entries in
   /// class order) — the headline view for preemptive scheduling: did

@@ -19,8 +19,14 @@
 //                      affinity without probing, blind to load and to
 //                      cross-tenant sharing;
 //   * PrefixAffinity — probe every replica's radix tree with the
-//                      read-only PrefixCache::peek() path and pick the
-//                      longest cached prefix, tie-breaking by load; when
+//                      read-only PrefixCache::peek_tiers() path and pick
+//                      the best TIER-WEIGHTED cached prefix (a GPU-
+//                      resident hit outranks a host hit outranks a disk
+//                      hit: score = 4*gpu + 2*host + 1*disk matched
+//                      tokens — on a flat cache that is 4*peek(), a
+//                      monotone transform, so flat routing is identical
+//                      to the historical longest-prefix rule including
+//                      every tie), tie-breaking by load; when
 //                      nothing is cached anywhere it falls back to the
 //                      tenant hash (not load), so a cold same-prefix
 //                      burst lands on one replica instead of being dealt
@@ -54,10 +60,15 @@ std::optional<RouterPolicy> router_policy_from_string(const std::string& name);
 class Router {
  public:
   /// What the router may see of a replica at routing time: a read-only
-  /// cache handle to probe and the replica's outstanding prompt tokens.
+  /// cache handle to probe, the replica's outstanding prompt tokens, and
+  /// whether it is draining (scale-down in progress: it finishes its
+  /// in-flight work but must receive nothing new). Every policy routes
+  /// around draining replicas; with none draining the behavior is
+  /// bit-identical to the pre-elasticity router.
   struct ReplicaView {
     const cache::PrefixCache* cache = nullptr;  // nullptr = never probed
     std::size_t outstanding_prompt_tokens = 0;
+    bool draining = false;
   };
 
   /// Throws std::invalid_argument when `n_replicas` is zero.

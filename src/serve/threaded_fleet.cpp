@@ -15,19 +15,44 @@ namespace llmq::serve {
 
 ThreadedFleet::ThreadedFleet(const FleetConfig& config,
                              ThreadedFleetOptions options)
-    : router_(config.router, config.n_replicas ? config.n_replicas : 1) {
+    : router_(config.router,
+              config.elasticity.enabled
+                  ? config.elasticity.ceiling(config.n_replicas)
+                  : (config.n_replicas ? config.n_replicas : 1)),
+      elastic_(config.elasticity),
+      block_size_(config.engine.block_size) {
   if (config.n_replicas == 0)
     throw std::invalid_argument("ThreadedFleet: n_replicas must be positive");
-  replicas_.reserve(config.n_replicas);
-  for (std::size_t r = 0; r < config.n_replicas; ++r)
+  const std::size_t total = elastic_.enabled
+                                ? elastic_.ceiling(config.n_replicas)
+                                : config.n_replicas;
+  replicas_.reserve(total);
+  for (std::size_t r = 0; r < total; ++r)
     replicas_.push_back(std::make_unique<Replica>(config, options));
-  counters_.resize(config.n_replicas);
-  clock_view_.assign(config.n_replicas, 0.0);
-  busy_view_.assign(config.n_replicas, 0);
-  outstanding_view_.assign(config.n_replicas, 0);
-  // Spawn workers only once every Replica is at its final address.
-  for (auto& rep : replicas_)
-    rep->thread = std::thread(&ThreadedFleet::worker_main, std::ref(*rep));
+  counters_.resize(total);
+  clock_view_.assign(total, 0.0);
+  busy_view_.assign(total, 0);
+  outstanding_view_.assign(total, 0);
+  active_.assign(total, 0);
+  draining_.assign(total, 0);
+  for (std::size_t r = 0; r < config.n_replicas; ++r) active_[r] = 1;
+
+  // Thread cap: leave one core for the driver, never exceed one worker
+  // per replica. Replica i belongs to worker i % T.
+  std::size_t cap = options.max_threads;
+  if (cap == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    cap = hc > 1 ? static_cast<std::size_t>(hc) - 1 : 1;
+  }
+  const std::size_t n_workers = std::min(total, cap);
+  workers_.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w)
+    workers_.push_back(std::make_unique<Worker>(options.inbox_capacity, total));
+  for (std::size_t r = 0; r < total; ++r)
+    workers_[r % n_workers]->owned.push_back(replicas_[r].get());
+  // Spawn threads only once every Worker is at its final address.
+  for (auto& w : workers_)
+    w->thread = std::thread(&ThreadedFleet::worker_main, std::ref(*w));
 }
 
 ThreadedFleet::~ThreadedFleet() { shutdown(); }
@@ -35,13 +60,13 @@ ThreadedFleet::~ThreadedFleet() { shutdown(); }
 void ThreadedFleet::shutdown() {
   if (stopped_) return;
   stopped_ = true;
-  for (auto& rep : replicas_) {
+  for (auto& w : workers_) {
     WorkerMsg stop;
     stop.kind = WorkerMsg::Kind::Stop;
-    rep->inbox.push(std::move(stop));
+    w->inbox.push(std::move(stop));
   }
-  for (auto& rep : replicas_)
-    if (rep->thread.joinable()) rep->thread.join();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
 }
 
 void ThreadedFleet::set_trace(obs::OrderedTraceMerger* merger) {
@@ -54,13 +79,14 @@ void ThreadedFleet::set_trace(obs::OrderedTraceMerger* merger) {
                                     static_cast<std::uint32_t>(r));
 }
 
-void ThreadedFleet::worker_main(Replica& r) {
-  std::vector<StepRec> recs;
+void ThreadedFleet::worker_main(Worker& w) {
   WorkerMsg m;
-  while (r.inbox.pop(m)) {
+  while (w.inbox.pop(m)) {
+    if (m.kind == WorkerMsg::Kind::Stop) return;
+    Replica& r = *m.rep;  // a slot this worker owns
     switch (m.kind) {
       case WorkerMsg::Kind::Stop:
-        return;
+        return;  // handled above; keeps -Wswitch exhaustive
       case WorkerMsg::Kind::Submit: {
         StepRec rec;
         rec.is_submit = true;
@@ -72,7 +98,7 @@ void ThreadedFleet::worker_main(Replica& r) {
         if (!r.session.has_work()) r.session.advance_to(m.time);
         r.session.submit(std::move(m.req));
         rec.trace_end = r.local_trace.size();
-        recs.push_back(std::move(rec));
+        r.recs.push_back(std::move(rec));
         break;
       }
       case WorkerMsg::Kind::Run: {
@@ -86,15 +112,124 @@ void ThreadedFleet::worker_main(Replica& r) {
           llm::EngineSession::StepEvents ev = r.session.step();
           rec.trace_end = r.local_trace.size();
           rec.completed = std::move(ev.completed);
-          recs.push_back(std::move(rec));
+          r.recs.push_back(std::move(rec));
         }
         EpochReport rep;
-        rep.recs = std::move(recs);
-        recs = std::vector<StepRec>();
+        rep.replica = m.replica;
+        rep.recs = std::move(r.recs);
+        r.recs = std::vector<StepRec>();
         rep.clock = r.session.now();
         rep.has_work = r.session.has_work();
         rep.outstanding = r.session.outstanding_prompt_tokens();
-        r.outbox.push(std::move(rep));
+        w.outbox.push(std::move(rep));
+        break;
+      }
+    }
+  }
+}
+
+std::size_t ThreadedFleet::active_replicas() const {
+  std::size_t n = 0;
+  for (char a : active_) n += a ? 1u : 0u;
+  return n;
+}
+
+void ThreadedFleet::complete_migrations(double now) {
+  // Driver-thread mirror of ReplicaFleet::complete_migrations. Dispatch
+  // runs in barrier context — workers only enqueue submits between
+  // barriers, never touch their caches — and the caches are striped, so
+  // these cache calls race with nothing.
+  for (std::size_t i = 0; i < pending_.size();) {
+    PendingMigration& m = pending_[i];
+    if (m.land_time > now) {
+      ++i;
+      continue;
+    }
+    cache::PrefixCache& dst = replicas_[m.recipient]->cache;
+    for (const tokenizer::TokenSeq& p : m.batch.prefixes) dst.admit_migrated(p);
+    if (merger_)
+      merger_->emit({obs::EventKind::PrefixMigrate, 0, obs::kGlobalTrack,
+                     now, 0, m.batch.blocks, m.donor, m.recipient});
+    replicas_[m.donor]->cache.end_migration(m.batch);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+void ThreadedFleet::maybe_scale(double now) {
+  // Mirror of ReplicaFleet::maybe_scale over the driver-side session
+  // mirrors (exact at dispatch points), so both runtimes take the same
+  // decision at the same request — the bit-identity contract.
+  complete_migrations(now);
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    if (!draining_[r] || busy_view_[r]) continue;
+    bool migrating = false;
+    for (const PendingMigration& m : pending_)
+      migrating |= (m.donor == r || m.recipient == r);
+    if (migrating) continue;
+    draining_[r] = 0;
+    active_[r] = 0;
+    if (merger_)
+      merger_->emit({obs::EventKind::ReplicaDrain, 0, obs::kGlobalTrack, now,
+                     0, active_replicas(), 0, 0});
+  }
+  if (now - last_scale_ < elastic_.cooldown_seconds) return;
+  std::size_t serving = 0, outstanding = 0;
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    if (!active_[r] || draining_[r]) continue;
+    ++serving;
+    outstanding += outstanding_view_[r];
+  }
+  if (serving == 0) return;
+  const double mean =
+      static_cast<double>(outstanding) / static_cast<double>(serving);
+  if (elastic_.high_watermark_tokens > 0 &&
+      mean > static_cast<double>(elastic_.high_watermark_tokens)) {
+    std::size_t spawn = replicas_.size();
+    for (std::size_t r = 0; r < replicas_.size(); ++r)
+      if (!active_[r]) {
+        spawn = r;
+        break;
+      }
+    if (spawn == replicas_.size()) return;  // at the ceiling
+    active_[spawn] = 1;
+    last_scale_ = now;
+    bool warmed = false;
+    if (elastic_.migrate_max_blocks > 0) {
+      std::size_t donor = replicas_.size(), donor_out = 0;
+      for (std::size_t r = 0; r < replicas_.size(); ++r) {
+        if (!active_[r] || draining_[r] || r == spawn) continue;
+        const std::size_t o = outstanding_view_[r];
+        if (donor == replicas_.size() || o > donor_out) {
+          donor = r;
+          donor_out = o;
+        }
+      }
+      if (donor < replicas_.size()) {
+        cache::PrefixCache::MigrationBatch batch =
+            replicas_[donor]->cache.begin_migration(
+                elastic_.migrate_max_blocks);
+        if (batch.blocks > 0) {
+          const double land =
+              now + replicas_[donor]->engine.cost_model().promote_seconds(
+                        batch.blocks, 0, block_size_);
+          warmed = true;
+          pending_.push_back({donor, spawn, std::move(batch), land});
+        } else {
+          replicas_[donor]->cache.end_migration(batch);
+        }
+      }
+    }
+    if (merger_)
+      merger_->emit({obs::EventKind::ReplicaSpawn, 0, obs::kGlobalTrack, now,
+                     0, active_replicas(), warmed ? 1u : 0u, 0});
+    return;
+  }
+  if (elastic_.low_watermark_tokens > 0 && serving > elastic_.min_replicas &&
+      mean < static_cast<double>(elastic_.low_watermark_tokens)) {
+    for (std::size_t r = replicas_.size(); r-- > 0;) {
+      if (active_[r] && !draining_[r]) {
+        draining_[r] = 1;
+        last_scale_ = now;
         break;
       }
     }
@@ -103,6 +238,7 @@ void ThreadedFleet::worker_main(Replica& r) {
 
 std::size_t ThreadedFleet::dispatch(llm::Request req, std::uint32_t tenant,
                                     double now) {
+  if (elastic_.enabled) maybe_scale(now);
   const std::size_t n_rep = replicas_.size();
   views_.resize(n_rep);
   for (std::size_t r = 0; r < n_rep; ++r) {
@@ -110,6 +246,7 @@ std::size_t ThreadedFleet::dispatch(llm::Request req, std::uint32_t tenant,
     // The mirror equals session.outstanding_prompt_tokens() at sequential
     // dispatch time: barrier value plus this barrier's earlier submits.
     views_[r].outstanding_prompt_tokens = outstanding_view_[r];
+    views_[r].draining = !active_[r] || draining_[r] != 0;
   }
   const std::size_t target = router_.route(req.prompt, tenant, views_);
   if (merger_) {
@@ -132,20 +269,24 @@ std::size_t ThreadedFleet::dispatch(llm::Request req, std::uint32_t tenant,
 
   WorkerMsg msg;
   msg.kind = WorkerMsg::Kind::Submit;
+  msg.rep = replicas_[target].get();
+  msg.replica = target;
   msg.req = std::move(req);
   msg.time = now;
-  replicas_[target]->inbox.push(std::move(msg));
+  owner(target).inbox.push(std::move(msg));
 
-  // Outstanding-load imbalance, sampled after every routing decision —
-  // post-submit values, as in ReplicaFleet::dispatch.
-  std::size_t max_out = 0, sum_out = 0;
+  // Outstanding-load imbalance over the active set, sampled after every
+  // routing decision — post-submit values, as in ReplicaFleet::dispatch.
+  std::size_t max_out = 0, sum_out = 0, n_act = 0;
   for (std::size_t r = 0; r < n_rep; ++r) {
+    if (!active_[r]) continue;
     const std::size_t o = outstanding_view_[r];
     max_out = std::max(max_out, o);
     sum_out += o;
+    ++n_act;
   }
   const double mean_out =
-      static_cast<double>(sum_out) / static_cast<double>(n_rep);
+      static_cast<double>(sum_out) / static_cast<double>(n_act);
   imbalance_sum_ += static_cast<double>(max_out) / mean_out;
   ++imbalance_samples_;
   return target;
@@ -171,19 +312,27 @@ double ThreadedFleet::frontier(double now) const {
 
 std::vector<llm::RequestResult> ThreadedFleet::run_epoch(double t_limit) {
   const std::size_t n_rep = replicas_.size();
-  for (auto& rep : replicas_) {
+  for (std::size_t r = 0; r < n_rep; ++r) {
     WorkerMsg run;
     run.kind = WorkerMsg::Kind::Run;
+    run.rep = replicas_[r].get();
+    run.replica = r;
     run.time = t_limit;
-    rep->inbox.push(std::move(run));
+    owner(r).inbox.push(std::move(run));
   }
-  // The barrier: one report per worker. After its report a worker is
-  // parked on an empty inbox, so the driver may touch its session, cache,
-  // and trace buffer until the next message is pushed.
+  // The barrier: one report per replica slot, collected worker by worker
+  // (reports carry their replica tag, so collection order is free). After
+  // its last report a worker is parked on an empty inbox, so the driver
+  // may touch its sessions, caches, and trace buffers until the next
+  // message is pushed.
   std::vector<EpochReport> reports(n_rep);
-  for (std::size_t r = 0; r < n_rep; ++r) {
-    if (!replicas_[r]->outbox.pop(reports[r]))
-      throw std::logic_error("ThreadedFleet: worker exited mid-epoch");
+  for (auto& w : workers_) {
+    for (std::size_t k = 0; k < w->owned.size(); ++k) {
+      EpochReport rep;
+      if (!w->outbox.pop(rep))
+        throw std::logic_error("ThreadedFleet: worker exited mid-epoch");
+      reports[rep.replica] = std::move(rep);
+    }
   }
 
   // 1. Fill the Enqueue placeholders reserved at dispatch (keyed by

@@ -1,5 +1,6 @@
 #pragma once
-// Real-threads fleet runtime: one worker thread per replica, driven in
+// Real-threads fleet runtime: a capped pool of worker threads (by default
+// hardware_concurrency - 1, at most one per replica) driven in
 // deterministic epochs, bit-identical to the virtual-clock oracle.
 //
 // ReplicaFleet (fleet.hpp) interleaves N replica sessions on one OS
@@ -8,8 +9,11 @@
 // recovers the exact same execution — every result field, ledger, trace
 // byte, and gauge row — from the following protocol:
 //
-//   Ownership. Each worker thread exclusively owns its replica's
-//   ServingEngine, EngineSession, and TraceLog between barriers. The
+//   Ownership. Each worker thread exclusively owns its replicas'
+//   ServingEngine, EngineSession, and TraceLog between barriers (a worker
+//   owns every replica index congruent to it modulo the thread count and
+//   services them sequentially — multiplexing changes wall-clock
+//   parallelism only, never the per-replica execution). The
 //   driver thread owns the scheduler, router, arrival stream, sample
 //   clock, result assembly, and per-replica mirrors of each session's
 //   (clock, busy, outstanding-tokens) state. The PrefixCache is the one
@@ -73,11 +77,21 @@ struct ThreadedFleetOptions {
   /// Bounded capacity of each worker's admission/command inbox. Overflow
   /// only blocks the driver momentarily — workers drain continuously.
   std::size_t inbox_capacity = 1024;
+  /// Worker-thread ceiling; 0 = one less than
+  /// std::thread::hardware_concurrency() (floor 1), leaving a core for
+  /// the driver. When the fleet has more replicas than workers, replica i
+  /// is owned by worker i % T and its slots are serviced sequentially in
+  /// inbox order — pure multiplexing, so every simulated number stays
+  /// bit-identical to the one-thread-per-replica runtime (pinned in
+  /// tests/threaded/).
+  std::size_t max_threads = 0;
 };
 
 class ThreadedFleet {
  public:
-  /// Spawns one worker thread per replica (parked until messages arrive).
+  /// Spawns min(n_replicas, max_threads) worker threads (parked until
+  /// messages arrive); replicas beyond the thread cap are multiplexed
+  /// onto the existing workers (ThreadedFleetOptions::max_threads).
   /// Throws std::invalid_argument when config.n_replicas == 0.
   ThreadedFleet(const FleetConfig& config, ThreadedFleetOptions options = {});
   ~ThreadedFleet();
@@ -124,12 +138,22 @@ class ThreadedFleet {
   /// Stop and join every worker. Idempotent; the destructor calls it.
   void shutdown();
 
+  /// Elasticity observers, mirror of ReplicaFleet's (driver state).
+  std::size_t active_replicas() const;
+  bool replica_active(std::size_t r) const { return active_[r] != 0; }
+  bool replica_draining(std::size_t r) const { return draining_[r] != 0; }
+  std::size_t pending_migrations() const { return pending_.size(); }
+
  private:
+  struct Replica;
+
   struct WorkerMsg {
     enum class Kind { Submit, Run, Stop };
     Kind kind = Kind::Stop;
-    llm::Request req;   // Submit payload
-    double time = 0.0;  // Submit: dispatch instant; Run: epoch limit
+    Replica* rep = nullptr;   // target replica (null for Stop)
+    std::size_t replica = 0;  // its fleet index (EpochReport tag)
+    llm::Request req;         // Submit payload
+    double time = 0.0;        // Submit: dispatch instant; Run: epoch limit
   };
 
   /// One worker-side action (a Submit admission or one session step),
@@ -144,6 +168,7 @@ class ThreadedFleet {
   };
 
   struct EpochReport {
+    std::size_t replica = 0;  // fleet index (WorkerMsg::replica echo)
     std::vector<StepRec> recs;
     double clock = 0.0;
     bool has_work = false;
@@ -155,21 +180,47 @@ class ThreadedFleet {
     cache::PrefixCache cache;
     llm::EngineSession session;
     obs::TraceLog local_trace;
-    util::MpscQueue<WorkerMsg> inbox;
-    util::MpscQueue<EpochReport> outbox;
-    std::thread thread;
+    std::vector<StepRec> recs;  // owner-worker accumulation, per epoch
 
     Replica(const FleetConfig& config, const ThreadedFleetOptions& options)
         : engine(llm::CostModel(config.model, config.gpu), config.engine),
           cache(engine.make_session_cache(options.cache_lock_stripes)),
-          session(engine, cache),
-          inbox(options.inbox_capacity),
-          outbox(4) {}
+          session(engine, cache) {}
   };
 
-  static void worker_main(Replica& r);
+  /// One worker thread multiplexing the replica slots it owns: every
+  /// message names its target replica, so a single inbox both parks the
+  /// worker and serializes its slots in driver push order.
+  struct Worker {
+    util::MpscQueue<WorkerMsg> inbox;
+    util::MpscQueue<EpochReport> outbox;
+    std::vector<Replica*> owned;  // ascending replica index
+    std::thread thread;
+
+    Worker(std::size_t inbox_capacity, std::size_t outbox_capacity)
+        : inbox(inbox_capacity), outbox(outbox_capacity) {}
+  };
+
+  static void worker_main(Worker& w);
+
+  Worker& owner(std::size_t replica) {
+    return *workers_[replica % workers_.size()];
+  }
+  void maybe_scale(double now);
+  void complete_migrations(double now);
+
+  /// Mirror of ReplicaFleet::PendingMigration for the threaded driver
+  /// (cache ops run on the driver thread; the striped caches make them
+  /// safe against concurrent worker probes).
+  struct PendingMigration {
+    std::size_t donor = 0;
+    std::size_t recipient = 0;
+    cache::PrefixCache::MigrationBatch batch;
+    double land_time = 0.0;
+  };
 
   std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<Worker>> workers_;
   Router router_;
   obs::OrderedTraceMerger* merger_ = nullptr;
   std::vector<ReplicaMetrics> counters_;  // engine filled by replica_metrics
@@ -180,6 +231,12 @@ class ThreadedFleet {
   std::vector<double> clock_view_;
   std::vector<char> busy_view_;
   std::vector<std::size_t> outstanding_view_;
+  ElasticityConfig elastic_;
+  std::size_t block_size_ = 16;
+  std::vector<char> active_;
+  std::vector<char> draining_;
+  std::vector<PendingMigration> pending_;
+  double last_scale_ = -1.0e300;  // cooldown anchor
   double imbalance_sum_ = 0.0;
   std::size_t imbalance_samples_ = 0;
   bool stopped_ = false;

@@ -216,6 +216,38 @@ const std::vector<BenchSpec>& bench_specs() {
           {"agg_phr", kNum}}},
         {"penalty_ablation",
          {{"penalty", kNum}, {"mean_predicted_tokens", kNum}}}}},
+      {"bench_tiered_cache",
+       {{"tiers_vs_flat",
+         {{"replicas", kNum},
+          {"arm", kStr},
+          {"agg_phr", kNum},
+          {"interactive_p99_ttft_s", kNum},
+          {"p99_ttft_s", kNum},
+          {"goodput_rps", kNum},
+          {"demoted_blocks", kNum},
+          {"promoted_blocks", kNum},
+          {"promote_seconds", kNum},
+          {"load_imbalance", kNum}}},
+        {"split_sweep",
+         {{"host_capacity_blocks", kNum},
+          {"agg_phr", kNum},
+          {"interactive_p99_ttft_s", kNum},
+          {"demoted_blocks", kNum},
+          {"evicted_blocks", kNum},
+          {"promote_seconds", kNum}}},
+        {"elasticity",
+         {{"spawn", kStr},
+          {"migrate_max_blocks", kNum},
+          {"agg_phr", kNum},
+          {"interactive_p99_ttft_s", kNum},
+          {"p99_ttft_s", kNum},
+          {"replica_spawns", kNum},
+          {"replica_drains", kNum},
+          {"prefix_migrations", kNum},
+          {"migrated_blocks", kNum},
+          {"audit_ok", kNum}}},
+        {"determinism",
+         {{"replicas", kNum}, {"determinism_match", kNum}}}}},
   };
   return specs;
 }

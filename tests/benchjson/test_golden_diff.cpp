@@ -151,6 +151,24 @@ const std::vector<GoldenSpec>& golden_specs() {
         {"evict_batch", "us_per_block", true, 1.0, true},
         {"alloc_steadystate", "steady_allocs", false, 0.0},
         {"alloc_steadystate", "node_slots_delta", false, 0.0}}},
+      // Tier hierarchy + elasticity. PHR and tails use the standard
+      // bands; the headline tiered-vs-flat ordering is re-asserted by the
+      // bench itself (it exits nonzero on violation), so the golden pins
+      // the magnitudes. Audit verdicts and the threaded-vs-oracle match
+      // are exact — a band on a boolean hides a broken invariant.
+      {"bench_tiered_cache",
+       "BENCH_tiered_cache.json",
+       {{"tiers_vs_flat", "agg_phr", false, 0.02},
+        {"tiers_vs_flat", "interactive_p99_ttft_s", true, 0.10},
+        {"tiers_vs_flat", "goodput_rps", true, 0.10},
+        {"tiers_vs_flat", "promote_seconds", true, 0.10},
+        {"split_sweep", "agg_phr", false, 0.02},
+        {"split_sweep", "interactive_p99_ttft_s", true, 0.10},
+        {"elasticity", "agg_phr", false, 0.02},
+        {"elasticity", "replica_spawns", false, 0.0},
+        {"elasticity", "prefix_migrations", false, 0.0},
+        {"elasticity", "audit_ok", false, 0.0},
+        {"determinism", "determinism_match", false, 0.0}}},
   };
   return specs;
 }

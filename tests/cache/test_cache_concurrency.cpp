@@ -300,5 +300,63 @@ TEST(CacheConcurrency, ConcurrentChurnKeepsLedgersConsistent) {
   EXPECT_EQ(pc.resident_blocks(), s.inserted_blocks - s.evicted_blocks);
 }
 
+TEST(CacheConcurrency, ConcurrentTieredChurnKeepsTierLedgerConsistent) {
+  // The tiered demote/promote paths under the same multi-threaded churn:
+  // a tight GPU tier over an unbounded host tier, so eviction pressure
+  // constantly demotes and lower-tier hits promote back — all racing
+  // across stripes. At join the tier ledger must tie out exactly: one
+  // tier per block, promotions never exceed demotions, and nothing was
+  // destroyed (the host tier caught every demoted block).
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kOpsPerThread = 300;
+  CacheConfig config = cfg(8, 4, 48);
+  config.tiers = 2;
+  PrefixCache pc(config);
+  const auto prompts = prompt_pool(8, 8, 4);
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      util::Rng rng(47 * (t + 1));
+      std::vector<CacheLease> held;
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        const std::size_t op = rng.next_below(10);
+        if (op < 5) {
+          const auto& p = prompts[rng.next_below(prompts.size())];
+          CacheLease lease = pc.lookup(p);
+          ASSERT_LE(lease.cached_tokens, p.size());
+          if (rng.next_below(4) == 0) {
+            pc.cancel_lookup(lease, p.size());
+          } else {
+            pc.admit(p, lease);
+            held.push_back(lease);
+          }
+        } else if (op < 8 && !held.empty()) {
+          const std::size_t j = rng.next_below(held.size());
+          pc.release(held[j]);
+          held.erase(held.begin() + j);
+        } else if (op < 9) {
+          pc.evict(1 + rng.next_below(3));  // demotion pressure
+        } else {
+          const auto& p = prompts[rng.next_below(prompts.size())];
+          const auto tp = pc.peek_tiers(p);
+          ASSERT_LE(tp.total(), p.size());
+        }
+      }
+      for (auto& lease : held) pc.release(lease);
+    });
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(pc.pinned_blocks(), 0u);
+  EXPECT_EQ(pc.check_invariants(), "");
+  const CacheStats s = pc.stats();
+  EXPECT_LE(pc.gpu_resident_blocks(), 48u);
+  EXPECT_EQ(pc.tier_resident_blocks(0) + pc.tier_resident_blocks(1),
+            pc.resident_blocks());
+  EXPECT_LE(s.promoted_blocks, s.demoted_blocks);
+  EXPECT_EQ(s.evicted_blocks, 0u);  // unbounded host: demoted, not killed
+  EXPECT_EQ(pc.resident_blocks(), s.inserted_blocks - s.evicted_blocks);
+}
+
 }  // namespace
 }  // namespace llmq::cache

@@ -1,0 +1,125 @@
+// Tier promotion is honestly priced: a prefix hit served from the host
+// tier must pay CostModel::promote_seconds into TTFT before the engine
+// reuses it — cheaper than recompute, but never free — and a flat cache
+// must pay exactly nothing (the tiers=1 bit-identity contract).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "llm/engine_session.hpp"
+
+namespace llmq::llm {
+namespace {
+
+ModelSpec tiny_model() {
+  ModelSpec m;
+  m.name = "tiny";
+  m.params = 1e9;
+  m.n_layers = 8;
+  m.hidden_dim = 512;
+  m.n_heads = 8;
+  m.n_kv_heads = 8;
+  m.head_dim = 64;
+  m.dtype_bytes = 2;
+  return m;
+}
+
+ServingEngine make_engine(std::size_t tiers) {
+  EngineConfig ec;
+  ec.max_batch_size = 8;
+  ec.block_size = 16;
+  ec.kv_pool_blocks_override = 4096;
+  ec.cache_tiers = tiers;
+  return ServingEngine(CostModel(tiny_model(), l4()), ec);
+}
+
+Request prompt_request(std::uint64_t id) {
+  Request r;
+  r.id = id;
+  r.row_tag = id;
+  r.prompt.resize(64);  // 4 full blocks at block_size 16
+  std::iota(r.prompt.begin(), r.prompt.end(), 100u);
+  r.output_tokens = 3;
+  return r;
+}
+
+TEST(TierPricing, CostModelPromotePricing) {
+  const ServingEngine engine = make_engine(2);
+  const CostModel& cm = engine.cost_model();
+  EXPECT_EQ(cm.promote_seconds(0, 0, 16), 0.0);
+  const double host4 = cm.promote_seconds(4, 0, 16);
+  const double disk4 = cm.promote_seconds(0, 4, 16);
+  EXPECT_GT(host4, 0.0);
+  // Disk is the slower, higher-latency link for the same bytes.
+  EXPECT_GT(disk4, host4);
+  // Mixed promotion pays both links.
+  EXPECT_DOUBLE_EQ(cm.promote_seconds(4, 4, 16), host4 + disk4);
+}
+
+TEST(TierPricing, HostHitPaysPromoteSecondsIntoTtft) {
+  // Two identical tiered engines run the same two-request script; one
+  // suffers GPU pressure between the requests (prefix demoted to host).
+  // The second request must still hit in full, and its first token must
+  // land later by exactly the priced promotion time.
+  const ServingEngine engine = make_engine(2);
+  auto warm_cache = engine.make_session_cache();
+  auto cold_cache = engine.make_session_cache();
+  EngineSession warm(engine, warm_cache);    // GPU hit
+  EngineSession cold(engine, cold_cache);    // host hit after demotion
+
+  warm.submit(prompt_request(1));
+  cold.submit(prompt_request(1));
+  warm.drain();
+  cold.drain();
+
+  // Pressure on one session only: demote the whole prefix to host.
+  ASSERT_EQ(cold_cache.evict(cold_cache.gpu_resident_blocks()), 4u);
+  ASSERT_EQ(cold_cache.tier_resident_blocks(1), 4u);
+
+  warm.submit(prompt_request(2));
+  cold.submit(prompt_request(2));
+  const auto warm_res = warm.drain();
+  const auto cold_res = cold.drain();
+  ASSERT_EQ(warm_res.size(), 1u);
+  ASSERT_EQ(cold_res.size(), 1u);
+
+  // The demoted prefix still serves in full — that is the point of tiers.
+  EXPECT_EQ(cold_res[0].cached_tokens, 64u);
+  EXPECT_EQ(cold_res[0].cached_tokens, warm_res[0].cached_tokens);
+
+  const double promote_s = engine.cost_model().promote_seconds(4, 0, 16);
+  ASSERT_GT(promote_s, 0.0);
+  // The engine ledger records exactly the priced transfer.
+  EXPECT_EQ(cold.metrics().promote_seconds, promote_s);
+  EXPECT_EQ(cold.metrics().promoted_host_blocks, 4u);
+  EXPECT_EQ(cold.metrics().promoted_disk_blocks, 0u);
+  EXPECT_EQ(warm.metrics().promote_seconds, 0.0);
+  // And TTFT honestly pays it: same script, same engine, the host hit
+  // lands the first token later by the transfer time.
+  EXPECT_NEAR(cold_res[0].first_token_time - warm_res[0].first_token_time,
+              promote_s, 1e-12);
+}
+
+TEST(TierPricing, FlatCacheNeverPaysPromotion) {
+  // tiers=1: eviction destroys, the re-request misses, and the promotion
+  // ledger stays zero — recompute is the only price a flat cache knows.
+  const ServingEngine engine = make_engine(1);
+  auto cache = engine.make_session_cache();
+  EngineSession session(engine, cache);
+  session.submit(prompt_request(1));
+  session.drain();
+  ASSERT_EQ(cache.evict(cache.resident_blocks()), 4u);
+  EXPECT_EQ(cache.resident_blocks(), 0u);  // destroyed, not demoted
+
+  session.submit(prompt_request(2));
+  const auto res = session.drain();
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].cached_tokens, 0u);
+  EXPECT_EQ(session.metrics().promote_seconds, 0.0);
+  EXPECT_EQ(session.metrics().promoted_host_blocks, 0u);
+  EXPECT_EQ(session.metrics().promoted_disk_blocks, 0u);
+}
+
+}  // namespace
+}  // namespace llmq::llm

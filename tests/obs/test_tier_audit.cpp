@@ -1,0 +1,148 @@
+// Auditor rules for the tier/elasticity events: the exactly-once tier
+// ledger (every promoted block was first demoted, every lower-tier death
+// was a resident block), the ReplicaSpawn/ReplicaDrain active-count
+// chain, and PrefixMigrate sanity — each proven on a real tiered run and
+// then falsified with single corrupted events.
+
+#include <gtest/gtest.h>
+
+#include "obs/audit.hpp"
+#include "serving_fixture.hpp"
+
+namespace llmq::obs {
+namespace {
+
+TraceEvent ev(EventKind kind, std::uint32_t track, double time,
+              std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  TraceEvent e{};
+  e.kind = kind;
+  e.replica = track;
+  e.time = time;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  return e;
+}
+
+TEST(TierAudit, TieredServingRunAuditsCleanAndMatchesEngine) {
+  // The standard tight-pool fixture with a 2-tier cache: the preemption
+  // pressure that destroys blocks on a flat cache demotes them here, so
+  // the run exercises demote + promote traffic end to end.
+  const std::size_t n_rows = 60;
+  const table::Table t = obs_test::tiny_table(n_rows);
+  const table::FdSet fds;
+  serve::OnlineConfig cfg = obs_test::make_config(1, /*preemption=*/true, 0);
+  cfg.engine.cache_tiers = 2;
+  // The fixture's 96-block pool never pressures the shared cache (defers
+  // and preemption absorb it first); 32 forces real demote + promote
+  // traffic through the admission memory plan.
+  cfg.engine.kv_pool_blocks_override = 32;
+  TraceLog log;
+  cfg.trace.sink = &log;
+  const serve::OnlineRunResult run =
+      serve::run_online(t, fds, obs_test::make_arrivals(n_rows), cfg);
+
+  const AuditResult audit = audit_trace(log);
+  EXPECT_TRUE(audit.ok()) << audit.first_violation();
+  ASSERT_GT(run.engine.cache.demoted_blocks, 0u)
+      << "the tight pool no longer demotes — tier traffic unexercised";
+  // The events alone re-derive the cache's tier counters exactly.
+  EXPECT_EQ(audit.tier_demoted_blocks, run.engine.cache.demoted_blocks);
+  EXPECT_EQ(audit.tier_promoted_blocks, run.engine.cache.promoted_blocks);
+  EXPECT_EQ(audit.cache_evicted_blocks, run.engine.cache.evicted_blocks);
+}
+
+TEST(TierAudit, DemotePromoteLedgerBalances) {
+  TraceLog log;
+  log.emit(ev(EventKind::TierDemote, 0, 1.0, 4, 1, 0));   // GPU -> host
+  log.emit(ev(EventKind::TierDemote, 0, 2.0, 2, 2, 1));   // host -> disk
+  log.emit(ev(EventKind::TierPromote, 0, 3.0, 2, 1, 48));  // 2 host + 1 disk
+  const AuditResult audit = audit_trace(log);
+  EXPECT_TRUE(audit.ok()) << audit.first_violation();
+  EXPECT_EQ(audit.tier_demoted_blocks, 4u);  // only GPU->host enters
+  EXPECT_EQ(audit.tier_promoted_blocks, 3u);
+}
+
+TEST(TierAudit, FlagsPromoteWithoutDemote) {
+  TraceLog log;
+  log.emit(ev(EventKind::TierPromote, 0, 1.0, 4, 0, 64));
+  EXPECT_FALSE(audit_trace(log).ok());
+}
+
+TEST(TierAudit, FlagsOverDrawnPromotion) {
+  TraceLog log;
+  log.emit(ev(EventKind::TierDemote, 0, 1.0, 2, 1, 0));
+  log.emit(ev(EventKind::TierPromote, 0, 2.0, 3, 0, 48));  // 3 > 2 demoted
+  EXPECT_FALSE(audit_trace(log).ok());
+}
+
+TEST(TierAudit, FlagsSkippedTierDemotion) {
+  TraceLog log;  // GPU -> disk skips the host tier
+  log.emit(ev(EventKind::TierDemote, 0, 1.0, 4, 2, 0));
+  EXPECT_FALSE(audit_trace(log).ok());
+}
+
+TEST(TierAudit, LowerTierEvictionDrawsFromDemotedResidency) {
+  TraceLog log;
+  log.emit(ev(EventKind::TierDemote, 0, 1.0, 4, 1, 0));
+  log.emit(ev(EventKind::CacheEvict, 0, 2.0, 3, 1, 0));  // 3 die at host
+  const AuditResult ok_audit = audit_trace(log);
+  EXPECT_TRUE(ok_audit.ok()) << ok_audit.first_violation();
+  EXPECT_EQ(ok_audit.tier_evicted_blocks, 3u);
+
+  // One more death than was ever demoted on this track.
+  log.emit(ev(EventKind::CacheEvict, 0, 3.0, 2, 1, 0));
+  EXPECT_FALSE(audit_trace(log).ok());
+}
+
+TEST(TierAudit, SpawnDrainChainTheActiveCount) {
+  TraceLog log;
+  log.emit(ev(EventKind::ReplicaSpawn, kGlobalTrack, 1.0, 2, 1, 0));
+  log.emit(ev(EventKind::ReplicaSpawn, kGlobalTrack, 2.0, 3, 0, 0));
+  log.emit(ev(EventKind::ReplicaDrain, kGlobalTrack, 3.0, 2, 0, 0));
+  const AuditResult audit = audit_trace(log);
+  EXPECT_TRUE(audit.ok()) << audit.first_violation();
+  EXPECT_EQ(audit.replica_spawns, 2u);
+  EXPECT_EQ(audit.replica_drains, 1u);
+
+  // A spawn that jumps the count breaks the chain.
+  log.emit(ev(EventKind::ReplicaSpawn, kGlobalTrack, 4.0, 5, 0, 0));
+  EXPECT_FALSE(audit_trace(log).ok());
+}
+
+TEST(TierAudit, FlagsDrainToZeroAndOffTrackElasticity) {
+  {
+    TraceLog log;  // draining the last serving replica is never legal
+    log.emit(ev(EventKind::ReplicaDrain, kGlobalTrack, 1.0, 0, 0, 0));
+    EXPECT_FALSE(audit_trace(log).ok());
+  }
+  {
+    TraceLog log;  // scaling decisions belong to the driver's track
+    log.emit(ev(EventKind::ReplicaSpawn, 1, 1.0, 2, 0, 0));
+    EXPECT_FALSE(audit_trace(log).ok());
+  }
+}
+
+TEST(TierAudit, PrefixMigrateSanity) {
+  {
+    TraceLog log;
+    log.emit(ev(EventKind::PrefixMigrate, kGlobalTrack, 1.0, 8, 0, 1));
+    const AuditResult audit = audit_trace(log);
+    EXPECT_TRUE(audit.ok()) << audit.first_violation();
+    EXPECT_EQ(audit.prefix_migrations, 1u);
+    EXPECT_EQ(audit.migrated_blocks, 8u);
+  }
+  {
+    TraceLog log;  // zero-block migration
+    log.emit(ev(EventKind::PrefixMigrate, kGlobalTrack, 1.0, 0, 0, 1));
+    EXPECT_FALSE(audit_trace(log).ok());
+  }
+  {
+    TraceLog log;  // donor == recipient
+    log.emit(ev(EventKind::PrefixMigrate, kGlobalTrack, 1.0, 8, 2, 2));
+    EXPECT_FALSE(audit_trace(log).ok());
+  }
+}
+
+}  // namespace
+}  // namespace llmq::obs

@@ -1,0 +1,124 @@
+// The worker-pool cap property: ThreadedFleet multiplexes any number of
+// replicas onto at most max_threads workers (default: hardware
+// concurrency minus one), and the cap is invisible in the output — the
+// same run at every thread count, from fully serialized (1 worker owning
+// every replica) through one-worker-per-replica, is bit-identical to the
+// virtual-clock replicated oracle. Replica-to-worker assignment is pure
+// routing: per-replica execution, the epoch barrier protocol, and the
+// (pre_clock, replica, order) merge are untouched by ownership.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/online.hpp"
+#include "serve/threaded_fleet.hpp"
+
+namespace llmq::serve {
+namespace {
+
+using table::Schema;
+using table::Table;
+
+Table tiny_table(std::size_t n) {
+  Table t(Schema::of_names({"category", "region", "status"}));
+  for (std::size_t r = 0; r < n; ++r)
+    t.append_row({"cat_" + std::to_string(r % 3),
+                  "region_" + std::to_string(r % 4),
+                  r % 2 ? "active" : "archived"});
+  return t;
+}
+
+OnlineConfig fleet_config(std::size_t n_replicas) {
+  OnlineConfig cfg;
+  cfg.prompt.system_prompt = "You are a serving assistant.";
+  cfg.prompt.user_prompt = "Classify the row.";
+  cfg.avg_output_tokens = 6.0;
+  cfg.class_output_multiplier = {0.5, 1.0, 4.0};
+  cfg.ttft_slo_seconds = 5.0;
+  cfg.scheduler.policy = Policy::WindowedGgr;
+  cfg.scheduler.window_rows = 16;
+  cfg.scheduler.max_wait_seconds = 1.0;
+  cfg.scheduler.priority_order = true;
+  cfg.scheduler.aging_seconds = 4.0;
+  cfg.scheduler.ggr.measure = core::LengthMeasure::Unit;
+  cfg.engine.max_batch_size = 4;
+  cfg.engine.kv_pool_blocks_override = 96;  // tight: defer traffic
+  cfg.engine.preemption = true;
+  cfg.engine.priority_aging_seconds = 4.0;
+  cfg.n_replicas = n_replicas;
+  cfg.router = RouterPolicy::PrefixAffinity;
+  return cfg;
+}
+
+std::vector<Arrival> arrivals_for(std::size_t n_rows) {
+  WorkloadOptions w;
+  w.arrival_rate = 40.0;
+  w.n_tenants = 3;
+  w.tenant_classes = {llm::PriorityClass::Batch,
+                      llm::PriorityClass::Interactive,
+                      llm::PriorityClass::Standard};
+  w.n_requests = 2 * n_rows;
+  w.seed = 1234;
+  return generate_arrivals(n_rows, w);
+}
+
+void expect_run_identical(const OnlineRunResult& a, const OnlineRunResult& b,
+                          const std::string& where) {
+  SCOPED_TRACE(where);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    ASSERT_EQ(a.requests[i].id, b.requests[i].id) << "request " << i;
+    ASSERT_EQ(a.requests[i].replica, b.requests[i].replica) << "request " << i;
+    ASSERT_EQ(a.requests[i].admit_time, b.requests[i].admit_time)
+        << "request " << i;
+    ASSERT_EQ(a.requests[i].first_token_time, b.requests[i].first_token_time)
+        << "request " << i;
+    ASSERT_EQ(a.requests[i].finish_time, b.requests[i].finish_time)
+        << "request " << i;
+    ASSERT_EQ(a.requests[i].cached_tokens, b.requests[i].cached_tokens)
+        << "request " << i;
+    ASSERT_EQ(a.requests[i].preemptions, b.requests[i].preemptions)
+        << "request " << i;
+  }
+  EXPECT_EQ(a.latency.p99_ttft, b.latency.p99_ttft);
+  EXPECT_EQ(a.latency.makespan, b.latency.makespan);
+  EXPECT_EQ(a.engine.cache.hit_tokens, b.engine.cache.hit_tokens);
+  EXPECT_EQ(a.engine.preemptions, b.engine.preemptions);
+  EXPECT_EQ(a.load_imbalance, b.load_imbalance);
+  ASSERT_EQ(a.replicas.size(), b.replicas.size());
+  for (std::size_t r = 0; r < a.replicas.size(); ++r)
+    EXPECT_EQ(a.replicas[r].requests, b.replicas[r].requests) << "replica "
+                                                              << r;
+}
+
+class ThreadCapMatrix : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadCapMatrix, CappedPoolIsBitIdenticalToOracle) {
+  // 5 replicas on caps {0 = auto, 1, 2, 3, 5}: every configuration below
+  // one-thread-per-replica multiplexes several replicas onto one worker
+  // and must still match the virtual-clock oracle exactly.
+  const std::size_t cap = GetParam();
+  const std::size_t n_rows = 60;
+  const Table t = tiny_table(n_rows);
+  const table::FdSet fds;
+  const OnlineConfig cfg = fleet_config(5);
+  const auto arrivals = arrivals_for(n_rows);
+
+  const OnlineRunResult oracle = run_online_replicated(t, fds, arrivals, cfg);
+  ThreadedFleetOptions opts;
+  opts.max_threads = cap;
+  const OnlineRunResult threaded =
+      run_online_threaded(t, fds, arrivals, cfg, opts);
+  expect_run_identical(oracle, threaded,
+                       "max_threads=" + std::to_string(cap));
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, ThreadCapMatrix,
+                         ::testing::Values(std::size_t{0}, std::size_t{1},
+                                           std::size_t{2}, std::size_t{3},
+                                           std::size_t{5}));
+
+}  // namespace
+}  // namespace llmq::serve
